@@ -1,0 +1,48 @@
+// Ablation: heterogeneous instances. Clouds mix fast and slow cores; the
+// paper's Eq. 2 has a pleasant emergent property here. A slow core that
+// is 100% busy on application work still shows wall > task-CPU + idle, so
+// the estimator attributes the deficit to "background load" — and the
+// refinement correctly right-sizes the slow core's share, with no
+// heterogeneity-specific code at all.
+//
+// Setup: Jacobi2D on 8 cores, no interfering job; cores 0 and 1 run at a
+// reduced speed. Slowdown is measured against the all-fast machine.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cloudlb;
+  using namespace cloudlb::bench;
+
+  std::cout << "Ablation: heterogeneous core speeds (Jacobi2D, 8 cores, "
+               "cores 0-1 slowed, no interfering job)\n\n";
+
+  auto run_with = [](const char* balancer, double slow_speed) {
+    ScenarioConfig config = grid_config("jacobi2d", balancer, 8);
+    config.with_background = false;
+    if (slow_speed < 1.0) {
+      config.machine.core_speed_overrides = {{0, slow_speed},
+                                             {1, slow_speed}};
+    }
+    return run_scenario(config);
+  };
+
+  Table table({"slow-core speed", "noLB slowdown %", "ia-refine slowdown %",
+               "ia migrations"});
+  const double fast = run_with("null", 1.0).app_elapsed.to_seconds();
+  for (const double speed : {0.8, 0.5, 0.25}) {
+    const RunResult no_lb = run_with("null", speed);
+    const RunResult lb = run_with("ia-refine", speed);
+    table.add_row(
+        {Table::num(speed, 2),
+         Table::num((no_lb.app_elapsed.to_seconds() / fast - 1) * 100, 1),
+         Table::num((lb.app_elapsed.to_seconds() / fast - 1) * 100, 1),
+         std::to_string(lb.lb_migrations)});
+  }
+  emit(table, "heterogeneity sweep (slowdown vs. all-fast machine)");
+  std::cout << "the estimator cannot tell 'slow core' from 'core busy "
+               "serving another VM' — and does not need to.\n";
+  return 0;
+}

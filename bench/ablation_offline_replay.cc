@@ -1,0 +1,51 @@
+// Ablation: offline strategy scoring. Record the measurement windows of
+// ONE interfered run, then score every strategy against the identical
+// recorded loads — the record/replay workflow LB researchers use to
+// compare strategies without re-running applications.
+//
+// Expected: the interference-aware strategies cut the recorded max load
+// per window; the blind ones leave it (refine/null) or even worsen it
+// (greedy piles application load back onto the interfered cores).
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "core/balancer_factory.h"
+#include "core/replay.h"
+#include "lb/stats_io.h"
+
+int main() {
+  using namespace cloudlb;
+  using namespace cloudlb::bench;
+
+  // Record one noLB run so every window shows the raw imbalance.
+  std::stringstream trace;
+  ScenarioConfig config = grid_config("jacobi2d", "null", 8);
+  auto recorder =
+      std::make_unique<RecordingLb>(make_balancer("null"), &trace);
+  run_scenario_with(config, std::move(recorder));
+  const std::vector<LbStats> windows = read_stats(trace);
+
+  std::cout << "Ablation: offline replay of " << windows.size()
+            << " recorded LB windows (Jacobi2D, 8 cores, noLB trace)\n\n";
+
+  Table table({"balancer", "mean max-load before (s)",
+               "mean max-load after (s)", "total migrations"});
+  for (const auto& name : balancer_names()) {
+    const auto balancer = make_balancer(name);
+    const auto rows = replay_stats(windows, *balancer);
+    double before = 0.0, after = 0.0;
+    int migrations = 0;
+    for (const ReplayRow& row : rows) {
+      before += row.max_load_before;
+      after += row.max_load_after;
+      migrations += row.migrations;
+    }
+    const auto n = static_cast<double>(rows.size());
+    table.add_row({name, Table::num(before / n, 3), Table::num(after / n, 3),
+                   std::to_string(migrations)});
+  }
+  emit(table, "per-strategy offline score");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Ablation: the load-balancing period. Frequent balancing reacts quickly
+// to interference (lower penalty) at the price of more barriers and more
+// migrations; rare balancing leaves the run unbalanced for longer.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cloudlb;
+  using namespace cloudlb::bench;
+
+  std::cout << "Ablation: LB period (Jacobi2D, 8 cores, ia-refine, 60 "
+               "iterations)\n\n";
+  Table table({"period (iterations)", "app penalty %", "BG penalty %",
+               "migrations", "LB steps"});
+  for (const int period : {2, 3, 5, 10, 20, 30}) {
+    ScenarioConfig config = grid_config("jacobi2d", "ia-refine", 8);
+    config.lb_period = period;
+    const PenaltyResult r = run_penalty_experiment(config);
+    table.add_row({std::to_string(period), Table::num(r.app_penalty_pct, 1),
+                   Table::num(r.bg_penalty_pct, 1),
+                   std::to_string(r.combined.lb_migrations),
+                   std::to_string(r.combined.app_counters.lb_steps)});
+  }
+  emit(table, "LB period sweep");
+  return 0;
+}

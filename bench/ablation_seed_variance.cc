@@ -1,0 +1,57 @@
+// Ablation: seed sensitivity. The paper averages three physical runs; our
+// simulator is deterministic per seed, so instead we quantify how much
+// the stochastic elements (Mol3D's particle placement, tenant timing)
+// move the headline numbers across seeds.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace cloudlb;
+  using namespace cloudlb::bench;
+
+  std::cout << "Ablation: variability across seeds\n\n";
+
+  {
+    Table table({"balancer", "mean penalty %", "stddev", "min", "max"});
+    for (const char* balancer : {"null", "ia-refine"}) {
+      StatAccumulator acc;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        ScenarioConfig config = grid_config("mol3d", balancer, 8);
+        config.app.seed = seed;
+        acc.add(run_penalty_experiment(config).app_penalty_pct);
+      }
+      table.add_row({balancer, Table::num(acc.mean(), 1),
+                     Table::num(acc.stddev(), 1), Table::num(acc.min(), 1),
+                     Table::num(acc.max(), 1)});
+    }
+    emit(table, "Mol3D penalty across 5 particle-placement seeds (8 cores)");
+  }
+
+  {
+    Table table({"balancer", "mean slowdown %", "stddev", "min", "max"});
+    for (const char* balancer : {"null", "ia-refine"}) {
+      StatAccumulator acc;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        ScenarioConfig config = grid_config("wave2d", balancer, 8);
+        config.with_background = false;
+        config.tenants = 4;
+        config.tenant_config.seed = seed;
+        ScenarioConfig solo = config;
+        solo.tenants = 0;
+        const double base = run_scenario(solo).app_elapsed.to_seconds();
+        const double with =
+            run_scenario(config).app_elapsed.to_seconds();
+        acc.add(percent_increase(with, base));
+      }
+      table.add_row({balancer, Table::num(acc.mean(), 1),
+                     Table::num(acc.stddev(), 1), Table::num(acc.min(), 1),
+                     Table::num(acc.max(), 1)});
+    }
+    emit(table,
+         "Wave2D slowdown across 5 tenant-timing seeds (8 cores, 4 tenants)");
+  }
+  return 0;
+}

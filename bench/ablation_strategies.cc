@@ -1,0 +1,31 @@
+// Ablation: every strategy in the library on the paper's core scenario
+// (Jacobi2D on 8 cores, 2-core Wave2D interference).
+//
+// Expected ordering: ia-refine ≈ gain-gated < greedy < null ≈ refine
+// (classic RefineLB is blind to the background load and does nothing;
+// greedy balances but thrashes chares and also ignores O_p; random is the
+// chaos baseline).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/balancer_factory.h"
+
+int main() {
+  using namespace cloudlb;
+  using namespace cloudlb::bench;
+
+  std::cout << "Ablation: strategy comparison (Jacobi2D, 8 cores)\n\n";
+  Table table({"balancer", "app penalty %", "BG penalty %",
+               "energy overhead %", "migrations"});
+  for (const auto& name : balancer_names()) {
+    const PenaltyResult r =
+        run_penalty_experiment(grid_config("jacobi2d", name, 8));
+    table.add_row({name, Table::num(r.app_penalty_pct, 1),
+                   Table::num(r.bg_penalty_pct, 1),
+                   Table::num(r.energy_overhead_pct, 1),
+                   std::to_string(r.combined.lb_migrations)});
+  }
+  emit(table, "strategy comparison");
+  return 0;
+}

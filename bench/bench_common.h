@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/scenario.h"
+#include "util/table.h"
+
+namespace cloudlb::bench {
+
+/// Evaluation-grid defaults shared by the figure harnesses. They mirror
+/// the paper's setup: quad-core nodes, a 2-core Wave2D background job
+/// started together with the application, LB every 5 iterations.
+///
+/// Mol3D runs with `bg_weight` > 1 and a long-lived background job to
+/// reproduce the OS preference toward the interfering job the paper
+/// reports for that application (see DESIGN.md).
+ScenarioConfig grid_config(const std::string& app, const std::string& balancer,
+                           int cores);
+
+/// Runs penalty experiments, memoizing the expensive interference-free
+/// baseline and BG-solo runs per (app, cores) so noLB/LB rows share them.
+class PenaltyGrid {
+ public:
+  const PenaltyResult& run(const std::string& app, const std::string& balancer,
+                           int cores);
+
+ private:
+  struct Baseline {
+    RunResult base;
+    SimTime bg_solo;
+  };
+  std::map<std::string, PenaltyResult> cache_;
+  std::map<std::string, Baseline> baselines_;
+};
+
+/// Core counts of the paper's Figure 2 / Figure 4 sweeps.
+inline constexpr int kCoreSweep[] = {4, 8, 16, 32};
+
+/// Prints `table` plus an empty line, and the same rows as CSV when the
+/// CLOUDLB_BENCH_CSV environment variable is set.
+void emit(const Table& table, const std::string& title);
+
+}  // namespace cloudlb::bench

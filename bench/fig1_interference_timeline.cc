@@ -1,0 +1,88 @@
+// Figure 1 (a,b): per-core timelines of a 4-core Wave2D run on one node,
+// before and after a 1-core job of the same application starts on the
+// last core. No load balancing — this is the motivating pathology.
+//
+// Expected shape (matching the paper): the clean iteration is short and
+// dense on all four cores; once the background task starts, core 3's
+// bars stretch (it time-shares with the interferer) and cores 0-2 show
+// idle gaps while they wait — and the whole iteration roughly doubles.
+
+#include <iostream>
+
+#include "apps/wave2d.h"
+#include "bench_common.h"
+#include "lb/null_lb.h"
+#include "machine/machine.h"
+#include "metrics/timeline.h"
+#include "sim/simulator.h"
+#include "vm/virtual_machine.h"
+
+int main() {
+  using namespace cloudlb;
+  using namespace cloudlb::bench;
+
+  Simulator sim;
+  Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 4}};
+
+  VirtualMachine app_vm{machine, "wave2d", {0, 1, 2, 3}};
+  JobConfig app_config;
+  app_config.name = "wave2d";
+  app_config.lb_period = 0;  // noLB: show the raw pathology
+  RuntimeJob app{sim, app_vm, app_config, std::make_unique<NullLb>()};
+  Wave2dConfig wc;
+  wc.layout.iterations = 8;
+  populate_wave2d(app, wc);
+
+  // 1-core background job of the same application on core 3, as in the
+  // paper's experiment, started after the first iteration completes.
+  VirtualMachine bg_vm{machine, "background", {3}};
+  JobConfig bg_config;
+  bg_config.name = "background";
+  bg_config.lb_period = 0;
+  RuntimeJob bg{sim, bg_vm, bg_config, std::make_unique<NullLb>()};
+  Wave2dConfig bg_wc;
+  bg_wc.layout.grid_x = 128;
+  bg_wc.layout.grid_y = 128;
+  bg_wc.layout.blocks_x = 2;
+  bg_wc.layout.blocks_y = 2;
+  bg_wc.layout.iterations = 200;
+  populate_wave2d(bg, bg_wc);
+
+  TimelineTracer tracer;
+  app.set_observer(&tracer);
+  bg.set_observer(&tracer);
+
+  app.start();
+  // iteration_times()[0] is stamped when the last chare finishes
+  // iteration 0 (it stays zero while the slot merely exists).
+  while (app.iteration_times().empty() || app.iteration_times()[0].is_zero())
+    sim.step();
+  const SimTime first_iteration = sim.now();
+  bg.start();
+  while (!app.finished()) sim.step();
+
+  std::cout << "Figure 1: background task on core 3 disturbing a 4-core "
+               "Wave2D run (noLB)\n\n";
+  Table durations({"iteration", "duration (ms)", "interfered"});
+  SimTime prev = app.start_time();
+  const auto& times = app.iteration_times();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    durations.add_row({std::to_string(i),
+                       Table::num((times[i] - prev).to_millis(), 1),
+                       times[i] > first_iteration ? "yes" : "no"});
+    prev = times[i];
+  }
+  emit(durations, "iteration durations (BG starts after iteration 0)");
+
+  std::cout << "-- Fig 1(a): clean iteration (W = wave2d busy, . = idle)\n";
+  tracer.render_ascii(std::cout, 4, SimTime::zero(), first_iteration, 80);
+  std::cout << "\n-- Fig 1(b): interfered iterations (B = background job; "
+               "core 3 shared, cores 0-2 waiting)\n";
+  tracer.render_ascii(std::cout, 4, times[2], times[4], 80);
+
+  const double clean = (times[0] - app.start_time()).to_seconds();
+  const double dirty = (times[4] - times[3]).to_seconds();
+  std::cout << "\ninterfered iteration is " << Table::num(dirty / clean, 2)
+            << "x the clean one (paper: roughly 2x under fair sharing)\n";
+  return 0;
+}

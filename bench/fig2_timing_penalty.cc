@@ -1,0 +1,38 @@
+// Figure 2 (a,b,c): timing penalty (%) of the parallel job and of the
+// 2-core background job, with (LB = ia-refine) and without (noLB) load
+// balancing, for Jacobi2D, Wave2D and Mol3D on 4..32 cores.
+//
+// Expected shape (matching the paper): noLB penalties stay high across
+// core counts (Mol3D far higher, because the background job is favoured
+// by the scheduler there); LB penalties fall as cores grow, since the
+// interfered cores' work spreads over more underloaded cores; the BG
+// penalty drops under LB for Jacobi2D/Wave2D, while for Mol3D the noLB
+// run is the kinder one to the BG job.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cloudlb;
+  using namespace cloudlb::bench;
+
+  std::cout << "Figure 2: effect of load balancing on execution time\n\n";
+  PenaltyGrid grid;
+  for (const char* app : {"jacobi2d", "wave2d", "mol3d"}) {
+    Table table({"cores", "noLB %", "LB %", "BG noLB %", "BG LB %",
+                 "LB migrations"});
+    for (const int cores : kCoreSweep) {
+      const PenaltyResult& no_lb = grid.run(app, "null", cores);
+      const PenaltyResult& lb = grid.run(app, "ia-refine", cores);
+      table.add_row({std::to_string(cores),
+                     Table::num(no_lb.app_penalty_pct, 1),
+                     Table::num(lb.app_penalty_pct, 1),
+                     Table::num(no_lb.bg_penalty_pct, 1),
+                     Table::num(lb.bg_penalty_pct, 1),
+                     std::to_string(lb.combined.lb_migrations)});
+    }
+    emit(table, std::string("Fig 2 — timing penalty, ") + app);
+  }
+  return 0;
+}

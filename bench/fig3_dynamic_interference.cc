@@ -1,0 +1,106 @@
+// Figure 3 (a-e): a 4-core Wave2D run under the interference-aware
+// balancer while the interference MOVES: a 1-core background job runs on
+// core 1, ends, and a second one later starts on core 3.
+//
+// Expected shape (matching the paper):
+//   (a) BG on core 1 → long iterations (imbalance);
+//   (b) after the next LB step, chares leave core 1 → iterations shrink;
+//   (c) BG ends → core 1 underloaded, the balancer migrates work back;
+//   (d) BG appears on core 3 → long iterations again;
+//   (e) the balancer drains core 3 → iterations shrink again.
+
+#include <iostream>
+
+#include "apps/wave2d.h"
+#include "bench_common.h"
+#include "core/balancer_factory.h"
+#include "lb/null_lb.h"
+#include "machine/machine.h"
+#include "metrics/timeline.h"
+#include "sim/simulator.h"
+#include "vm/virtual_machine.h"
+
+namespace {
+
+cloudlb::Wave2dConfig one_core_bg(int iterations) {
+  cloudlb::Wave2dConfig wc;
+  wc.layout.grid_x = 128;
+  wc.layout.grid_y = 128;
+  wc.layout.blocks_x = 2;
+  wc.layout.blocks_y = 2;
+  wc.layout.iterations = iterations;
+  return wc;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cloudlb;
+  using namespace cloudlb::bench;
+
+  Simulator sim;
+  Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 4}};
+
+  VirtualMachine app_vm{machine, "wave2d", {0, 1, 2, 3}};
+  JobConfig app_config;
+  app_config.name = "wave2d";
+  app_config.lb_period = 3;
+  RuntimeJob app{sim, app_vm, app_config,
+                 make_balancer("ia-refine", LbOptions{})};
+  Wave2dConfig wc;
+  wc.layout.iterations = 60;
+  populate_wave2d(app, wc);
+
+  // Episode 1: a 1-core job on core 1 that finishes on its own (~2 s).
+  VirtualMachine bg1_vm{machine, "bg1-on-core1", {1}};
+  JobConfig bg_config;
+  bg_config.lb_period = 0;
+  bg_config.name = "bg1-on-core1";
+  RuntimeJob bg1{sim, bg1_vm, bg_config, std::make_unique<NullLb>()};
+  populate_wave2d(bg1, one_core_bg(25));
+
+  // Episode 2: a second 1-core job on core 3, starting later.
+  VirtualMachine bg3_vm{machine, "cg3-on-core3", {3}};
+  bg_config.name = "cg3-on-core3";  // distinct first letter for the render
+  RuntimeJob bg3{sim, bg3_vm, bg_config, std::make_unique<NullLb>()};
+  populate_wave2d(bg3, one_core_bg(25));
+
+  TimelineTracer tracer;
+  app.set_observer(&tracer);
+  bg1.set_observer(&tracer);
+  bg3.set_observer(&tracer);
+
+  app.start();
+  bg1.start();
+  sim.schedule_at(SimTime::from_seconds(4.0), [&] { bg3.start(); });
+  while (!app.finished() || !bg3.finished()) sim.step();
+
+  std::cout << "Figure 3: balancer chasing interference that moves from "
+               "core 1 to core 3\n\n";
+
+  Table durations({"iteration", "duration (ms)"});
+  SimTime prev = app.start_time();
+  for (std::size_t i = 0; i < app.iteration_times().size(); ++i) {
+    durations.add_row(
+        {std::to_string(i),
+         Table::num((app.iteration_times()[i] - prev).to_millis(), 1)});
+    prev = app.iteration_times()[i];
+  }
+  emit(durations,
+       "iteration durations (spikes at interference arrival, recovery "
+       "after each LB step)");
+
+  Table lb({"LB step", "time (s)", "migrations"});
+  for (const LbMark& mark : tracer.lb_marks())
+    lb.add_row({std::to_string(mark.step),
+                Table::num(mark.time.to_seconds(), 2),
+                std::to_string(mark.migrations)});
+  emit(lb, "LB steps (non-zero migrations when interference moved)");
+
+  std::cout << "-- full-run timeline (W = wave2d, B = bg on core 1, "
+               "C = bg on core 3, . = idle; L marks = LB with migrations)\n";
+  tracer.render_ascii(std::cout, 4, SimTime::zero(), app.finish_time(), 100);
+  std::cout << "\nphases: [B on core1 | balanced | B gone, work returns | "
+               "C on core3 | balanced again]\n";
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Microbenchmarks (google-benchmark) for the substrate hot paths: event
+// queue throughput, processor-sharing core updates, the LB strategies'
+// decision cost at various problem sizes, and a small end-to-end scenario.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/background_estimator.h"
+#include "core/interference_aware_lb.h"
+#include "core/scenario.h"
+#include "lb/greedy_lb.h"
+#include "lb/refinement.h"
+#include "machine/core.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace cloudlb {
+namespace {
+
+// ---------------------------------------------------------- simulator
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < events; ++i)
+      sim.schedule_at(SimTime::nanos((i * 2654435761u) % 1'000'000),
+                      [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_SimulatorCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    std::vector<EventHandle> handles;
+    handles.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i)
+      handles.push_back(
+          sim.schedule_at(SimTime::nanos(i), [] {}));
+    for (std::size_t i = 0; i < handles.size(); i += 2) sim.cancel(handles[i]);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorCancelHeavy);
+
+// ---------------------------------------------------------- PS core
+
+void BM_CoreProcessorSharing(benchmark::State& state) {
+  const auto contexts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    Core core{sim, 0};
+    std::vector<ContextId> ids;
+    for (int c = 0; c < contexts; ++c)
+      ids.push_back(core.register_context("ctx" + std::to_string(c)));
+    int completions = 0;
+    // Each context issues 20 chained demands; the active set churns.
+    std::vector<int> remaining(ids.size(), 20);
+    std::function<void(std::size_t)> pump = [&](std::size_t i) {
+      ++completions;
+      if (--remaining[i] > 0)
+        core.demand(ids[i], SimTime::micros(50), [&pump, i] { pump(i); });
+    };
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      core.demand(ids[i], SimTime::micros(50), [&pump, i] { pump(i); });
+    sim.run();
+    benchmark::DoNotOptimize(completions);
+  }
+  state.SetItemsProcessed(state.iterations() * contexts * 20);
+}
+BENCHMARK(BM_CoreProcessorSharing)->Arg(2)->Arg(8)->Arg(32);
+
+// ---------------------------------------------------------- LB decisions
+
+LbStats synthetic_stats(int pes, int chares, std::uint64_t seed) {
+  Rng rng{seed};
+  LbStats stats;
+  stats.pes.resize(static_cast<std::size_t>(pes));
+  for (int p = 0; p < pes; ++p) {
+    auto& pe = stats.pes[static_cast<std::size_t>(p)];
+    pe.pe = p;
+    pe.core = p;
+    pe.wall_sec = 10.0;
+  }
+  stats.chares.resize(static_cast<std::size_t>(chares));
+  for (int c = 0; c < chares; ++c) {
+    auto& ch = stats.chares[static_cast<std::size_t>(c)];
+    ch.chare = c;
+    ch.pe = static_cast<PeId>(rng.uniform_int(0, pes - 1));
+    ch.cpu_sec = rng.uniform(0.01, 0.5);
+    ch.bytes = 65536;
+    stats.pes[static_cast<std::size_t>(ch.pe)].task_cpu_sec += ch.cpu_sec;
+  }
+  for (auto& pe : stats.pes) {
+    const double bg = rng.next_double() < 0.25 ? rng.uniform(0.0, 5.0) : 0.0;
+    pe.core_idle_sec = std::max(0.0, pe.wall_sec - pe.task_cpu_sec - bg);
+  }
+  return stats;
+}
+
+void BM_RefinementAlgorithm(benchmark::State& state) {
+  const auto pes = static_cast<int>(state.range(0));
+  const auto chares = static_cast<int>(state.range(1));
+  const LbStats stats = synthetic_stats(pes, chares, 42);
+  const auto background = estimate_background_load(stats);
+  for (auto _ : state) {
+    auto result = refine_assignment(stats, background, 0.05);
+    benchmark::DoNotOptimize(result.migrations);
+  }
+  state.SetItemsProcessed(state.iterations() * chares);
+}
+BENCHMARK(BM_RefinementAlgorithm)
+    ->Args({8, 64})
+    ->Args({32, 256})
+    ->Args({128, 1024})
+    ->Args({512, 4096});
+
+void BM_GreedyAlgorithm(benchmark::State& state) {
+  const auto pes = static_cast<int>(state.range(0));
+  const auto chares = static_cast<int>(state.range(1));
+  const LbStats stats = synthetic_stats(pes, chares, 42);
+  GreedyLb lb;
+  for (auto _ : state) {
+    auto result = lb.assign(stats);
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetItemsProcessed(state.iterations() * chares);
+}
+BENCHMARK(BM_GreedyAlgorithm)->Args({32, 256})->Args({512, 4096});
+
+void BM_BackgroundEstimator(benchmark::State& state) {
+  const LbStats stats = synthetic_stats(512, 4096, 7);
+  for (auto _ : state) {
+    auto bg = estimate_background_load(stats);
+    benchmark::DoNotOptimize(bg.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_BackgroundEstimator);
+
+// ---------------------------------------------------------- end to end
+
+void BM_SmallScenarioEndToEnd(benchmark::State& state) {
+  for (auto _ : state) {
+    ScenarioConfig config;
+    config.app.name = "jacobi2d";
+    config.app.iterations = 10;
+    config.app_cores = 4;
+    config.balancer = "ia-refine";
+    config.bg_iterations = 20;
+    const RunResult r = run_scenario(config);
+    benchmark::DoNotOptimize(r.energy_joules);
+  }
+}
+BENCHMARK(BM_SmallScenarioEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cloudlb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Custom balancer: the Charm++ LB framework lets applications plug in
+// their own strategies ("Programmers can add their own application or
+// platform specific strategy", paper §III). This example writes one from
+// scratch — an aggressive "evacuate" policy that moves EVERY chare off
+// any core with measurable background load — wires it into a job, and
+// compares it against the paper's refinement scheme.
+//
+// Evacuation overreacts: it empties the interfered cores (which still
+// have some capacity left) and dumps their entire load on the others,
+// while ia-refine leaves each interfered core exactly the slice it can
+// still serve.
+
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "core/background_estimator.h"
+#include "core/scenario.h"
+#include "lb/framework.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cloudlb;
+
+/// Moves every chare off PEs whose estimated background load exceeds
+/// 5% of the window, distributing them round-robin over quiet PEs.
+class EvacuateLb final : public LoadBalancer {
+ public:
+  std::string name() const override { return "evacuate"; }
+
+  std::vector<PeId> assign(const LbStats& stats) override {
+    const std::vector<double> background = estimate_background_load(stats);
+    std::vector<bool> interfered(stats.pes.size(), false);
+    std::vector<PeId> quiet;
+    for (std::size_t p = 0; p < stats.pes.size(); ++p) {
+      interfered[p] = background[p] > 0.05 * stats.pes[p].wall_sec;
+      if (!interfered[p]) quiet.push_back(static_cast<PeId>(p));
+    }
+    std::vector<PeId> assignment = stats.current_assignment();
+    if (quiet.empty()) return assignment;  // nowhere to run: stay put
+    std::size_t next = 0;
+    for (std::size_t c = 0; c < assignment.size(); ++c) {
+      if (interfered[static_cast<std::size_t>(assignment[c])]) {
+        assignment[c] = quiet[next];
+        next = (next + 1) % quiet.size();
+      }
+    }
+    return assignment;
+  }
+};
+
+/// Runs the standard interference scenario with an externally supplied
+/// balancer instance (bypassing the name-based factory).
+PenaltyResult run_with(std::unique_ptr<LoadBalancer> balancer_for_combined) {
+  ScenarioConfig config;
+  config.app.name = "jacobi2d";
+  config.app.iterations = 60;
+  config.app_cores = 8;
+  config.lb_period = 5;
+  config.bg_iterations = 150;
+
+  // The scenario runner builds balancers by name; for a custom strategy we
+  // drive the three runs ourselves using the public pieces.
+  PenaltyResult out;
+  ScenarioConfig solo = config;
+  solo.with_background = false;
+  solo.balancer = "null";
+  out.base = run_scenario(solo);
+  out.bg_solo = run_background_solo(config);
+
+  // run_scenario only knows names, so for the combined run we register the
+  // custom balancer through the generic RuntimeJob API instead — see
+  // run_scenario's implementation; here the simplest path is a local copy
+  // of its combined-run logic via the "custom:" escape below.
+  out.combined = run_scenario_with(config, std::move(balancer_for_combined));
+  out.app_penalty_pct = percent_increase(out.combined.app_elapsed.to_seconds(),
+                                         out.base.app_elapsed.to_seconds());
+  out.bg_penalty_pct = percent_increase(out.combined.bg_elapsed->to_seconds(),
+                                        out.bg_solo.to_seconds());
+  out.energy_overhead_pct =
+      percent_increase(out.combined.energy_joules, out.base.energy_joules);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cloudlb;
+
+  std::cout << "Custom balancer demo: 'evacuate' vs the paper's "
+               "'ia-refine'\n(Jacobi2D, 8 cores, 2-core background job)\n\n";
+
+  Table table({"balancer", "app penalty %", "BG penalty %", "migrations"});
+  {
+    const PenaltyResult r = run_with(std::make_unique<EvacuateLb>());
+    table.add_row({"evacuate (custom)", Table::num(r.app_penalty_pct, 1),
+                   Table::num(r.bg_penalty_pct, 1),
+                   std::to_string(r.combined.lb_migrations)});
+  }
+  {
+    const PenaltyResult r =
+        run_penalty_experiment([] {
+          ScenarioConfig config;
+          config.app.name = "jacobi2d";
+          config.app.iterations = 60;
+          config.app_cores = 8;
+          config.balancer = "ia-refine";
+          config.lb_period = 5;
+          config.bg_iterations = 150;
+          return config;
+        }());
+    table.add_row({"ia-refine (paper)", Table::num(r.app_penalty_pct, 1),
+                   Table::num(r.bg_penalty_pct, 1),
+                   std::to_string(r.combined.lb_migrations)});
+  }
+  table.print(std::cout);
+  std::cout << "\nevacuation wastes the interfered cores' leftover capacity "
+               "and keeps\nre-migrating; refinement sizes each core's load "
+               "to what it can serve.\n";
+  return 0;
+}

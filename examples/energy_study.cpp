@@ -1,0 +1,51 @@
+// Energy study: the paper's Figure 4 argument in one program. Load
+// balancing raises average power (fewer idle cycles, dynamic power is
+// proportional to utilization) yet lowers total energy, because the run
+// gets shorter and the 40 W/node base power dominates the bill.
+//
+// Usage: energy_study [app]   (jacobi2d | wave2d | mol3d; default jacobi2d)
+
+#include <iostream>
+#include <string>
+
+#include "core/scenario.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cloudlb;
+
+  const std::string app = argc > 1 ? argv[1] : "jacobi2d";
+
+  std::cout << "Energy study: " << app
+            << " under a 2-core interfering job\n"
+            << "power model: 40 W base + 32.5 W per busy core, quad-core "
+               "nodes\n\n";
+
+  Table table({"cores", "balancer", "time (s)", "avg power (W)",
+               "energy (kJ)", "energy overhead %"});
+  for (const int cores : {4, 8, 16}) {
+    ScenarioConfig config;
+    config.app.name = app;
+    config.app.iterations = 60;
+    config.app_cores = cores;
+    config.lb_period = 5;
+    config.bg_iterations = 150;
+
+    for (const char* balancer : {"null", "ia-refine"}) {
+      config.balancer = balancer;
+      const PenaltyResult r = run_penalty_experiment(config);
+      table.add_row({std::to_string(cores), balancer,
+                     Table::num(r.combined.app_elapsed.to_seconds(), 2),
+                     Table::num(r.combined.avg_power_watts, 1),
+                     Table::num(r.combined.energy_joules / 1000.0, 2),
+                     Table::num(r.energy_overhead_pct, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote the pattern on every pair of rows: 'ia-refine' draws "
+               "MORE power than\n'null' yet finishes with LESS energy — "
+               "exactly the paper's point about base\npower dominating idle "
+               "machines.\n";
+  return 0;
+}

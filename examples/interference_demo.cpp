@@ -1,0 +1,94 @@
+// Interference demo: watch the interference-aware balancer chase a
+// background job that appears, disappears and reappears on a different
+// core — the scenario behind the paper's Figure 3.
+//
+// Usage: interference_demo [balancer] [cores]
+//   balancer: null | greedy | refine | random | ia-refine | gain-gated
+//             (default ia-refine)
+//   cores:    size of the application allocation (default 4)
+//
+// Try `interference_demo null` to see what happens without balancing.
+
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+
+#include "apps/wave2d.h"
+#include "core/balancer_factory.h"
+#include "machine/machine.h"
+#include "metrics/timeline.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "vm/interferer.h"
+#include "vm/virtual_machine.h"
+
+int main(int argc, char** argv) {
+  using namespace cloudlb;
+
+  const std::string balancer = argc > 1 ? argv[1] : "ia-refine";
+  const int cores = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (cores < 2 || cores > 64) {
+    std::cerr << "cores must be in [2, 64]\n";
+    return 1;
+  }
+
+  Simulator sim;
+  Machine machine{sim, MachineConfig{.nodes = (cores + 3) / 4,
+                                     .cores_per_node = 4}};
+  std::vector<CoreId> core_ids(static_cast<std::size_t>(cores));
+  std::iota(core_ids.begin(), core_ids.end(), 0);
+  VirtualMachine vm{machine, "wave2d", core_ids};
+
+  JobConfig job_config;
+  job_config.name = "wave2d";
+  job_config.lb_period = 3;
+  RuntimeJob job{sim, vm, job_config, make_balancer(balancer)};
+  Wave2dConfig wc;
+  wc.layout.iterations = 60;
+  populate_wave2d(job, wc);
+
+  TimelineTracer tracer;
+  job.set_observer(&tracer);
+
+  // Two interference episodes on different cores.
+  SyntheticInterferer hog_a{sim, machine, {0}};
+  SyntheticInterferer hog_b{sim, machine, {cores - 1}};
+  sim.schedule_at(SimTime::from_seconds(0.5), [&] { hog_a.start(); });
+  sim.schedule_at(SimTime::from_seconds(3.0), [&] { hog_a.stop(); });
+  sim.schedule_at(SimTime::from_seconds(4.0), [&] { hog_b.start(); });
+  sim.schedule_at(SimTime::from_seconds(6.5), [&] { hog_b.stop(); });
+
+  job.start();
+  while (!job.finished()) sim.step();
+
+  std::cout << "Wave2D on " << cores << " cores, balancer '" << balancer
+            << "'\ninterference: core 0 during [0.5s, 3.0s), core "
+            << cores - 1 << " during [4.0s, 6.5s)\n\n";
+
+  Table iterations({"iteration", "completed at (s)", "duration (ms)"});
+  SimTime prev = job.start_time();
+  for (std::size_t i = 0; i < job.iteration_times().size(); ++i) {
+    const SimTime t = job.iteration_times()[i];
+    iterations.add_row({std::to_string(i), Table::num(t.to_seconds(), 2),
+                        Table::num((t - prev).to_millis(), 1)});
+    prev = t;
+  }
+  iterations.print(std::cout);
+
+  std::cout << "\nLB steps:\n";
+  Table lb({"step", "time (s)", "migrations"});
+  for (const LbMark& mark : tracer.lb_marks())
+    lb.add_row({std::to_string(mark.step),
+                Table::num(mark.time.to_seconds(), 2),
+                std::to_string(mark.migrations)});
+  lb.print(std::cout);
+
+  std::cout << "\ncompleted in " << job.elapsed().to_string() << " with "
+            << job.counters().migrations << " migrations\n\n";
+  if (cores <= 8) {
+    std::cout << "per-core timeline (W = app task, . = idle):\n";
+    tracer.render_ascii(std::cout, cores, SimTime::zero(), job.finish_time(),
+                        100);
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the bench harness output.
+
+Usage:
+    CLOUDLB_BENCH_CSV=1 build/bench/fig2_timing_penalty > fig2.txt
+    CLOUDLB_BENCH_CSV=1 build/bench/fig4_power_energy  > fig4.txt
+    python3 scripts/plot_figures.py fig2.txt fig4.txt -o plots/
+
+Parses the "[csv]" blocks the benches emit when CLOUDLB_BENCH_CSV is set
+and renders one grouped-bar chart per table, mirroring the paper's
+Figure 2 / Figure 4 layout. Requires matplotlib (only this script does;
+the C++ build has no Python dependency).
+"""
+
+import argparse
+import csv
+import io
+import os
+import re
+import sys
+
+
+def parse_bench_output(text):
+    """Yields (title, header, rows) per CSV block in a bench's output."""
+    blocks = re.split(r"^== ", text, flags=re.M)[1:]
+    for block in blocks:
+        title = block.splitlines()[0].strip()
+        m = re.search(r"^\[csv\]$(.*?)(?=^\S|\Z)", block, flags=re.M | re.S)
+        if not m:
+            continue
+        reader = csv.reader(io.StringIO(m.group(1).strip()))
+        table = [row for row in reader if row]
+        if len(table) < 2:
+            continue
+        yield title, table[0], table[1:]
+
+
+def slug(title):
+    return re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+
+
+def plot_table(title, header, rows, outdir):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    x_label = header[0]
+    numeric_cols = []
+    for c in range(1, len(header)):
+        try:
+            [float(r[c]) for r in rows]
+            numeric_cols.append(c)
+        except ValueError:
+            continue
+    if not numeric_cols:
+        return None
+
+    xs = [r[0] for r in rows]
+    width = 0.8 / len(numeric_cols)
+    fig, ax = plt.subplots(figsize=(8, 4.5))
+    for i, c in enumerate(numeric_cols):
+        offsets = [j + i * width for j in range(len(xs))]
+        ax.bar(offsets, [float(r[c]) for r in rows], width, label=header[c])
+    ax.set_xticks([j + 0.4 - width / 2 for j in range(len(xs))])
+    ax.set_xticklabels(xs)
+    ax.set_xlabel(x_label)
+    ax.set_title(title)
+    ax.legend(fontsize=8)
+    ax.grid(axis="y", alpha=0.3)
+    path = os.path.join(outdir, slug(title) + ".png")
+    fig.tight_layout()
+    fig.savefig(path, dpi=140)
+    plt.close(fig)
+    return path
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", help="bench output files")
+    parser.add_argument("-o", "--outdir", default="plots")
+    args = parser.parse_args()
+
+    os.makedirs(args.outdir, exist_ok=True)
+    produced = []
+    for path in args.inputs:
+        with open(path) as f:
+            text = f.read()
+        found = False
+        for title, header, rows in parse_bench_output(text):
+            found = True
+            png = plot_table(title, header, rows, args.outdir)
+            if png:
+                produced.append(png)
+        if not found:
+            print(
+                f"warning: no [csv] blocks in {path} — rerun the bench "
+                "with CLOUDLB_BENCH_CSV=1",
+                file=sys.stderr,
+            )
+    for png in produced:
+        print(png)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#include "apps/app_factory.h"
+
+#include "apps/jacobi2d.h"
+#include "apps/mol3d.h"
+#include "apps/wave2d.h"
+#include "util/check.h"
+
+namespace cloudlb {
+
+std::vector<std::string> app_names() {
+  return {"jacobi2d", "wave2d", "mol3d"};
+}
+
+namespace {
+void apply_block_override(const AppSpec& spec, StencilLayout& layout) {
+  if (spec.blocks_x > 0) layout.blocks_x = spec.blocks_x;
+  if (spec.blocks_y > 0) layout.blocks_y = spec.blocks_y;
+}
+}  // namespace
+
+void populate_app(RuntimeJob& job, const AppSpec& spec) {
+  CLB_CHECK(spec.work_scale > 0.0);
+  if (spec.name == "jacobi2d") {
+    Jacobi2dConfig config;
+    if (spec.iterations > 0) config.layout.iterations = spec.iterations;
+    config.layout.sec_per_point *= spec.work_scale;
+    apply_block_override(spec, config.layout);
+    populate_jacobi2d(job, config);
+    return;
+  }
+  if (spec.name == "wave2d") {
+    Wave2dConfig config;
+    // Wave2D's leapfrog update touches two time levels — a heavier
+    // per-point cost and a non-square default domain distinguish it from
+    // Jacobi2D in the evaluation sweeps.
+    config.layout.grid_x = 320;
+    config.layout.grid_y = 160;
+    config.layout.sec_per_point = 7e-6;
+    if (spec.iterations > 0) config.layout.iterations = spec.iterations;
+    config.layout.sec_per_point *= spec.work_scale;
+    apply_block_override(spec, config.layout);
+    populate_wave2d(job, config);
+    return;
+  }
+  if (spec.name == "mol3d") {
+    Mol3dConfig config;
+    if (spec.iterations > 0) config.iterations = spec.iterations;
+    config.sec_per_pair *= spec.work_scale;
+    config.seed = spec.seed;
+    populate_mol3d(job, config);
+    return;
+  }
+  CLB_CHECK_MSG(false, "unknown application: " << spec.name);
+}
+
+}  // namespace cloudlb

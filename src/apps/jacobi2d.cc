@@ -1,0 +1,122 @@
+#include "apps/jacobi2d.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+Jacobi2dChare::Jacobi2dChare(const Jacobi2dConfig& config, int bx, int by)
+    : StencilBlockChare(config.layout, bx, by) {
+  u_.resize(static_cast<std::size_t>(nx()) * static_cast<std::size_t>(ny()));
+  scratch_ = u_;
+  for (int gy = y0(); gy < y0() + ny(); ++gy)
+    for (int gx = x0(); gx < x0() + nx(); ++gx)
+      at(gx, gy) = stencil_initial_value(gx, gy, layout().grid_x,
+                                         layout().grid_y);
+}
+
+double& Jacobi2dChare::at(int gx, int gy) {
+  return u_[static_cast<std::size_t>(gy - y0()) *
+                static_cast<std::size_t>(nx()) +
+            static_cast<std::size_t>(gx - x0())];
+}
+
+double Jacobi2dChare::at(int gx, int gy) const {
+  return u_[static_cast<std::size_t>(gy - y0()) *
+                static_cast<std::size_t>(nx()) +
+            static_cast<std::size_t>(gx - x0())];
+}
+
+std::vector<double> Jacobi2dChare::block_values() const { return u_; }
+
+std::vector<double> Jacobi2dChare::edge_values(Side side) const {
+  std::vector<double> out;
+  switch (side) {
+    case kWest:
+      out.reserve(static_cast<std::size_t>(ny()));
+      for (int gy = y0(); gy < y0() + ny(); ++gy) out.push_back(at(x0(), gy));
+      break;
+    case kEast:
+      out.reserve(static_cast<std::size_t>(ny()));
+      for (int gy = y0(); gy < y0() + ny(); ++gy)
+        out.push_back(at(x0() + nx() - 1, gy));
+      break;
+    case kNorth:
+      out.reserve(static_cast<std::size_t>(nx()));
+      for (int gx = x0(); gx < x0() + nx(); ++gx) out.push_back(at(gx, y0()));
+      break;
+    case kSouth:
+      out.reserve(static_cast<std::size_t>(nx()));
+      for (int gx = x0(); gx < x0() + nx(); ++gx)
+        out.push_back(at(gx, y0() + ny() - 1));
+      break;
+  }
+  return out;
+}
+
+void Jacobi2dChare::apply_update(
+    const std::array<std::vector<double>, 4>& ghosts) {
+  const int gx_max = layout().grid_x - 1;
+  const int gy_max = layout().grid_y - 1;
+  auto value = [&](int gx, int gy) -> double {
+    if (gx < x0()) return ghosts[kWest][static_cast<std::size_t>(gy - y0())];
+    if (gx >= x0() + nx())
+      return ghosts[kEast][static_cast<std::size_t>(gy - y0())];
+    if (gy < y0()) return ghosts[kNorth][static_cast<std::size_t>(gx - x0())];
+    if (gy >= y0() + ny())
+      return ghosts[kSouth][static_cast<std::size_t>(gx - x0())];
+    return at(gx, gy);
+  };
+
+  double residual = 0.0;
+  for (int gy = y0(); gy < y0() + ny(); ++gy) {
+    for (int gx = x0(); gx < x0() + nx(); ++gx) {
+      const std::size_t idx =
+          static_cast<std::size_t>(gy - y0()) * static_cast<std::size_t>(nx()) +
+          static_cast<std::size_t>(gx - x0());
+      if (gx == 0 || gx == gx_max || gy == 0 || gy == gy_max) {
+        scratch_[idx] = at(gx, gy);  // Dirichlet boundary: held fixed
+      } else {
+        scratch_[idx] = 0.25 * (value(gx - 1, gy) + value(gx + 1, gy) +
+                                value(gx, gy - 1) + value(gx, gy + 1));
+        residual += std::abs(scratch_[idx] - u_[idx]);
+      }
+    }
+  }
+  residual_ = residual;
+  u_.swap(scratch_);
+}
+
+void populate_jacobi2d(RuntimeJob& job, const Jacobi2dConfig& config) {
+  config.layout.validate();
+  for (int by = 0; by < config.layout.blocks_y; ++by)
+    for (int bx = 0; bx < config.layout.blocks_x; ++bx)
+      job.add_chare(std::make_unique<Jacobi2dChare>(config, bx, by));
+}
+
+std::vector<double> jacobi2d_reference(const Jacobi2dConfig& config) {
+  const StencilLayout& l = config.layout;
+  l.validate();
+  const auto w = static_cast<std::size_t>(l.grid_x);
+  std::vector<double> u(w * static_cast<std::size_t>(l.grid_y));
+  for (int gy = 0; gy < l.grid_y; ++gy)
+    for (int gx = 0; gx < l.grid_x; ++gx)
+      u[static_cast<std::size_t>(gy) * w + static_cast<std::size_t>(gx)] =
+          stencil_initial_value(gx, gy, l.grid_x, l.grid_y);
+
+  std::vector<double> next = u;
+  for (int it = 0; it < l.iterations; ++it) {
+    for (int gy = 1; gy < l.grid_y - 1; ++gy) {
+      for (int gx = 1; gx < l.grid_x - 1; ++gx) {
+        const std::size_t i =
+            static_cast<std::size_t>(gy) * w + static_cast<std::size_t>(gx);
+        next[i] = 0.25 * (u[i - 1] + u[i + 1] + u[i - w] + u[i + w]);
+      }
+    }
+    u.swap(next);
+  }
+  return u;
+}
+
+}  // namespace cloudlb

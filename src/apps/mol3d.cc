@@ -1,0 +1,363 @@
+#include "apps/mol3d.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cloudlb {
+
+namespace {
+
+enum MolTag : int { kMolGhost = 1, kMolCompute = 2 };
+
+double wrap(double v, double box) {
+  v = std::fmod(v, box);
+  return v < 0 ? v + box : v;
+}
+
+/// Minimum-image displacement on one periodic axis.
+double min_image(double d, double box) {
+  if (d > 0.5 * box) return d - box;
+  if (d < -0.5 * box) return d + box;
+  return d;
+}
+
+}  // namespace
+
+void Mol3dConfig::validate() const {
+  CLB_CHECK_MSG(cells_x >= 3 && cells_y >= 3 && cells_z >= 3,
+                "each dimension needs >= 3 cells for distinct neighbours");
+  CLB_CHECK(num_particles > 0);
+  CLB_CHECK(iterations >= 1);
+  CLB_CHECK(cutoff > 0.0 && cutoff <= 1.0);
+  CLB_CHECK(sigma > 0.0);
+  CLB_CHECK(dt > 0.0);
+  CLB_CHECK(cluster_fraction >= 0.0 && cluster_fraction <= 1.0);
+  CLB_CHECK(sec_per_pair >= 0.0 && ghost_sec_per_particle >= 0.0);
+}
+
+Mol3dChare::Mol3dChare(const Mol3dConfig& config, int cx, int cy, int cz,
+                       std::vector<Particle> particles)
+    : config_{config},
+      cx_{cx},
+      cy_{cy},
+      cz_{cz},
+      particles_{std::move(particles)} {
+  config_.validate();
+  lo_[0] = cx;
+  hi_[0] = cx + 1;
+  lo_[1] = cy;
+  hi_[1] = cy + 1;
+  lo_[2] = cz;
+  hi_[2] = cz + 1;
+}
+
+ChareId Mol3dChare::neighbor(int side) const {
+  int nxc = cx_, nyc = cy_, nzc = cz_;
+  switch (side) {
+    case 0: nxc = (cx_ + config_.cells_x - 1) % config_.cells_x; break;
+    case 1: nxc = (cx_ + 1) % config_.cells_x; break;
+    case 2: nyc = (cy_ + config_.cells_y - 1) % config_.cells_y; break;
+    case 3: nyc = (cy_ + 1) % config_.cells_y; break;
+    case 4: nzc = (cz_ + config_.cells_z - 1) % config_.cells_z; break;
+    case 5: nzc = (cz_ + 1) % config_.cells_z; break;
+    default: CLB_CHECK_MSG(false, "bad side " << side);
+  }
+  return static_cast<ChareId>((nzc * config_.cells_y + nyc) * config_.cells_x +
+                              nxc);
+}
+
+void Mol3dChare::on_start() { send_phase(); }
+
+void Mol3dChare::on_resume_sync() { send_phase(); }
+
+void Mol3dChare::send_phase() {
+  for (int side = 0; side < 6; ++side) {
+    std::vector<double> payload;
+    auto& leavers = outbox_[static_cast<std::size_t>(side)];
+    payload.reserve(4 + particles_.size() * 3 + leavers.size() * 6);
+    payload.push_back(static_cast<double>(iter_));
+    payload.push_back(static_cast<double>(side ^ 1));  // receiver's face
+    payload.push_back(static_cast<double>(particles_.size()));
+    payload.push_back(static_cast<double>(leavers.size()));
+    for (const Particle& p : particles_) {
+      payload.push_back(p.x);
+      payload.push_back(p.y);
+      payload.push_back(p.z);
+    }
+    for (const Particle& p : leavers) {
+      payload.push_back(p.x);
+      payload.push_back(p.y);
+      payload.push_back(p.z);
+      payload.push_back(p.vx);
+      payload.push_back(p.vy);
+      payload.push_back(p.vz);
+    }
+    leavers.clear();  // ownership handed to the neighbour
+    send(neighbor(side), kMolGhost, std::move(payload));
+  }
+  // Fast neighbours may already have delivered every ghost for this
+  // iteration while we were still computing the previous one.
+  maybe_trigger_compute();
+}
+
+SimTime Mol3dChare::cost(const Message& msg) const {
+  switch (msg.tag) {
+    case kMolGhost: {
+      const double records =
+          msg.data.size() > 4 ? static_cast<double>(msg.data.size() - 4) / 3.0
+                              : 0.0;
+      return SimTime::from_seconds(config_.ghost_sec_per_particle * records);
+    }
+    case kMolCompute:
+      return SimTime::from_seconds(config_.sec_per_pair *
+                                   static_cast<double>(pairs_examined()));
+    default:
+      CLB_CHECK_MSG(false, "unknown mol3d tag " << msg.tag);
+  }
+  return SimTime::zero();
+}
+
+std::int64_t Mol3dChare::pairs_examined() const {
+  const auto n = static_cast<std::int64_t>(particles_.size());
+  std::int64_t ghost_total = 0;
+  const auto it = ghosts_.find(iter_);
+  if (it != ghosts_.end())
+    for (const auto& g : it->second)
+      ghost_total += static_cast<std::int64_t>(g.size() / 3);
+  return n * (n - 1) / 2 + n * ghost_total;
+}
+
+void Mol3dChare::execute(const Message& msg) {
+  if (msg.tag == kMolGhost) {
+    CLB_CHECK(msg.data.size() >= 4);
+    const int iter = static_cast<int>(msg.data[0]);
+    const auto side = static_cast<std::size_t>(msg.data[1]);
+    const auto n_ghost = static_cast<std::size_t>(msg.data[2]);
+    const auto n_leave = static_cast<std::size_t>(msg.data[3]);
+    CLB_CHECK(side < 6);
+    CLB_CHECK_MSG(iter == iter_ || iter == iter_ + 1,
+                  "ghost for iteration " << iter << " while at " << iter_);
+    CLB_CHECK(msg.data.size() == 4 + n_ghost * 3 + n_leave * 6);
+
+    auto& slot = ghosts_[iter][side];
+    slot.assign(msg.data.begin() + 4,
+                msg.data.begin() + 4 + static_cast<std::ptrdiff_t>(n_ghost * 3));
+
+    std::size_t off = 4 + n_ghost * 3;
+    auto& incoming = incoming_[iter];
+    for (std::size_t i = 0; i < n_leave; ++i, off += 6) {
+      Particle p;
+      p.x = msg.data[off];
+      p.y = msg.data[off + 1];
+      p.z = msg.data[off + 2];
+      p.vx = msg.data[off + 3];
+      p.vy = msg.data[off + 4];
+      p.vz = msg.data[off + 5];
+      incoming.push_back(p);
+    }
+    ++ghost_count_[iter];
+    maybe_trigger_compute();
+    return;
+  }
+
+  CLB_CHECK(msg.tag == kMolCompute);
+  CLB_CHECK(static_cast<int>(msg.data[0]) == iter_);
+  compute_pending_ = false;
+
+  // Adopt particles handed over by neighbours before computing forces.
+  auto in = incoming_.find(iter_);
+  if (in != incoming_.end()) {
+    particles_.insert(particles_.end(), in->second.begin(), in->second.end());
+    incoming_.erase(in);
+  }
+
+  compute_forces_and_integrate();
+  ghosts_.erase(iter_);
+  ghost_count_.erase(iter_);
+
+  report_iteration(iter_);
+  ++iter_;
+  if (iter_ >= config_.iterations) {
+    finish();
+    return;
+  }
+  const int period = job().lb_period();
+  if (period > 0 && iter_ % period == 0) {
+    at_sync();
+  } else {
+    send_phase();
+  }
+}
+
+void Mol3dChare::maybe_trigger_compute() {
+  if (compute_pending_) return;
+  const auto it = ghost_count_.find(iter_);
+  if (it != ghost_count_.end() && it->second == 6) {
+    compute_pending_ = true;
+    send(id(), kMolCompute, {static_cast<double>(iter_)});
+  }
+}
+
+void Mol3dChare::compute_forces_and_integrate() {
+  const double box[3] = {static_cast<double>(config_.cells_x),
+                         static_cast<double>(config_.cells_y),
+                         static_cast<double>(config_.cells_z)};
+  const double rc2 = config_.cutoff * config_.cutoff;
+  const double sigma2 = config_.sigma * config_.sigma;
+  // Clamp r² from below to cap the force singularity at overlap.
+  const double r2_min = 0.25 * sigma2;
+
+  const std::size_t n = particles_.size();
+  std::vector<double> fx(n, 0.0), fy(n, 0.0), fz(n, 0.0);
+
+  auto accumulate = [&](std::size_t i, double dx, double dy, double dz,
+                        double* fxj, double* fyj, double* fzj) {
+    double r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 >= rc2) return;
+    r2 = std::max(r2, r2_min);
+    const double s2 = sigma2 / r2;
+    const double s6 = s2 * s2 * s2;
+    // d(LJ)/dr / r: positive = repulsive.
+    const double f_over_r = 24.0 * config_.epsilon * (2.0 * s6 * s6 - s6) / r2;
+    fx[i] += f_over_r * dx;
+    fy[i] += f_over_r * dy;
+    fz[i] += f_over_r * dz;
+    if (fxj != nullptr) {
+      *fxj -= f_over_r * dx;
+      *fyj -= f_over_r * dy;
+      *fzj -= f_over_r * dz;
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = min_image(particles_[i].x - particles_[j].x, box[0]);
+      const double dy = min_image(particles_[i].y - particles_[j].y, box[1]);
+      const double dz = min_image(particles_[i].z - particles_[j].z, box[2]);
+      accumulate(i, dx, dy, dz, &fx[j], &fy[j], &fz[j]);
+    }
+  }
+  const auto git = ghosts_.find(iter_);
+  if (git != ghosts_.end()) {
+    for (const auto& g : git->second) {
+      for (std::size_t k = 0; k + 2 < g.size(); k += 3) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dx = min_image(particles_[i].x - g[k], box[0]);
+          const double dy = min_image(particles_[i].y - g[k + 1], box[1]);
+          const double dz = min_image(particles_[i].z - g[k + 2], box[2]);
+          accumulate(i, dx, dy, dz, nullptr, nullptr, nullptr);
+        }
+      }
+    }
+  }
+
+  // Symplectic Euler, then periodic wrap and leaver detection. On the
+  // final iteration nothing is staged: there is no further send phase, so
+  // staged particles would be orphaned.
+  const bool stage_leavers = iter_ + 1 < config_.iterations;
+  std::vector<Particle> stay;
+  stay.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Particle p = particles_[i];
+    p.vx += fx[i] * config_.dt;
+    p.vy += fy[i] * config_.dt;
+    p.vz += fz[i] * config_.dt;
+    p.x = wrap(p.x + p.vx * config_.dt, box[0]);
+    p.y = wrap(p.y + p.vy * config_.dt, box[1]);
+    p.z = wrap(p.z + p.vz * config_.dt, box[2]);
+    const int side = stage_leavers ? side_of_leaver(p) : -1;
+    if (side < 0) {
+      stay.push_back(p);
+    } else {
+      outbox_[static_cast<std::size_t>(side)].push_back(p);
+    }
+  }
+  particles_.swap(stay);
+}
+
+int Mol3dChare::side_of_leaver(const Particle& p) const {
+  const double box[3] = {static_cast<double>(config_.cells_x),
+                         static_cast<double>(config_.cells_y),
+                         static_cast<double>(config_.cells_z)};
+  const double pos[3] = {p.x, p.y, p.z};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (pos[axis] >= lo_[axis] && pos[axis] < hi_[axis]) continue;
+    // Outside on this axis: pick the face pointing toward the particle in
+    // the periodic sense (shortest way around).
+    const double center = 0.5 * (lo_[axis] + hi_[axis]);
+    const double d = min_image(pos[axis] - center, box[axis]);
+    return axis * 2 + (d >= 0 ? 1 : 0);
+  }
+  return -1;  // still inside: not a leaver
+}
+
+std::string Mol3dChare::debug_state() const {
+  std::ostringstream os;
+  os << "cell(" << cx_ << ',' << cy_ << ',' << cz_ << ") iter=" << iter_
+     << " pending=" << compute_pending_ << " particles=" << particles_.size();
+  for (const auto& [it, count] : ghost_count_) os << " ghosts[" << it << "]=" << count;
+  for (const auto& [it, inc] : incoming_) os << " incoming[" << it << "]=" << inc.size();
+  return os.str();
+}
+
+std::size_t Mol3dChare::footprint_bytes() const {
+  return particles_.size() * sizeof(Particle) + 512;
+}
+
+std::vector<Particle> mol3d_initial_particles(const Mol3dConfig& config) {
+  config.validate();
+  const double box[3] = {static_cast<double>(config.cells_x),
+                         static_cast<double>(config.cells_y),
+                         static_cast<double>(config.cells_z)};
+  Rng rng{config.seed};
+  const double centers[2][3] = {
+      {0.25 * box[0], 0.50 * box[1], 0.50 * box[2]},
+      {0.70 * box[0], 0.30 * box[1], 0.65 * box[2]},
+  };
+  std::vector<Particle> particles;
+  particles.reserve(static_cast<std::size_t>(config.num_particles));
+  for (int i = 0; i < config.num_particles; ++i) {
+    Particle p;
+    if (rng.next_double() < config.cluster_fraction) {
+      const auto& c = centers[i % 2];
+      const double spread = 0.25;
+      p.x = wrap(rng.normal(c[0], spread * box[0]), box[0]);
+      p.y = wrap(rng.normal(c[1], spread * box[1]), box[1]);
+      p.z = wrap(rng.normal(c[2], spread * box[2]), box[2]);
+    } else {
+      p.x = rng.uniform(0.0, box[0]);
+      p.y = rng.uniform(0.0, box[1]);
+      p.z = rng.uniform(0.0, box[2]);
+    }
+    p.vx = rng.normal(0.0, 0.05);
+    p.vy = rng.normal(0.0, 0.05);
+    p.vz = rng.normal(0.0, 0.05);
+    particles.push_back(p);
+  }
+  return particles;
+}
+
+void populate_mol3d(RuntimeJob& job, const Mol3dConfig& config) {
+  const std::vector<Particle> all = mol3d_initial_particles(config);
+  std::vector<std::vector<Particle>> bins(
+      static_cast<std::size_t>(config.num_cells()));
+  for (const Particle& p : all) {
+    const int cx = std::min(static_cast<int>(p.x), config.cells_x - 1);
+    const int cy = std::min(static_cast<int>(p.y), config.cells_y - 1);
+    const int cz = std::min(static_cast<int>(p.z), config.cells_z - 1);
+    bins[static_cast<std::size_t>((cz * config.cells_y + cy) * config.cells_x +
+                                  cx)]
+        .push_back(p);
+  }
+  std::size_t bin = 0;
+  for (int cz = 0; cz < config.cells_z; ++cz)
+    for (int cy = 0; cy < config.cells_y; ++cy)
+      for (int cx = 0; cx < config.cells_x; ++cx)
+        job.add_chare(std::make_unique<Mol3dChare>(config, cx, cy, cz,
+                                                   std::move(bins[bin++])));
+}
+
+}  // namespace cloudlb

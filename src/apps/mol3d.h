@@ -1,0 +1,110 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/chare.h"
+#include "runtime/job.h"
+
+namespace cloudlb {
+
+/// A point particle with position and velocity (unit mass).
+struct Particle {
+  double x = 0, y = 0, z = 0;
+  double vx = 0, vy = 0, vz = 0;
+};
+
+/// Configuration for Mol3D, the classical molecular dynamics mini-app
+/// standing in for the paper's third code: a 3D cell (spatial)
+/// decomposition with Lennard-Jones pair forces, periodic boundaries and
+/// particle hand-off between cells.
+///
+/// Unlike the stencils, per-cell load follows the (clustered) particle
+/// distribution and drifts as particles move, so Mol3D carries *internal*
+/// imbalance on top of any VM interference.
+struct Mol3dConfig {
+  // Cell grid; cell edge length is 1.0, so the periodic box is
+  // cells_x × cells_y × cells_z. Each dimension needs ≥ 3 cells so the six
+  // face neighbours are distinct.
+  int cells_x = 8;
+  int cells_y = 4;
+  int cells_z = 4;
+
+  int num_particles = 2048;
+  int iterations = 40;
+  std::uint64_t seed = 7;
+
+  /// Fraction of particles seeded inside two Gaussian clusters (the rest
+  /// are uniform) — the source of internal load imbalance. The default is
+  /// mild (NAMD-style decompositions are reasonably even); crank it up to
+  /// study heavy internal imbalance.
+  double cluster_fraction = 0.25;
+
+  // Physics (kept stable and deterministic; fidelity is not the point).
+  double cutoff = 0.8;   ///< pair interaction range, ≤ 1 cell
+  double sigma = 0.3;    ///< LJ length scale
+  double epsilon = 1e-4; ///< LJ energy scale
+  double dt = 0.005;
+
+  // Cost model: virtual CPU per examined pair / per ghost particle copied.
+  double sec_per_pair = 1.2e-6;
+  double ghost_sec_per_particle = 5e-8;
+
+  int num_cells() const { return cells_x * cells_y * cells_z; }
+  void validate() const;
+};
+
+/// One spatial cell of the Mol3D decomposition. Each iteration it ships
+/// its particle positions (plus any particles that left its bounds) to its
+/// six face neighbours, waits for theirs, computes LJ forces over
+/// own-own and own-ghost pairs within the cutoff, and integrates.
+class Mol3dChare final : public Chare {
+ public:
+  /// Faces: 0=x− 1=x+ 2=y− 3=y+ 4=z− 5=z+ (opposite face = side ^ 1).
+  Mol3dChare(const Mol3dConfig& config, int cx, int cy, int cz,
+             std::vector<Particle> particles);
+
+  void on_start() override;
+  SimTime cost(const Message& msg) const override;
+  void execute(const Message& msg) override;
+  void on_resume_sync() override;
+  std::size_t footprint_bytes() const override;
+
+  const std::vector<Particle>& particles() const { return particles_; }
+  int iteration() const { return iter_; }
+
+  /// One-line diagnostic of the message-wait state (for tests/tools).
+  std::string debug_state() const;
+
+  /// Pairs the cost model charges for one force computation right now.
+  std::int64_t pairs_examined() const;
+
+ private:
+  void send_phase();
+  void maybe_trigger_compute();
+  void compute_forces_and_integrate();
+  ChareId neighbor(int side) const;
+  int side_of_leaver(const Particle& p) const;
+
+  Mol3dConfig config_;
+  int cx_, cy_, cz_;
+  double lo_[3], hi_[3];
+  std::vector<Particle> particles_;
+  std::array<std::vector<Particle>, 6> outbox_;  ///< leavers staged per face
+  int iter_ = 0;
+  bool compute_pending_ = false;
+  std::map<int, std::array<std::vector<double>, 6>> ghosts_;  ///< xyz triples
+  std::map<int, int> ghost_count_;
+  std::map<int, std::vector<Particle>> incoming_;  ///< leavers per iteration
+};
+
+/// Generates the deterministic clustered particle set, bins it into cells
+/// and adds one Mol3dChare per cell (cell-id order) to `job`.
+void populate_mol3d(RuntimeJob& job, const Mol3dConfig& config);
+
+/// The particle set populate_mol3d distributes (exposed for tests).
+std::vector<Particle> mol3d_initial_particles(const Mol3dConfig& config);
+
+}  // namespace cloudlb

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "runtime/chare.h"
+
+namespace cloudlb {
+
+/// Message tags used by the bundled applications.
+enum StencilTag : int {
+  kTagGhost = 1,    ///< boundary values from a neighbour
+  kTagCompute = 2,  ///< self-message triggering the iteration's update
+};
+
+/// Geometry and cost model shared by the 2D stencil applications.
+///
+/// The global grid_x × grid_y grid is split into blocks_x × blocks_y
+/// blocks, one chare each (chare id = by·blocks_x + bx, row-major). The
+/// simulated CPU cost of an iteration's update is `sec_per_point` per
+/// owned point — uniform blocks make the application internally balanced,
+/// so (as in the paper's Wave2D/Jacobi2D) any imbalance comes from outside.
+struct StencilLayout {
+  int grid_x = 256;
+  int grid_y = 256;
+  int blocks_x = 32;
+  int blocks_y = 16;
+  int iterations = 120;
+  double sec_per_point = 5e-6;        ///< virtual CPU per point per update
+  double ghost_sec_per_value = 2e-8;  ///< virtual CPU to absorb one ghost value
+
+  /// Convergence checking: every `residual_period` iterations the chares
+  /// contribute their local residual to a global sum reduction and stop
+  /// early once it drops below `residual_tolerance`. 0 disables the check
+  /// (fixed iteration count), which is what the timing experiments use.
+  int residual_period = 0;
+  double residual_tolerance = 0.0;
+
+  int num_blocks() const { return blocks_x * blocks_y; }
+  void validate() const;
+};
+
+/// Base chare for 2D block-decomposed iterative stencil codes.
+///
+/// Handles the whole message choreography — ghost sends, out-of-order
+/// ghost buffering (a neighbour may run one iteration ahead), the compute
+/// self-message, iteration accounting, AtSync every job().lb_period()
+/// iterations and finish() — leaving derived classes only the numerics:
+/// `edge_values()` (what to send) and `apply_update()` (how to relax).
+class StencilBlockChare : public Chare {
+ public:
+  /// Sides index ghosts and neighbours: 0=west 1=east 2=north 3=south.
+  enum Side { kWest = 0, kEast = 1, kNorth = 2, kSouth = 3 };
+
+  StencilBlockChare(const StencilLayout& layout, int bx, int by);
+
+  void on_start() override;
+  SimTime cost(const Message& msg) const override;
+  void execute(const Message& msg) override;
+  void on_resume_sync() override;
+  void on_reduction_result(double global_residual) override;
+  std::size_t footprint_bytes() const override;
+
+  // Geometry accessors (owned region, halo excluded).
+  int x0() const { return x0_; }
+  int y0() const { return y0_; }
+  int nx() const { return x1_ - x0_; }
+  int ny() const { return y1_ - y0_; }
+  int iteration() const { return iter_; }
+  const StencilLayout& layout() const { return layout_; }
+
+ protected:
+  /// Values along `side` of the owned region, innermost first:
+  /// west/east sides return ny() values (one per row), north/south nx().
+  virtual std::vector<double> edge_values(Side side) const = 0;
+
+  /// Applies one stencil update; `ghosts[side]` is the neighbour's edge
+  /// (empty when the block touches the global boundary on that side).
+  virtual void apply_update(
+      const std::array<std::vector<double>, 4>& ghosts) = 0;
+
+  /// Bytes of numerical state, used for migration cost. Defaults to one
+  /// grid of doubles; Wave2D overrides (two time levels).
+  virtual std::size_t state_bytes() const;
+
+  /// This block's contribution to the global residual reduction (only
+  /// consulted when layout().residual_period > 0).
+  virtual double local_residual() const { return 0.0; }
+
+ private:
+  void send_ghosts();
+  void maybe_trigger_compute();
+  void proceed_to_next_iteration();
+
+  StencilLayout layout_;
+  int bx_, by_;
+  int x0_, x1_, y0_, y1_;
+  std::array<ChareId, 4> neighbor_;  ///< -1 where the global boundary is
+  int expected_ghosts_ = 0;
+  int iter_ = 0;
+  bool compute_pending_ = false;
+  bool awaiting_reduction_ = false;
+  /// Ghosts buffered per iteration (at most two iterations deep in flight).
+  std::map<int, std::array<std::vector<double>, 4>> ghosts_;
+  std::map<int, int> ghost_count_;
+};
+
+/// Deterministic initial condition used by the stencil apps and their
+/// serial references: a smooth mode plus an off-centre Gaussian bump.
+double stencil_initial_value(int i, int j, int grid_x, int grid_y);
+
+}  // namespace cloudlb

@@ -1,0 +1,128 @@
+#include "apps/wave2d.h"
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+Wave2dChare::Wave2dChare(const Wave2dConfig& config, int bx, int by)
+    : StencilBlockChare(config.layout, bx, by),
+      c2_{config.courant * config.courant} {
+  CLB_CHECK(config.courant > 0.0 && config.courant < 0.7071);
+  const auto n =
+      static_cast<std::size_t>(nx()) * static_cast<std::size_t>(ny());
+  u_cur_.resize(n);
+  for (int gy = y0(); gy < y0() + ny(); ++gy)
+    for (int gx = x0(); gx < x0() + nx(); ++gx)
+      u_cur_[index(gx, gy)] = stencil_initial_value(gx, gy, layout().grid_x,
+                                                    layout().grid_y);
+  u_prev_ = u_cur_;  // zero initial velocity
+  scratch_ = u_cur_;
+}
+
+std::size_t Wave2dChare::index(int gx, int gy) const {
+  return static_cast<std::size_t>(gy - y0()) * static_cast<std::size_t>(nx()) +
+         static_cast<std::size_t>(gx - x0());
+}
+
+double Wave2dChare::cur(int gx, int gy) const { return u_cur_[index(gx, gy)]; }
+
+std::size_t Wave2dChare::state_bytes() const {
+  return 2 * static_cast<std::size_t>(nx()) * static_cast<std::size_t>(ny()) *
+         sizeof(double);
+}
+
+std::vector<double> Wave2dChare::block_values() const { return u_cur_; }
+
+std::vector<double> Wave2dChare::edge_values(Side side) const {
+  std::vector<double> out;
+  switch (side) {
+    case kWest:
+      for (int gy = y0(); gy < y0() + ny(); ++gy) out.push_back(cur(x0(), gy));
+      break;
+    case kEast:
+      for (int gy = y0(); gy < y0() + ny(); ++gy)
+        out.push_back(cur(x0() + nx() - 1, gy));
+      break;
+    case kNorth:
+      for (int gx = x0(); gx < x0() + nx(); ++gx) out.push_back(cur(gx, y0()));
+      break;
+    case kSouth:
+      for (int gx = x0(); gx < x0() + nx(); ++gx)
+        out.push_back(cur(gx, y0() + ny() - 1));
+      break;
+  }
+  return out;
+}
+
+void Wave2dChare::apply_update(
+    const std::array<std::vector<double>, 4>& ghosts) {
+  const int gx_max = layout().grid_x - 1;
+  const int gy_max = layout().grid_y - 1;
+  auto value = [&](int gx, int gy) -> double {
+    if (gx < x0()) return ghosts[kWest][static_cast<std::size_t>(gy - y0())];
+    if (gx >= x0() + nx())
+      return ghosts[kEast][static_cast<std::size_t>(gy - y0())];
+    if (gy < y0()) return ghosts[kNorth][static_cast<std::size_t>(gx - x0())];
+    if (gy >= y0() + ny())
+      return ghosts[kSouth][static_cast<std::size_t>(gx - x0())];
+    return cur(gx, gy);
+  };
+
+  for (int gy = y0(); gy < y0() + ny(); ++gy) {
+    for (int gx = x0(); gx < x0() + nx(); ++gx) {
+      const std::size_t i = index(gx, gy);
+      if (gx == 0 || gx == gx_max || gy == 0 || gy == gy_max) {
+        scratch_[i] = 0.0;  // clamped membrane edge
+      } else {
+        const double lap = value(gx - 1, gy) + value(gx + 1, gy) +
+                           value(gx, gy - 1) + value(gx, gy + 1) -
+                           4.0 * cur(gx, gy);
+        scratch_[i] = 2.0 * cur(gx, gy) - u_prev_[i] + c2_ * lap;
+      }
+    }
+  }
+  u_prev_.swap(u_cur_);
+  u_cur_.swap(scratch_);
+}
+
+void populate_wave2d(RuntimeJob& job, const Wave2dConfig& config) {
+  config.layout.validate();
+  for (int by = 0; by < config.layout.blocks_y; ++by)
+    for (int bx = 0; bx < config.layout.blocks_x; ++bx)
+      job.add_chare(std::make_unique<Wave2dChare>(config, bx, by));
+}
+
+std::vector<double> wave2d_reference(const Wave2dConfig& config) {
+  const StencilLayout& l = config.layout;
+  l.validate();
+  const double c2 = config.courant * config.courant;
+  const auto w = static_cast<std::size_t>(l.grid_x);
+  std::vector<double> cur(w * static_cast<std::size_t>(l.grid_y));
+  for (int gy = 0; gy < l.grid_y; ++gy)
+    for (int gx = 0; gx < l.grid_x; ++gx)
+      cur[static_cast<std::size_t>(gy) * w + static_cast<std::size_t>(gx)] =
+          stencil_initial_value(gx, gy, l.grid_x, l.grid_y);
+  std::vector<double> prev = cur;
+  std::vector<double> next(cur.size(), 0.0);
+
+  for (int it = 0; it < l.iterations; ++it) {
+    for (int gy = 0; gy < l.grid_y; ++gy) {
+      for (int gx = 0; gx < l.grid_x; ++gx) {
+        const std::size_t i =
+            static_cast<std::size_t>(gy) * w + static_cast<std::size_t>(gx);
+        if (gx == 0 || gx == l.grid_x - 1 || gy == 0 || gy == l.grid_y - 1) {
+          next[i] = 0.0;  // clamped edge, re-imposed every step
+        } else {
+          const double lap =
+              cur[i - 1] + cur[i + 1] + cur[i - w] + cur[i + w] - 4.0 * cur[i];
+          next[i] = 2.0 * cur[i] - prev[i] + c2 * lap;
+        }
+      }
+    }
+    prev.swap(cur);
+    cur.swap(next);
+  }
+  return cur;
+}
+
+}  // namespace cloudlb

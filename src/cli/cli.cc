@@ -1,0 +1,261 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "apps/app_factory.h"
+#include "core/balancer_factory.h"
+#include "core/replay.h"
+#include "core/scenario.h"
+#include "lb/stats_io.h"
+#include "metrics/profile.h"
+#include "util/check.h"
+#include "util/options.h"
+#include "util/table.h"
+
+namespace cloudlb {
+
+namespace {
+
+constexpr const char* kUsage = R"(cloudlb — interference-aware load balancing playground
+
+usage: cloudlb <command> [options]
+
+commands:
+  penalty    run one interference experiment and report penalties
+             --app=jacobi2d|wave2d|mol3d   (default jacobi2d)
+             --balancer=<name>             (default ia-refine; see `balancers`)
+             --cores=N                     (default 8)
+             --iterations=N                (default 60)
+             --lb-period=N                 (default 5)
+             --epsilon=F                   (fraction of T_avg, default 0.05)
+             --bg-iterations=N             (default 150)
+             --bg-weight=F                 (default 1.0)
+             --tenants=N                   (bursty tenant VMs on random
+                                            cores; replaces the 2-core BG
+                                            job unless --with-bg)
+             --csv                         (emit CSV instead of a table)
+  sweep      the Figure-2/4 grid
+             --app=..., --cores=4,8,16,32, --balancers=null,ia-refine
+             (other penalty options apply)
+  timeline   run one scenario and draw per-core ASCII timelines
+             --app=..., --balancer=..., --cores=N (<= 8 renders best),
+             --width=N (default 100)
+  record     run one interfered scenario, recording every LB window
+             --out=FILE (required; other penalty options apply)
+  replay     score a strategy offline against a recorded trace
+             --trace=FILE (required), --balancer=<name>, --epsilon=F
+  apps       list bundled applications
+  balancers  list balancer strategies
+  help       this text
+)";
+
+ScenarioConfig config_from(Options& options,
+                           bool scalar_cores_and_balancer = true) {
+  ScenarioConfig config;
+  config.app.name = options.get_string("app", "jacobi2d");
+  config.app.iterations =
+      static_cast<int>(options.get_int("iterations", 60));
+  if (scalar_cores_and_balancer) {
+    config.app_cores = static_cast<int>(options.get_int("cores", 8));
+    config.balancer = options.get_string("balancer", "ia-refine");
+  }
+  config.lb_period = static_cast<int>(options.get_int("lb-period", 5));
+  config.lb_options.epsilon_fraction = options.get_double("epsilon", 0.05);
+  config.bg_iterations =
+      static_cast<int>(options.get_int("bg-iterations", 150));
+  config.bg_weight = options.get_double("bg-weight", 1.0);
+  config.tenants = static_cast<int>(options.get_int("tenants", 0));
+  if (config.tenants > 0)
+    config.with_background = options.get_bool("with-bg", false);
+  return config;
+}
+
+void emit_table(const Table& table, bool csv, std::ostream& out) {
+  if (csv) {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+  }
+}
+
+int cmd_penalty(Options& options, std::ostream& out) {
+  ScenarioConfig config = config_from(options);
+  const bool csv = options.get_bool("csv", false);
+  options.check_unused();
+  const PenaltyResult r = run_penalty_experiment(config);
+
+  Table table({"metric", "value"});
+  table.add_row({"app", config.app.name});
+  table.add_row({"balancer", config.balancer});
+  table.add_row({"cores", std::to_string(config.app_cores)});
+  table.add_row(
+      {"app solo (s)", Table::num(r.base.app_elapsed.to_seconds(), 3)});
+  table.add_row({"app with interference (s)",
+                 Table::num(r.combined.app_elapsed.to_seconds(), 3)});
+  table.add_row({"app penalty (%)", Table::num(r.app_penalty_pct, 1)});
+  table.add_row({"bg penalty (%)", Table::num(r.bg_penalty_pct, 1)});
+  table.add_row(
+      {"energy overhead (%)", Table::num(r.energy_overhead_pct, 1)});
+  table.add_row({"avg power (W)",
+                 Table::num(r.combined.avg_power_watts, 1)});
+  table.add_row({"migrations", std::to_string(r.combined.lb_migrations)});
+  emit_table(table, csv, out);
+  return 0;
+}
+
+int cmd_sweep(Options& options, std::ostream& out) {
+  ScenarioConfig base = config_from(options, /*scalar_cores_and_balancer=*/false);
+  const std::vector<int> cores =
+      options.get_int_list("cores", {4, 8, 16, 32});
+  std::vector<std::string> balancers;
+  {
+    const std::string list =
+        options.get_string("balancers", "null,ia-refine");
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const auto comma = list.find(',', pos);
+      balancers.push_back(list.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  const bool csv = options.get_bool("csv", false);
+  options.check_unused();
+
+  Table table({"cores", "balancer", "app penalty %", "BG penalty %",
+               "energy overhead %", "power W", "migrations"});
+  for (const int c : cores) {
+    for (const auto& balancer : balancers) {
+      ScenarioConfig config = base;
+      config.app_cores = c;
+      config.balancer = balancer;
+      const PenaltyResult r = run_penalty_experiment(config);
+      table.add_row({std::to_string(c), balancer,
+                     Table::num(r.app_penalty_pct, 1),
+                     Table::num(r.bg_penalty_pct, 1),
+                     Table::num(r.energy_overhead_pct, 1),
+                     Table::num(r.combined.avg_power_watts, 1),
+                     std::to_string(r.combined.lb_migrations)});
+    }
+  }
+  emit_table(table, csv, out);
+  return 0;
+}
+
+int cmd_timeline(Options& options, std::ostream& out) {
+  ScenarioConfig config = config_from(options);
+  const int width = static_cast<int>(options.get_int("width", 100));
+  options.check_unused();
+
+  TimelineTracer tracer;
+  const RunResult r = run_scenario(config, &tracer);
+  const SimTime end = r.app_elapsed;
+
+  out << config.app.name << " on " << config.app_cores << " cores, '"
+      << config.balancer << "', 2-core background job\n"
+      << "finished in " << end.to_string() << " with " << r.lb_migrations
+      << " migrations\n\n";
+  tracer.render_ascii(out, config.app_cores, SimTime::zero(), end, width);
+  out << "\nper-core utilization (wall-interval semantics):\n";
+  profile_table(
+      profile_cores(tracer, config.app_cores, SimTime::zero(), end))
+      .print(out);
+  out << "\ntask wall-duration histogram (interference = long tail):\n";
+  task_duration_histogram(tracer, config.app.name).print(out, "ms", 40);
+  return 0;
+}
+
+int cmd_record(Options& options, std::ostream& out) {
+  ScenarioConfig config = config_from(options);
+  const std::string path = options.get_string("out");
+  CLB_CHECK_MSG(!path.empty(), "record requires --out=FILE");
+  options.check_unused();
+
+  std::ofstream file{path};
+  CLB_CHECK_MSG(file.good(), "cannot open " << path << " for writing");
+  auto recorder = std::make_unique<RecordingLb>(
+      make_balancer(config.balancer, config.lb_options), &file);
+  const RecordingLb* probe = recorder.get();
+  const RunResult r = run_scenario_with(config, std::move(recorder));
+  out << "recorded " << probe->windows_recorded() << " LB windows to "
+      << path << " (run took " << r.app_elapsed.to_string() << ", "
+      << r.lb_migrations << " migrations)\n";
+  return 0;
+}
+
+int cmd_replay(Options& options, std::ostream& out) {
+  const std::string path = options.get_string("trace");
+  CLB_CHECK_MSG(!path.empty(), "replay requires --trace=FILE");
+  const std::string balancer_name =
+      options.get_string("balancer", "ia-refine");
+  LbOptions lb_options;
+  lb_options.epsilon_fraction = options.get_double("epsilon", 0.05);
+  const bool csv = options.get_bool("csv", false);
+  options.check_unused();
+
+  std::ifstream file{path};
+  CLB_CHECK_MSG(file.good(), "cannot open " << path);
+  const std::vector<LbStats> windows = read_stats(file);
+  const auto balancer = make_balancer(balancer_name, lb_options);
+  const std::vector<ReplayRow> rows = replay_stats(windows, *balancer);
+
+  Table table({"window", "max load before (s)", "max load after (s)",
+               "migrations"});
+  int total_migrations = 0;
+  for (const ReplayRow& row : rows) {
+    table.add_row({std::to_string(row.window),
+                   Table::num(row.max_load_before, 4),
+                   Table::num(row.max_load_after, 4),
+                   std::to_string(row.migrations)});
+    total_migrations += row.migrations;
+  }
+  emit_table(table, csv, out);
+  out << balancer_name << ": " << total_migrations
+      << " total migrations over " << rows.size() << " windows\n";
+  return 0;
+}
+
+int cmd_list_apps(std::ostream& out) {
+  for (const auto& name : app_names()) out << name << '\n';
+  return 0;
+}
+
+int cmd_list_balancers(std::ostream& out) {
+  for (const auto& name : balancer_names()) out << name << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 1;
+  }
+  const std::string command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  Options options{rest};
+  try {
+    if (command == "penalty") return cmd_penalty(options, out);
+    if (command == "sweep") return cmd_sweep(options, out);
+    if (command == "timeline") return cmd_timeline(options, out);
+    if (command == "record") return cmd_record(options, out);
+    if (command == "replay") return cmd_replay(options, out);
+    if (command == "apps") return cmd_list_apps(out);
+    if (command == "balancers") return cmd_list_balancers(out);
+    if (command == "help" || command == "--help") {
+      out << kUsage;
+      return 0;
+    }
+    err << "unknown command: " << command << "\n\n" << kUsage;
+    return 1;
+  } catch (const CheckFailure& failure) {
+    err << "error: " << failure.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cloudlb {
+
+/// Entry point of the `cloudlb` command-line tool, separated from main()
+/// so tests can drive it with captured streams.
+///
+/// Subcommands:
+///   penalty   — one penalty experiment (app + balancer + cores)
+///   sweep     — the Figure-2/4 grid over core counts and balancers
+///   timeline  — run a scenario and render the per-core ASCII timeline
+///   apps      — list bundled applications
+///   balancers — list balancer strategies
+///   help      — usage
+///
+/// Returns a process exit code (0 on success, 1 on usage errors).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace cloudlb

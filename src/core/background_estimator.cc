@@ -1,0 +1,19 @@
+#include "core/background_estimator.h"
+
+#include <algorithm>
+
+namespace cloudlb {
+
+double estimate_background_load(const PeSample& pe) {
+  const double o_p = pe.wall_sec - pe.task_cpu_sec - pe.core_idle_sec;
+  return std::max(o_p, 0.0);
+}
+
+std::vector<double> estimate_background_load(const LbStats& stats) {
+  std::vector<double> out;
+  out.reserve(stats.pes.size());
+  for (const PeSample& pe : stats.pes) out.push_back(estimate_background_load(pe));
+  return out;
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "lb/framework.h"
+
+namespace cloudlb {
+
+/// Estimates each PE's background (interfering) load over the last LB
+/// window — the paper's Eq. 2:
+///
+///     O_p = T_lb − Σ_i t_p_i − t_p_idle
+///
+/// where T_lb is the wall-clock window, Σ t_p_i the CPU consumed by the
+/// application's own tasks (from the LB database) and t_idle the *physical
+/// core's* idle time over the window (the `/proc/stat` reading). Whatever
+/// wall time is neither the application computing nor the core idling must
+/// have been spent running somebody else — the co-located VM.
+///
+/// The estimate also absorbs runtime overheads (message handling,
+/// migration pack/unpack) exactly as the paper's implementation does; it is
+/// clamped at zero since measurement jitter can drive it slightly negative.
+std::vector<double> estimate_background_load(const LbStats& stats);
+
+/// Single-PE version of Eq. 2 (exposed for tests and tooling).
+double estimate_background_load(const PeSample& pe);
+
+}  // namespace cloudlb

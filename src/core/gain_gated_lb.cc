@@ -1,0 +1,50 @@
+#include "core/gain_gated_lb.h"
+
+#include <algorithm>
+
+#include "core/background_estimator.h"
+#include "lb/refinement.h"
+
+namespace cloudlb {
+
+namespace {
+
+/// Maximum per-PE load (application + background) under `assignment`.
+double max_pe_load(const LbStats& stats, const std::vector<double>& background,
+                   const std::vector<PeId>& assignment) {
+  std::vector<double> load(background);
+  for (std::size_t c = 0; c < stats.chares.size(); ++c)
+    load[static_cast<std::size_t>(assignment[c])] += stats.chares[c].cpu_sec;
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace
+
+std::vector<PeId> MigrationGainGatedLb::assign(const LbStats& stats) {
+  const std::vector<double> background = estimate_background_load(stats);
+  RefinementResult refined =
+      refine_assignment(stats, background, options_.base.epsilon_fraction);
+
+  const std::vector<PeId> current = stats.current_assignment();
+  if (refined.migrations == 0) return current;
+
+  const double gain =
+      (max_pe_load(stats, background, current) -
+       max_pe_load(stats, background, refined.assignment)) *
+      options_.horizon_windows;
+
+  double cost = 0.0;
+  for (std::size_t c = 0; c < current.size(); ++c)
+    if (refined.assignment[c] != current[c])
+      cost += options_.migration_sec_per_byte *
+              static_cast<double>(stats.chares[c].bytes);
+
+  if (gain < cost * options_.gain_threshold) {
+    ++gated_steps_;
+    return current;
+  }
+  ++migrating_steps_;
+  return std::move(refined.assignment);
+}
+
+}  // namespace cloudlb

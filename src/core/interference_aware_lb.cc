@@ -1,0 +1,16 @@
+#include "core/interference_aware_lb.h"
+
+#include "core/background_estimator.h"
+#include "lb/refinement.h"
+
+namespace cloudlb {
+
+std::vector<PeId> InterferenceAwareRefineLb::assign(const LbStats& stats) {
+  const std::vector<double> background = estimate_background_load(stats);
+  RefinementResult result =
+      refine_assignment(stats, background, options_.epsilon_fraction);
+  total_migrations_ += result.migrations;
+  return std::move(result.assignment);
+}
+
+}  // namespace cloudlb

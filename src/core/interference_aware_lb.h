@@ -1,0 +1,33 @@
+#pragma once
+
+#include "lb/framework.h"
+
+namespace cloudlb {
+
+/// The paper's contribution: refinement load balancing that accounts for
+/// VM interference.
+///
+/// Per LB step it (1) estimates each PE's background load O_p from the LB
+/// database and host idle counters (Eq. 2, see estimate_background_load),
+/// (2) computes T_avg over application *plus* background load (Eq. 1), and
+/// (3) runs the paper's Algorithm 1 refinement so every PE ends within ε
+/// of T_avg (Eq. 3) while migrating as few chares as possible — objects
+/// move *away from* cores busy serving co-located VMs and return once the
+/// interference disappears.
+class InterferenceAwareRefineLb final : public LoadBalancer {
+ public:
+  explicit InterferenceAwareRefineLb(LbOptions options = {})
+      : options_{options} {}
+
+  std::string name() const override { return "ia-refine"; }
+  std::vector<PeId> assign(const LbStats& stats) override;
+
+  /// Total chares moved across all assign() calls (diagnostics).
+  int total_migrations() const { return total_migrations_; }
+
+ private:
+  LbOptions options_;
+  int total_migrations_ = 0;
+};
+
+}  // namespace cloudlb

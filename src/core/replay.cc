@@ -1,0 +1,45 @@
+#include "core/replay.h"
+
+#include <algorithm>
+
+#include "core/background_estimator.h"
+#include "util/check.h"
+
+namespace cloudlb {
+
+namespace {
+
+double max_load(const LbStats& stats, const std::vector<PeId>& assignment,
+                const std::vector<double>& background) {
+  std::vector<double> load = background;
+  for (std::size_t c = 0; c < assignment.size(); ++c)
+    load[static_cast<std::size_t>(assignment[c])] += stats.chares[c].cpu_sec;
+  return load.empty() ? 0.0 : *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace
+
+std::vector<ReplayRow> replay_stats(const std::vector<LbStats>& windows,
+                                    LoadBalancer& balancer) {
+  std::vector<ReplayRow> rows;
+  rows.reserve(windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const LbStats& stats = windows[w];
+    const std::vector<double> background = estimate_background_load(stats);
+    const std::vector<PeId> before = stats.current_assignment();
+    const std::vector<PeId> after = balancer.assign(stats);
+    CLB_CHECK_MSG(after.size() == before.size(),
+                  "balancer returned a mapping of the wrong size");
+
+    ReplayRow row;
+    row.window = static_cast<int>(w);
+    row.max_load_before = max_load(stats, before, background);
+    row.max_load_after = max_load(stats, after, background);
+    for (std::size_t c = 0; c < before.size(); ++c)
+      if (before[c] != after[c]) ++row.migrations;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "lb/framework.h"
+#include "lb/stats_io.h"
+
+namespace cloudlb {
+
+/// One row of an offline replay: how a strategy reacts to one recorded
+/// measurement window.
+struct ReplayRow {
+  int window = 0;
+  double max_load_before = 0.0;  ///< app + Eq.-2 background, worst PE
+  double max_load_after = 0.0;   ///< ditto under the strategy's mapping
+  int migrations = 0;
+};
+
+/// Replays recorded windows (see lb/stats_io.h) through `balancer`,
+/// reporting per-window makespan proxies. Windows are treated
+/// independently, re-based on each one's recorded assignment — matching
+/// how the recorded run actually presented them to its own strategy.
+///
+/// This is the offline strategy-evaluation loop: record one expensive run
+/// with RecordingLb, then score any number of candidate balancers against
+/// the exact same measured loads.
+std::vector<ReplayRow> replay_stats(const std::vector<LbStats>& windows,
+                                    LoadBalancer& balancer);
+
+}  // namespace cloudlb

@@ -1,0 +1,179 @@
+#include "core/scenario.h"
+
+#include <numeric>
+
+#include "apps/wave2d.h"
+#include "core/balancer_factory.h"
+#include "lb/null_lb.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "vm/virtual_machine.h"
+
+namespace cloudlb {
+
+namespace {
+
+// Hard ceiling on simulator events per run; a healthy evaluation-scale run
+// needs well under a million, so hitting this means a livelock bug.
+constexpr std::uint64_t kMaxEvents = 200'000'000;
+
+MachineConfig machine_for(const ScenarioConfig& config, int cores_needed) {
+  MachineConfig mc = config.machine;
+  mc.nodes = (cores_needed + mc.cores_per_node - 1) / mc.cores_per_node;
+  return mc;
+}
+
+Wave2dConfig background_app_config(const ScenarioConfig& config) {
+  const BackgroundJobSpec spec;
+  Wave2dConfig wc;
+  wc.layout.grid_x = spec.grid_x;
+  wc.layout.grid_y = spec.grid_y;
+  wc.layout.blocks_x = spec.blocks_x;
+  wc.layout.blocks_y = spec.blocks_y;
+  wc.layout.sec_per_point = spec.sec_per_point;
+  wc.layout.iterations = config.bg_iterations;
+  return wc;
+}
+
+JobConfig background_job_config(const ScenarioConfig& config) {
+  JobConfig jc = config.job;
+  jc.name = "bg";
+  jc.lb_period = 0;  // the interfering job never balances
+  return jc;
+}
+
+void drive(Simulator& sim, RuntimeJob& primary, RuntimeJob* secondary,
+           PowerMeter* meter) {
+  while (!primary.finished() ||
+         (secondary != nullptr && !secondary->finished())) {
+    CLB_CHECK_MSG(sim.step(), "simulation stalled before jobs finished");
+    CLB_CHECK_MSG(sim.executed() < kMaxEvents, "event-count ceiling hit");
+    if (meter != nullptr && meter->running() && primary.finished())
+      meter->stop();
+  }
+  if (meter != nullptr && meter->running()) meter->stop();
+}
+
+}  // namespace
+
+double percent_increase(double value, double base) {
+  CLB_CHECK(base > 0.0);
+  return (value / base - 1.0) * 100.0;
+}
+
+RunResult run_scenario(const ScenarioConfig& config, TimelineTracer* tracer) {
+  return run_scenario_with(config,
+                           make_balancer(config.balancer, config.lb_options),
+                           tracer);
+}
+
+RunResult run_scenario_with(const ScenarioConfig& config,
+                            std::unique_ptr<LoadBalancer> balancer,
+                            TimelineTracer* tracer) {
+  CLB_CHECK(config.app_cores >= 1);
+  CLB_CHECK(!config.with_background || config.bg_cores <= config.app_cores);
+  CLB_CHECK(balancer != nullptr);
+
+  Simulator sim;
+  Machine machine{sim, machine_for(config, config.app_cores)};
+
+  std::vector<CoreId> app_cores(static_cast<std::size_t>(config.app_cores));
+  std::iota(app_cores.begin(), app_cores.end(), 0);
+  VirtualMachine app_vm{machine, "app", app_cores};
+
+  JobConfig app_job_config = config.job;
+  app_job_config.name = config.app.name;
+  app_job_config.lb_period = config.lb_period;
+  RuntimeJob app_job{sim, app_vm, app_job_config, std::move(balancer)};
+  populate_app(app_job, config.app);
+  if (tracer != nullptr) app_job.set_observer(tracer);
+
+  std::unique_ptr<VirtualMachine> bg_vm;
+  std::unique_ptr<RuntimeJob> bg_job;
+  if (config.with_background) {
+    std::vector<CoreId> bg_cores(static_cast<std::size_t>(config.bg_cores));
+    std::iota(bg_cores.begin(), bg_cores.end(), 0);
+    bg_vm = std::make_unique<VirtualMachine>(machine, "bg", bg_cores,
+                                             config.bg_weight);
+    bg_job = std::make_unique<RuntimeJob>(sim, *bg_vm,
+                                          background_job_config(config),
+                                          std::make_unique<NullLb>());
+    populate_wave2d(*bg_job, background_app_config(config));
+    if (tracer != nullptr) bg_job->set_observer(tracer);
+  }
+
+  std::unique_ptr<TenantField> tenants;
+  if (config.tenants > 0) {
+    TenantFieldConfig tc = config.tenant_config;
+    tc.num_tenants = config.tenants;
+    tenants = std::make_unique<TenantField>(sim, machine, tc);
+    tenants->start();
+  }
+
+  PowerMeter meter{sim, machine, config.power};
+  meter.start();
+  app_job.start();
+  if (bg_job != nullptr) {
+    if (config.bg_start.is_zero()) {
+      bg_job->start();
+    } else {
+      sim.schedule_at(config.bg_start, [&bg_job] { bg_job->start(); });
+    }
+  }
+
+  drive(sim, app_job, bg_job.get(), &meter);
+  if (tenants != nullptr) tenants->stop();
+
+  RunResult result;
+  result.app_elapsed = app_job.elapsed();
+  if (bg_job != nullptr) result.bg_elapsed = bg_job->elapsed();
+  result.energy_joules = meter.energy_joules();
+  result.avg_power_watts = meter.average_power_watts();
+  result.app_counters = app_job.counters();
+  result.lb_migrations = app_job.counters().migrations;
+  return result;
+}
+
+SimTime run_background_solo(const ScenarioConfig& config) {
+  Simulator sim;
+  // Same cluster shape as the combined run, so BG network locality matches.
+  Machine machine{sim, machine_for(config, config.app_cores)};
+  std::vector<CoreId> bg_cores(static_cast<std::size_t>(config.bg_cores));
+  std::iota(bg_cores.begin(), bg_cores.end(), 0);
+  VirtualMachine bg_vm{machine, "bg", bg_cores, config.bg_weight};
+  RuntimeJob bg_job{sim, bg_vm, background_job_config(config),
+                    std::make_unique<NullLb>()};
+  populate_wave2d(bg_job, background_app_config(config));
+  bg_job.start();
+  drive(sim, bg_job, nullptr, nullptr);
+  return bg_job.elapsed();
+}
+
+PenaltyResult run_penalty_experiment(const ScenarioConfig& config) {
+  PenaltyResult out;
+
+  ScenarioConfig solo = config;
+  solo.with_background = false;
+  solo.tenants = 0;
+  out.base = run_scenario(solo);
+
+  // "Combined" = the configured interference sources (the 2-core BG job
+  // and/or a tenant field); "base" = the same app with neither.
+  ScenarioConfig combined = config;
+  CLB_CHECK_MSG(combined.with_background || combined.tenants > 0,
+                "penalty experiment needs some interference source");
+  out.combined = run_scenario(combined);
+
+  out.app_penalty_pct = percent_increase(out.combined.app_elapsed.to_seconds(),
+                                         out.base.app_elapsed.to_seconds());
+  if (out.combined.bg_elapsed.has_value()) {
+    out.bg_solo = run_background_solo(config);
+    out.bg_penalty_pct = percent_increase(
+        out.combined.bg_elapsed->to_seconds(), out.bg_solo.to_seconds());
+  }
+  out.energy_overhead_pct =
+      percent_increase(out.combined.energy_joules, out.base.energy_joules);
+  return out;
+}
+
+}  // namespace cloudlb

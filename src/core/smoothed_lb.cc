@@ -1,0 +1,50 @@
+#include "core/smoothed_lb.h"
+
+#include "core/background_estimator.h"
+#include "lb/refinement.h"
+#include "util/check.h"
+
+namespace cloudlb {
+
+SmoothedInterferenceAwareLb::SmoothedInterferenceAwareLb(Options options)
+    : options_{options} {
+  CLB_CHECK(options.alpha > 0.0 && options.alpha <= 1.0);
+  CLB_CHECK(options.chare_alpha > 0.0 && options.chare_alpha <= 1.0);
+}
+
+std::vector<PeId> SmoothedInterferenceAwareLb::assign(const LbStats& stats) {
+  const std::vector<double> fresh = estimate_background_load(stats);
+  if (ewma_.size() != fresh.size()) {
+    ewma_ = fresh;  // first window (or the PE set changed): seed directly
+  } else {
+    for (std::size_t p = 0; p < fresh.size(); ++p)
+      ewma_[p] = options_.alpha * fresh[p] + (1.0 - options_.alpha) * ewma_[p];
+  }
+  // Optionally smooth the chare loads as well, feeding the refinement a
+  // modified copy of the window.
+  if (options_.chare_alpha < 1.0) {
+    if (chare_ewma_.size() != stats.chares.size()) {
+      chare_ewma_.resize(stats.chares.size());
+      for (std::size_t c = 0; c < stats.chares.size(); ++c)
+        chare_ewma_[c] = stats.chares[c].cpu_sec;
+    } else {
+      for (std::size_t c = 0; c < stats.chares.size(); ++c)
+        chare_ewma_[c] = options_.chare_alpha * stats.chares[c].cpu_sec +
+                         (1.0 - options_.chare_alpha) * chare_ewma_[c];
+    }
+    LbStats smoothed = stats;
+    for (std::size_t c = 0; c < smoothed.chares.size(); ++c)
+      smoothed.chares[c].cpu_sec = chare_ewma_[c];
+    return refine_assignment(smoothed, ewma_,
+                             options_.base.epsilon_fraction)
+        .assignment;
+  }
+
+  // Normalize to the current window length: the EWMA mixes windows of
+  // (slightly) different wall lengths, which refinement tolerates since
+  // loads only matter relative to T_avg.
+  return refine_assignment(stats, ewma_, options_.base.epsilon_fraction)
+      .assignment;
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,27 @@
+#include "lb/framework.h"
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+std::vector<PeId> LbStats::current_assignment() const {
+  std::vector<PeId> out(chares.size());
+  for (std::size_t i = 0; i < chares.size(); ++i) out[i] = chares[i].pe;
+  return out;
+}
+
+void LbStats::validate() const {
+  CLB_CHECK(!pes.empty());
+  for (std::size_t p = 0; p < pes.size(); ++p)
+    CLB_CHECK_MSG(pes[p].pe == static_cast<PeId>(p), "PE ids must be dense");
+  for (std::size_t c = 0; c < chares.size(); ++c) {
+    CLB_CHECK_MSG(chares[c].chare == static_cast<ChareId>(c),
+                  "chare ids must be dense");
+    CLB_CHECK_MSG(chares[c].pe >= 0 &&
+                      static_cast<std::size_t>(chares[c].pe) < pes.size(),
+                  "chare " << c << " assigned to invalid PE " << chares[c].pe);
+    CLB_CHECK(chares[c].cpu_sec >= 0.0);
+  }
+}
+
+}  // namespace cloudlb

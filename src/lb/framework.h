@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cloudlb {
+
+using PeId = std::int32_t;
+using ChareId = std::int32_t;
+
+/// Per-PE measurements accumulated since the previous load-balancing step —
+/// the simulated equivalent of the Charm++ LB database plus the host's
+/// `/proc/stat` counters the paper samples.
+///
+/// All durations are in seconds over the LB window. `wall_sec` is T_lb in
+/// the paper's Eq. 2; `core_idle_sec` is t_idle (idle time of the *physical
+/// core*, which is near zero when an interfering VM keeps the core busy);
+/// `task_cpu_sec` is Σ_i t_p_i, the CPU consumed by the application's own
+/// tasks.
+struct PeSample {
+  PeId pe = 0;
+  std::int32_t core = 0;       ///< physical core id (for placement-aware LBs)
+  double wall_sec = 0.0;       ///< T_lb: wall-clock length of the window
+  double core_idle_sec = 0.0;  ///< t_idle from the host core's /proc/stat
+  double task_cpu_sec = 0.0;   ///< Σ t_p_i from the LB database
+};
+
+/// Per-chare measurement over the LB window.
+struct ChareSample {
+  ChareId chare = 0;
+  PeId pe = 0;                 ///< current host PE
+  double cpu_sec = 0.0;        ///< CPU consumed by this chare's tasks
+  std::size_t bytes = 0;       ///< serialized size, for migration cost
+};
+
+/// Input to a load-balancing strategy.
+struct LbStats {
+  std::vector<PeSample> pes;       ///< indexed by PE id
+  std::vector<ChareSample> chares; ///< indexed by chare id
+
+  /// Current assignment as a dense vector: chare -> PE.
+  std::vector<PeId> current_assignment() const;
+
+  /// Sanity-checks internal consistency (ids dense, PEs valid).
+  void validate() const;
+};
+
+/// Strategy interface. Given the measured window, returns the new
+/// chare -> PE assignment (dense, same length as stats.chares). Returning
+/// the current assignment means "no migrations".
+///
+/// Strategies must be deterministic functions of (stats, their own config
+/// and RNG state) — the runtime calls them at a global barrier, so they
+/// see a consistent snapshot.
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<PeId> assign(const LbStats& stats) = 0;
+};
+
+/// Tuning shared by the refinement-style strategies.
+struct LbOptions {
+  /// ε in the paper's Eq. 3, expressed as a fraction of T_avg: a PE is
+  /// over/underloaded when it deviates from the average by more than
+  /// `epsilon_fraction · T_avg`.
+  double epsilon_fraction = 0.05;
+
+  /// Seed for randomized strategies.
+  std::uint64_t seed = 1;
+
+  /// What one byte of chare state costs to migrate end-to-end
+  /// (pack + transfer + unpack), used by cost-gated strategies. The
+  /// default matches the library's default migration model (~1 ns/B pack,
+  /// ~1 ns/B unpack, ~1 GB/s network).
+  double migration_sec_per_byte_hint = 3e-9;
+};
+
+}  // namespace cloudlb

@@ -1,0 +1,36 @@
+#include "lb/greedy_lb.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace cloudlb {
+
+std::vector<PeId> GreedyLb::assign(const LbStats& stats) {
+  stats.validate();
+
+  std::vector<ChareId> order(stats.chares.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<ChareId>(i);
+  std::sort(order.begin(), order.end(), [&](ChareId a, ChareId b) {
+    const auto& ca = stats.chares[static_cast<std::size_t>(a)];
+    const auto& cb = stats.chares[static_cast<std::size_t>(b)];
+    if (ca.cpu_sec != cb.cpu_sec) return ca.cpu_sec > cb.cpu_sec;
+    return a < b;  // deterministic tie-break
+  });
+
+  // Min-heap of (load, pe).
+  using Entry = std::pair<double, PeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (const auto& pe : stats.pes) heap.emplace(0.0, pe.pe);
+
+  std::vector<PeId> assignment(stats.chares.size());
+  for (const ChareId c : order) {
+    auto [load, pe] = heap.top();
+    heap.pop();
+    assignment[static_cast<std::size_t>(c)] = pe;
+    heap.emplace(load + stats.chares[static_cast<std::size_t>(c)].cpu_sec, pe);
+  }
+  return assignment;
+}
+
+}  // namespace cloudlb

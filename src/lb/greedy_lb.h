@@ -1,0 +1,20 @@
+#pragma once
+
+#include "lb/framework.h"
+
+namespace cloudlb {
+
+/// Classic Charm++-style GreedyLB: sorts chares by descending load and
+/// assigns each to the currently least-loaded PE, rebuilding the mapping
+/// from scratch.
+///
+/// It is interference-blind (ignores background load) and migrates
+/// aggressively — both properties the paper's refinement scheme improves
+/// on, which makes it the natural strong-but-naive baseline for ablations.
+class GreedyLb final : public LoadBalancer {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::vector<PeId> assign(const LbStats& stats) override;
+};
+
+}  // namespace cloudlb

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "lb/framework.h"
+
+namespace cloudlb {
+
+/// The paper's "noLB" baseline: never migrates anything.
+class NullLb final : public LoadBalancer {
+ public:
+  std::string name() const override { return "null"; }
+  std::vector<PeId> assign(const LbStats& stats) override;
+};
+
+}  // namespace cloudlb

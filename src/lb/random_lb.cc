@@ -1,0 +1,14 @@
+#include "lb/random_lb.h"
+
+namespace cloudlb {
+
+std::vector<PeId> RandomLb::assign(const LbStats& stats) {
+  stats.validate();
+  std::vector<PeId> assignment(stats.chares.size());
+  for (auto& pe : assignment)
+    pe = static_cast<PeId>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(stats.pes.size()) - 1));
+  return assignment;
+}
+
+}  // namespace cloudlb

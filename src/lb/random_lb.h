@@ -1,0 +1,22 @@
+#pragma once
+
+#include "lb/framework.h"
+#include "util/rng.h"
+
+namespace cloudlb {
+
+/// Assigns every chare to a uniformly random PE. A deliberately poor
+/// strategy used as a lower bound in ablations and to exercise the
+/// migration machinery heavily in tests.
+class RandomLb final : public LoadBalancer {
+ public:
+  explicit RandomLb(LbOptions options = {}) : rng_{options.seed} {}
+
+  std::string name() const override { return "random"; }
+  std::vector<PeId> assign(const LbStats& stats) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace cloudlb

@@ -1,0 +1,14 @@
+#include "lb/refine_lb.h"
+
+#include "lb/refinement.h"
+
+namespace cloudlb {
+
+std::vector<PeId> RefineLb::assign(const LbStats& stats) {
+  // Interference-blind: external load is identically zero.
+  const std::vector<double> no_external(stats.pes.size(), 0.0);
+  return refine_assignment(stats, no_external, options_.epsilon_fraction)
+      .assignment;
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "lb/framework.h"
+
+namespace cloudlb {
+
+/// Classic Charm++-style RefineLB: moves chares away from PEs whose
+/// *application* load exceeds the average, ignoring any background load.
+///
+/// Against pure internal imbalance it behaves like the paper's scheme, but
+/// under VM interference it sees a perfectly balanced application and does
+/// nothing — the failure mode that motivates the paper's contribution.
+class RefineLb final : public LoadBalancer {
+ public:
+  explicit RefineLb(LbOptions options = {}) : options_{options} {}
+
+  std::string name() const override { return "refine"; }
+  std::vector<PeId> assign(const LbStats& stats) override;
+
+ private:
+  LbOptions options_;
+};
+
+}  // namespace cloudlb

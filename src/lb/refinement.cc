@@ -1,0 +1,147 @@
+#include "lb/refinement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+namespace {
+
+struct HeapEntry {
+  double load;
+  PeId pe;
+  bool operator<(const HeapEntry& o) const {
+    if (load != o.load) return load < o.load;
+    return pe > o.pe;  // smaller id wins ties at equal load
+  }
+};
+
+}  // namespace
+
+RefinementResult refine_assignment(const LbStats& stats,
+                                   const std::vector<double>& external_load,
+                                   double epsilon_fraction) {
+  stats.validate();
+  CLB_CHECK(external_load.size() == stats.pes.size());
+  CLB_CHECK(epsilon_fraction >= 0.0);
+
+  const std::size_t num_pes = stats.pes.size();
+  RefinementResult result;
+  result.assignment = stats.current_assignment();
+
+  // Per-PE load = external (background) + migratable task CPU.   (Eq. 1)
+  std::vector<double> load(external_load);
+  for (auto& l : load) l = std::max(l, 0.0);
+  // Tasks per PE, kept sorted by descending cost (stable by chare id).
+  std::vector<std::vector<ChareId>> tasks(num_pes);
+  for (const auto& ch : stats.chares) {
+    load[static_cast<std::size_t>(ch.pe)] += ch.cpu_sec;
+    tasks[static_cast<std::size_t>(ch.pe)].push_back(ch.chare);
+  }
+  auto cost = [&](ChareId c) {
+    return stats.chares[static_cast<std::size_t>(c)].cpu_sec;
+  };
+  for (auto& v : tasks)
+    std::sort(v.begin(), v.end(), [&](ChareId a, ChareId b) {
+      if (cost(a) != cost(b)) return cost(a) > cost(b);
+      return a < b;
+    });
+
+  double total = 0.0;
+  for (double l : load) total += l;
+  const double t_avg = total / static_cast<double>(num_pes);
+  const double epsilon = epsilon_fraction * t_avg;
+
+  const auto is_heavy = [&](PeId p) {
+    return load[static_cast<std::size_t>(p)] - t_avg > epsilon;
+  };
+  const auto is_light = [&](PeId p) {
+    return t_avg - load[static_cast<std::size_t>(p)] > epsilon;
+  };
+
+  // createOverheapAndUnderset (Algorithm 1, lines 2-9).
+  std::priority_queue<HeapEntry> overheap;
+  std::set<PeId> underset;
+  for (std::size_t p = 0; p < num_pes; ++p) {
+    const auto pe = static_cast<PeId>(p);
+    if (is_heavy(pe)) {
+      overheap.push(HeapEntry{load[p], pe});
+    } else if (is_light(pe)) {
+      underset.insert(pe);
+    }
+  }
+
+  // Main refinement loop (Algorithm 1, lines 10-15).
+  while (!overheap.empty()) {
+    const PeId donor = overheap.top().pe;
+    overheap.pop();
+    auto& donor_tasks = tasks[static_cast<std::size_t>(donor)];
+
+    // getBestCoreAndTask: the donor's largest task that some underloaded
+    // core can absorb without itself becoming overloaded (Eq. 3 guard).
+    std::size_t best_task_idx = donor_tasks.size();
+    PeId best_core = -1;
+    for (std::size_t t = 0; t < donor_tasks.size(); ++t) {
+      const double c = cost(donor_tasks[t]);
+      if (c <= 0.0) break;  // sorted: the rest are zero-cost, unmovable gain
+      double best_load = 0.0;
+      for (const PeId cand : underset) {
+        const double after = load[static_cast<std::size_t>(cand)] + c;
+        if (after - t_avg > epsilon) continue;  // would overload receiver
+        if (best_core == -1 || load[static_cast<std::size_t>(cand)] < best_load) {
+          best_core = cand;
+          best_load = load[static_cast<std::size_t>(cand)];
+        }
+      }
+      if (best_core != -1) {
+        best_task_idx = t;
+        break;  // tasks are sorted descending: this is the biggest movable
+      }
+    }
+
+    if (best_core == -1) continue;  // donor cannot be relieved; drop it
+
+    // Perform the transfer and update loads, heap and set (lines 13-14).
+    const ChareId moved = donor_tasks[best_task_idx];
+    donor_tasks.erase(donor_tasks.begin() +
+                      static_cast<std::ptrdiff_t>(best_task_idx));
+    const double c = cost(moved);
+    load[static_cast<std::size_t>(donor)] -= c;
+    load[static_cast<std::size_t>(best_core)] += c;
+    result.assignment[static_cast<std::size_t>(moved)] = best_core;
+    ++result.migrations;
+    // Keep the receiver's task list coherent for potential later inspection.
+    auto& recv_tasks = tasks[static_cast<std::size_t>(best_core)];
+    recv_tasks.insert(
+        std::lower_bound(recv_tasks.begin(), recv_tasks.end(), moved,
+                         [&](ChareId a, ChareId b) {
+                           if (cost(a) != cost(b)) return cost(a) > cost(b);
+                           return a < b;
+                         }),
+        moved);
+
+    // updateHeapAndSet (line 14): reclassify both endpoints. A donor that
+    // overshoots below the tolerance band becomes a receiver candidate.
+    if (is_heavy(donor)) {
+      overheap.push(HeapEntry{load[static_cast<std::size_t>(donor)], donor});
+    } else if (is_light(donor)) {
+      underset.insert(donor);
+    }
+    if (!is_light(best_core)) underset.erase(best_core);
+  }
+
+  result.fully_balanced = true;
+  for (std::size_t p = 0; p < num_pes; ++p) {
+    if (std::abs(load[p] - t_avg) > epsilon + 1e-12) {
+      result.fully_balanced = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cloudlb

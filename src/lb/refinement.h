@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "lb/framework.h"
+
+namespace cloudlb {
+
+/// Result of one refinement pass.
+struct RefinementResult {
+  std::vector<PeId> assignment;  ///< new chare -> PE mapping
+  int migrations = 0;            ///< chares whose PE changed
+  bool fully_balanced = false;   ///< every PE ended within ε of T_avg
+};
+
+/// The paper's Algorithm 1 ("Refinement Load Balancing for VM
+/// Interference"), parameterized by the per-PE *external* (non-migratable)
+/// load O_p so it can serve both the interference-aware scheme (O_p from
+/// the background-load estimator, Eq. 2) and the interference-blind classic
+/// RefineLB baseline (O_p ≡ 0).
+///
+/// Steps, following the paper's pseudocode:
+///  1. T_avg = Σ_p (Σ_i t_p_i + O_p) / P                       (Eq. 1)
+///  2. Cores with load − T_avg > ε go into a max-heap (`overheap`);
+///     cores with T_avg − load > ε into `underset`.
+///  3. While the heap is non-empty: pop the most overloaded donor, and move
+///     its largest task that fits onto some underloaded core *without
+///     overloading it* (Eq. 3); update both loads and re-insert.
+///  4. A donor none of whose tasks can move (all too big, or underset
+///     empty) is dropped from the heap — the run is then not fully
+///     balanced, which the caller can observe via `fully_balanced`.
+///
+/// ε is `epsilon_fraction · T_avg`. Determinism: ties on load break by PE
+/// id, ties on task size by chare id.
+RefinementResult refine_assignment(const LbStats& stats,
+                                   const std::vector<double>& external_load,
+                                   double epsilon_fraction);
+
+}  // namespace cloudlb

@@ -1,0 +1,23 @@
+#include "lb/registry.h"
+
+#include "lb/greedy_lb.h"
+#include "lb/null_lb.h"
+#include "lb/random_lb.h"
+#include "lb/refine_lb.h"
+
+namespace cloudlb {
+
+std::unique_ptr<LoadBalancer> make_baseline_balancer(const std::string& name,
+                                                     LbOptions options) {
+  if (name == "null") return std::make_unique<NullLb>();
+  if (name == "greedy") return std::make_unique<GreedyLb>();
+  if (name == "refine") return std::make_unique<RefineLb>(options);
+  if (name == "random") return std::make_unique<RandomLb>(options);
+  return nullptr;
+}
+
+std::vector<std::string> baseline_balancer_names() {
+  return {"null", "greedy", "refine", "random"};
+}
+
+}  // namespace cloudlb

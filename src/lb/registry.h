@@ -1,0 +1,21 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/framework.h"
+
+namespace cloudlb {
+
+/// Creates one of the baseline strategies by name:
+/// "null", "greedy", "refine", "random".
+/// Returns nullptr for unknown names (the core layer extends this set with
+/// the paper's strategies via cloudlb::make_balancer).
+std::unique_ptr<LoadBalancer> make_baseline_balancer(const std::string& name,
+                                                     LbOptions options = {});
+
+/// Names accepted by make_baseline_balancer.
+std::vector<std::string> baseline_balancer_names();
+
+}  // namespace cloudlb

@@ -1,0 +1,92 @@
+#include "lb/stats_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+void write_stats(std::ostream& os, const LbStats& stats, int window_index) {
+  stats.validate();
+  os << "window " << window_index << '\n';
+  os.precision(17);  // round-trip doubles exactly
+  for (const PeSample& pe : stats.pes)
+    os << "pe " << pe.pe << ' ' << pe.core << ' ' << pe.wall_sec << ' '
+       << pe.core_idle_sec << ' ' << pe.task_cpu_sec << '\n';
+  for (const ChareSample& ch : stats.chares)
+    os << "chare " << ch.chare << ' ' << ch.pe << ' ' << ch.cpu_sec << ' '
+       << ch.bytes << '\n';
+  os << "end\n";
+}
+
+std::vector<LbStats> read_stats(std::istream& is) {
+  std::vector<LbStats> windows;
+  LbStats current;
+  bool in_window = false;
+  std::string line;
+  int line_number = 0;
+
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields{line};
+    std::string kind;
+    fields >> kind;
+    if (kind == "window") {
+      CLB_CHECK_MSG(!in_window, "line " << line_number
+                                        << ": nested 'window' record");
+      current = LbStats{};
+      in_window = true;
+    } else if (kind == "pe") {
+      CLB_CHECK_MSG(in_window, "line " << line_number
+                                       << ": 'pe' outside a window");
+      PeSample pe;
+      fields >> pe.pe >> pe.core >> pe.wall_sec >> pe.core_idle_sec >>
+          pe.task_cpu_sec;
+      CLB_CHECK_MSG(!fields.fail(), "line " << line_number
+                                            << ": malformed 'pe' record");
+      current.pes.push_back(pe);
+    } else if (kind == "chare") {
+      CLB_CHECK_MSG(in_window, "line " << line_number
+                                       << ": 'chare' outside a window");
+      ChareSample ch;
+      fields >> ch.chare >> ch.pe >> ch.cpu_sec >> ch.bytes;
+      CLB_CHECK_MSG(!fields.fail(), "line " << line_number
+                                            << ": malformed 'chare' record");
+      current.chares.push_back(ch);
+    } else if (kind == "end") {
+      CLB_CHECK_MSG(in_window, "line " << line_number
+                                       << ": 'end' outside a window");
+      current.validate();
+      windows.push_back(std::move(current));
+      in_window = false;
+    } else {
+      CLB_CHECK_MSG(false,
+                    "line " << line_number << ": unknown record '" << kind
+                            << "'");
+    }
+  }
+  CLB_CHECK_MSG(!in_window, "trace ends inside a window (missing 'end')");
+  return windows;
+}
+
+RecordingLb::RecordingLb(std::unique_ptr<LoadBalancer> inner,
+                         std::ostream* sink)
+    : inner_{std::move(inner)}, sink_{sink} {
+  CLB_CHECK(inner_ != nullptr);
+  CLB_CHECK(sink_ != nullptr);
+}
+
+std::string RecordingLb::name() const {
+  return inner_->name() + "+record";
+}
+
+std::vector<PeId> RecordingLb::assign(const LbStats& stats) {
+  write_stats(*sink_, stats, windows_);
+  ++windows_;
+  return inner_->assign(stats);
+}
+
+}  // namespace cloudlb

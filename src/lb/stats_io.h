@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/framework.h"
+
+namespace cloudlb {
+
+/// Serialization of LbStats windows to a simple line-oriented text format,
+/// enabling the record-and-replay workflow: capture the measurement
+/// windows of a live run once, then evaluate any number of strategies
+/// against them offline (no simulation required).
+///
+/// Format (whitespace-separated, one record per line):
+///
+///     window <index>
+///     pe <id> <core> <wall_sec> <idle_sec> <task_cpu_sec>
+///     chare <id> <pe> <cpu_sec> <bytes>
+///     end
+///
+/// Windows appear in the order the run produced them.
+void write_stats(std::ostream& os, const LbStats& stats, int window_index);
+
+/// Reads every window in the stream. Throws CheckFailure on malformed
+/// input. Returns an empty vector for an empty stream.
+std::vector<LbStats> read_stats(std::istream& is);
+
+/// Decorator that forwards to an inner strategy while appending every
+/// window it sees to `sink` — attach to a live job to produce a trace.
+class RecordingLb final : public LoadBalancer {
+ public:
+  RecordingLb(std::unique_ptr<LoadBalancer> inner, std::ostream* sink);
+
+  std::string name() const override;
+  std::vector<PeId> assign(const LbStats& stats) override;
+
+  int windows_recorded() const { return windows_; }
+
+ private:
+  std::unique_ptr<LoadBalancer> inner_;
+  std::ostream* sink_;
+  int windows_ = 0;
+};
+
+}  // namespace cloudlb

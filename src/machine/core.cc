@@ -1,0 +1,151 @@
+#include "machine/core.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+namespace {
+// Remaining CPU below this is treated as finished; guards against
+// floating-point residue after advancing to a completion instant.
+constexpr double kCpuEpsilonSec = 1e-12;
+}  // namespace
+
+Core::Core(Simulator& sim, CoreId id, double speed)
+    : sim_{sim}, id_{id}, speed_{speed} {
+  CLB_CHECK(speed > 0.0);
+}
+
+ContextId Core::register_context(std::string name, double weight) {
+  CLB_CHECK(weight > 0.0);
+  const auto ctx = static_cast<ContextId>(contexts_.size());
+  contexts_.push_back(ContextInfo{std::move(name), weight, 0.0});
+  return ctx;
+}
+
+void Core::set_weight(ContextId ctx, double weight) {
+  CLB_CHECK(ctx >= 0 && static_cast<std::size_t>(ctx) < contexts_.size());
+  CLB_CHECK(weight > 0.0);
+  advance_to_now();
+  contexts_[static_cast<std::size_t>(ctx)].weight = weight;
+  complete_and_reschedule();
+}
+
+const std::string& Core::context_name(ContextId ctx) const {
+  CLB_CHECK(ctx >= 0 && static_cast<std::size_t>(ctx) < contexts_.size());
+  return contexts_[static_cast<std::size_t>(ctx)].name;
+}
+
+void Core::demand(ContextId ctx, SimTime cpu_time,
+                  std::function<void()> on_complete) {
+  CLB_CHECK(ctx >= 0 && static_cast<std::size_t>(ctx) < contexts_.size());
+  CLB_CHECK(!cpu_time.is_negative());
+  CLB_CHECK(on_complete != nullptr);
+  CLB_CHECK_MSG(!active_.contains(ctx),
+                "context " << context_name(ctx) << " already has a demand");
+  advance_to_now();
+  active_.emplace(ctx, Request{cpu_time.to_seconds(), std::move(on_complete)});
+  complete_and_reschedule();
+}
+
+bool Core::has_demand(ContextId ctx) const { return active_.contains(ctx); }
+
+double Core::total_active_weight() const {
+  double w = 0.0;
+  for (const auto& [ctx, req] : active_)
+    w += contexts_[static_cast<std::size_t>(ctx)].weight;
+  return w;
+}
+
+void Core::advance_to_now() {
+  const SimTime now = sim_.now();
+  const SimTime elapsed = now - last_update_;
+  last_update_ = now;
+  if (elapsed.is_zero() || active_.empty()) return;
+
+  const double dt = elapsed.to_seconds();
+  busy_sec_ += dt;
+  const double total_w = total_active_weight();
+  for (auto& [ctx, req] : active_) {
+    auto& info = contexts_[static_cast<std::size_t>(ctx)];
+    const double rate = speed_ * info.weight / total_w;
+    const double used = std::min(req.remaining_cpu_sec, dt * rate);
+    req.remaining_cpu_sec -= used;
+    info.consumed_cpu_sec += used;
+  }
+}
+
+void Core::complete_and_reschedule() {
+  // Collect finished requests first so their callbacks (which may issue new
+  // demands on this core) run against a consistent active set.
+  std::vector<std::function<void()>> finished;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.remaining_cpu_sec <= kCpuEpsilonSec) {
+      finished.push_back(std::move(it->second.on_complete));
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (completion_event_.valid()) {
+    sim_.cancel(completion_event_);
+    completion_event_ = EventHandle{};
+  }
+  if (!active_.empty()) {
+    const double total_w = total_active_weight();
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const auto& [ctx, req] : active_) {
+      const double rate =
+          speed_ * contexts_[static_cast<std::size_t>(ctx)].weight / total_w;
+      earliest = std::min(earliest, req.remaining_cpu_sec / rate);
+    }
+    // Round up so that at the event instant every candidate has actually
+    // crossed the epsilon threshold.
+    SimTime dt = SimTime::from_seconds(earliest) + SimTime::nanos(1);
+    completion_event_ = sim_.schedule_after(dt, [this] {
+      completion_event_ = EventHandle{};
+      advance_to_now();
+      complete_and_reschedule();
+    });
+  }
+
+  // Deliver completions through zero-delay events: a callback typically
+  // issues the context's next demand, and synchronous delivery would recurse
+  // unboundedly through demand() -> complete_and_reschedule() for chains of
+  // tiny tasks.
+  for (auto& cb : finished)
+    sim_.schedule_after(SimTime::zero(), std::move(cb));
+}
+
+ProcStat Core::proc_stat() const {
+  // Accrue lazily without mutating: recompute what advance_to_now would add.
+  double busy = busy_sec_;
+  const SimTime elapsed = sim_.now() - last_update_;
+  if (!elapsed.is_zero() && !active_.empty()) busy += elapsed.to_seconds();
+  ProcStat st;
+  st.busy = SimTime::from_seconds(busy);
+  st.idle = sim_.now() - st.busy;
+  return st;
+}
+
+SimTime Core::context_cpu_time(ContextId ctx) const {
+  CLB_CHECK(ctx >= 0 && static_cast<std::size_t>(ctx) < contexts_.size());
+  double consumed = contexts_[static_cast<std::size_t>(ctx)].consumed_cpu_sec;
+  const SimTime elapsed = sim_.now() - last_update_;
+  if (!elapsed.is_zero()) {
+    auto it = active_.find(ctx);
+    if (it != active_.end()) {
+      const double rate =
+          speed_ * contexts_[static_cast<std::size_t>(ctx)].weight /
+          total_active_weight();
+      consumed +=
+          std::min(it->second.remaining_cpu_sec, elapsed.to_seconds() * rate);
+    }
+  }
+  return SimTime::from_seconds(consumed);
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,38 @@
+#include "machine/machine.h"
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+Machine::Machine(Simulator& sim, MachineConfig config) : config_{config} {
+  CLB_CHECK(config.nodes > 0);
+  CLB_CHECK(config.cores_per_node > 0);
+  const int total = config.nodes * config.cores_per_node;
+  cores_.reserve(static_cast<std::size_t>(total));
+  for (int c = 0; c < total; ++c) {
+    double speed = config.core_speed;
+    for (const auto& [core, override_speed] : config.core_speed_overrides) {
+      if (core == c) speed = override_speed;
+    }
+    CLB_CHECK_MSG(speed > 0.0, "core " << c << " has non-positive speed");
+    cores_.push_back(
+        std::make_unique<Core>(sim, static_cast<CoreId>(c), speed));
+  }
+}
+
+Core& Machine::core(CoreId id) {
+  CLB_CHECK(id >= 0 && static_cast<std::size_t>(id) < cores_.size());
+  return *cores_[static_cast<std::size_t>(id)];
+}
+
+const Core& Machine::core(CoreId id) const {
+  CLB_CHECK(id >= 0 && static_cast<std::size_t>(id) < cores_.size());
+  return *cores_[static_cast<std::size_t>(id)];
+}
+
+int Machine::node_of(CoreId id) const {
+  CLB_CHECK(id >= 0 && static_cast<std::size_t>(id) < cores_.size());
+  return id / config_.cores_per_node;
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,72 @@
+#include "machine/power.h"
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+PowerMeter::PowerMeter(Simulator& sim, Machine& machine,
+                       PowerModelConfig config, SimTime sample_interval)
+    : sim_{sim}, machine_{machine}, config_{config}, interval_{sample_interval} {
+  CLB_CHECK(sample_interval > SimTime::zero());
+}
+
+double PowerMeter::total_busy_seconds() const {
+  double busy = 0.0;
+  for (CoreId c = 0; c < machine_.num_cores(); ++c)
+    busy += machine_.core(c).proc_stat().busy.to_seconds();
+  return busy;
+}
+
+void PowerMeter::start() {
+  CLB_CHECK_MSG(!running_, "power meter already running");
+  running_ = true;
+  start_time_ = sim_.now();
+  busy_at_start_ = total_busy_seconds();
+  busy_at_last_sample_ = busy_at_start_;
+  samples_.clear();
+  tick_event_ = sim_.schedule_after(interval_, [this] { on_sample_tick(); });
+}
+
+void PowerMeter::on_sample_tick() {
+  const double busy = total_busy_seconds();
+  const double util_core_seconds = busy - busy_at_last_sample_;
+  busy_at_last_sample_ = busy;
+  const double watts =
+      config_.base_watts_per_node * machine_.num_nodes() +
+      config_.dynamic_watts_per_core * util_core_seconds /
+          interval_.to_seconds();
+  samples_.push_back(Sample{sim_.now(), watts});
+  tick_event_ = sim_.schedule_after(interval_, [this] { on_sample_tick(); });
+}
+
+void PowerMeter::stop() {
+  if (!running_) return;
+  running_ = false;
+  stop_time_ = sim_.now();
+  busy_at_stop_ = total_busy_seconds();
+  if (tick_event_.valid()) {
+    sim_.cancel(tick_event_);
+    tick_event_ = EventHandle{};
+  }
+}
+
+SimTime PowerMeter::window() const {
+  if (running_) return sim_.now() - start_time_;
+  return stop_time_ - start_time_;
+}
+
+double PowerMeter::energy_joules() const {
+  const double busy_end = running_ ? total_busy_seconds() : busy_at_stop_;
+  const double busy = busy_end - busy_at_start_;
+  const double wall = window().to_seconds();
+  return config_.base_watts_per_node * machine_.num_nodes() * wall +
+         config_.dynamic_watts_per_core * busy;
+}
+
+double PowerMeter::average_power_watts() const {
+  const double wall = window().to_seconds();
+  if (wall <= 0.0) return 0.0;
+  return energy_joules() / wall;
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,97 @@
+#include "metrics/profile.h"
+
+#include <algorithm>
+#include <set>
+
+#include "runtime/job.h"
+#include "util/check.h"
+
+namespace cloudlb {
+
+std::vector<CoreProfile> profile_cores(const TimelineTracer& tracer,
+                                       int num_cores, SimTime from,
+                                       SimTime to) {
+  CLB_CHECK(num_cores > 0);
+  CLB_CHECK(to > from);
+  const double window = (to - from).to_seconds();
+
+  std::vector<CoreProfile> out(static_cast<std::size_t>(num_cores));
+  // Clipped intervals per core for the union computation.
+  std::vector<std::vector<std::pair<SimTime, SimTime>>> clipped(
+      static_cast<std::size_t>(num_cores));
+
+  for (const TaskInterval& ti : tracer.intervals()) {
+    if (ti.core < 0 || ti.core >= num_cores) continue;
+    const SimTime lo = std::max(ti.start, from);
+    const SimTime hi = std::min(ti.end, to);
+    if (hi <= lo) continue;
+    auto& profile = out[static_cast<std::size_t>(ti.core)];
+    profile.by_job[ti.job] += (hi - lo).to_seconds() / window;
+    clipped[static_cast<std::size_t>(ti.core)].emplace_back(lo, hi);
+  }
+
+  for (int c = 0; c < num_cores; ++c) {
+    auto& profile = out[static_cast<std::size_t>(c)];
+    profile.core = static_cast<CoreId>(c);
+    auto& intervals = clipped[static_cast<std::size_t>(c)];
+    std::sort(intervals.begin(), intervals.end());
+    double covered = 0.0;
+    SimTime cursor = from;
+    for (const auto& [lo, hi] : intervals) {
+      const SimTime start = std::max(lo, cursor);
+      if (hi > start) {
+        covered += (hi - start).to_seconds();
+        cursor = hi;
+      }
+    }
+    profile.busy_fraction = covered / window;
+  }
+  return out;
+}
+
+Table profile_table(const std::vector<CoreProfile>& profiles) {
+  std::set<std::string> jobs;
+  for (const CoreProfile& p : profiles)
+    for (const auto& [job, frac] : p.by_job) jobs.insert(job);
+
+  std::vector<std::string> headers{"core", "busy %", "idle %"};
+  for (const auto& job : jobs) headers.push_back(job + " %");
+  Table table{headers};
+  for (const CoreProfile& p : profiles) {
+    std::vector<std::string> row{std::to_string(p.core),
+                                 Table::num(p.busy_fraction * 100, 1),
+                                 Table::num((1 - p.busy_fraction) * 100, 1)};
+    for (const auto& job : jobs) {
+      const auto it = p.by_job.find(job);
+      row.push_back(Table::num(
+          (it == p.by_job.end() ? 0.0 : it->second) * 100, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Histogram task_duration_histogram(const TimelineTracer& tracer,
+                                  const std::string& job, int buckets) {
+  double max_ms = 0.0;
+  for (const TaskInterval& ti : tracer.intervals())
+    if (ti.job == job)
+      max_ms = std::max(max_ms, (ti.end - ti.start).to_millis());
+  Histogram histogram{0.0, std::max(max_ms, 1e-6) * 1.0001, buckets};
+  for (const TaskInterval& ti : tracer.intervals())
+    if (ti.job == job) histogram.add((ti.end - ti.start).to_millis());
+  return histogram;
+}
+
+SampleSet iteration_durations(const RuntimeJob& job) {
+  SampleSet out;
+  SimTime prev = job.start_time();
+  for (const SimTime t : job.iteration_times()) {
+    if (t.is_zero()) continue;  // iteration not (yet) complete
+    out.add((t - prev).to_seconds());
+    prev = t;
+  }
+  return out;
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/timeline.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace cloudlb {
+
+class RuntimeJob;
+
+/// Utilization summary of one physical core over a window.
+///
+/// `by_job` uses *wall-interval* semantics, like the paper's Projections
+/// tool: a task's interval covers the whole time between its start and
+/// completion, including any stretch where the core was actually serving
+/// a co-located VM. Consequently the per-job fractions of a contended
+/// core can sum past 1.0 — exactly the "long bars" artifact the paper
+/// describes in Figure 1. `busy_fraction` is the union of all intervals.
+struct CoreProfile {
+  CoreId core = 0;
+  double busy_fraction = 0.0;               ///< union of task intervals
+  std::map<std::string, double> by_job;     ///< job -> interval fraction
+};
+
+/// Profiles cores [0, num_cores) over [from, to) from a tracer's records.
+std::vector<CoreProfile> profile_cores(const TimelineTracer& tracer,
+                                       int num_cores, SimTime from,
+                                       SimTime to);
+
+/// Renders profiles as an aligned table (one row per core, one column per
+/// job seen in the trace, plus busy/idle).
+Table profile_table(const std::vector<CoreProfile>& profiles);
+
+/// Per-iteration durations of a finished job (seconds) — spikes mark
+/// interference episodes, recoveries mark LB steps.
+SampleSet iteration_durations(const RuntimeJob& job);
+
+/// Histogram of task wall durations (milliseconds) for one job's tasks in
+/// the trace — interference shows up as a long tail of stretched tasks,
+/// the paper's Figure 1 "longer bars".
+Histogram task_duration_histogram(const TimelineTracer& tracer,
+                                  const std::string& job, int buckets = 20);
+
+}  // namespace cloudlb

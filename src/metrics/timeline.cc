@@ -1,0 +1,113 @@
+#include "metrics/timeline.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "runtime/job.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace cloudlb {
+
+void TimelineTracer::on_task_executed(const RuntimeJob& job, PeId pe,
+                                      CoreId core, ChareId chare, int tag,
+                                      SimTime start, SimTime end) {
+  intervals_.push_back(
+      TaskInterval{job.name(), core, pe, chare, tag, start, end});
+}
+
+void TimelineTracer::on_lb_step(const RuntimeJob& job, int step, SimTime time,
+                                int migrations) {
+  lb_marks_.push_back(LbMark{job.name(), step, time, migrations});
+}
+
+void TimelineTracer::clear() {
+  intervals_.clear();
+  lb_marks_.clear();
+}
+
+namespace {
+double overlap_sec(SimTime a0, SimTime a1, SimTime b0, SimTime b1) {
+  const SimTime lo = std::max(a0, b0);
+  const SimTime hi = std::min(a1, b1);
+  return hi > lo ? (hi - lo).to_seconds() : 0.0;
+}
+}  // namespace
+
+double TimelineTracer::busy_fraction(CoreId core, const std::string& job,
+                                     SimTime from, SimTime to) const {
+  CLB_CHECK(to > from);
+  double busy = 0.0;
+  for (const TaskInterval& ti : intervals_) {
+    if (ti.core != core || ti.job != job) continue;
+    busy += overlap_sec(ti.start, ti.end, from, to);
+  }
+  return busy / (to - from).to_seconds();
+}
+
+void TimelineTracer::render_ascii(std::ostream& os, int num_cores,
+                                  SimTime from, SimTime to, int width) const {
+  CLB_CHECK(to > from);
+  CLB_CHECK(width > 0);
+  const double span = (to - from).to_seconds();
+  const double bucket_sec = span / width;
+
+  os << "timeline " << from.to_string() << " .. " << to.to_string() << "  ("
+     << Table::num(bucket_sec * 1e3, 2) << " ms/char)\n";
+  for (CoreId core = 0; core < num_cores; ++core) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    // Per-bucket per-job busy seconds.
+    std::vector<std::map<std::string, double>> buckets(
+        static_cast<std::size_t>(width));
+    for (const TaskInterval& ti : intervals_) {
+      if (ti.core != core) continue;
+      const double s = (ti.start - from).to_seconds();
+      const double e = (ti.end - from).to_seconds();
+      const int b0 = std::max(0, static_cast<int>(s / bucket_sec));
+      const int b1 = std::min(width - 1, static_cast<int>(e / bucket_sec));
+      for (int b = b0; b <= b1; ++b) {
+        const SimTime t0 = from + SimTime::from_seconds(b * bucket_sec);
+        const SimTime t1 = from + SimTime::from_seconds((b + 1) * bucket_sec);
+        const double ov = overlap_sec(ti.start, ti.end, t0, t1);
+        if (ov > 0.0) buckets[static_cast<std::size_t>(b)][ti.job] += ov;
+      }
+    }
+    for (int b = 0; b < width; ++b) {
+      const auto& m = buckets[static_cast<std::size_t>(b)];
+      if (m.empty()) continue;
+      auto best = m.begin();
+      for (auto it = m.begin(); it != m.end(); ++it)
+        if (it->second > best->second) best = it;
+      const char c = best->first.empty() ? '?' : best->first[0];
+      const double frac = best->second / bucket_sec;
+      row[static_cast<std::size_t>(b)] =
+          frac > 0.5 ? static_cast<char>(std::toupper(c))
+                     : static_cast<char>(std::tolower(c));
+    }
+    os << "core" << (core < 10 ? " " : "") << core << " |" << row << "|\n";
+  }
+
+  // LB step footer.
+  std::string footer(static_cast<std::size_t>(width), ' ');
+  for (const LbMark& mark : lb_marks_) {
+    if (mark.time < from || mark.time >= to) continue;
+    const int b = std::min(
+        width - 1,
+        static_cast<int>((mark.time - from).to_seconds() / bucket_sec));
+    footer[static_cast<std::size_t>(b)] = mark.migrations > 0 ? 'L' : 'l';
+  }
+  if (footer.find_first_not_of(' ') != std::string::npos)
+    os << "LB     |" << footer << "|  (L = step with migrations)\n";
+}
+
+void TimelineTracer::write_csv(std::ostream& os) const {
+  os << "job,core,pe,chare,tag,start_sec,end_sec\n";
+  for (const TaskInterval& ti : intervals_) {
+    os << ti.job << ',' << ti.core << ',' << ti.pe << ',' << ti.chare << ','
+       << ti.tag << ',' << ti.start.to_seconds() << ',' << ti.end.to_seconds()
+       << '\n';
+  }
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runtime/observer.h"
+
+namespace cloudlb {
+
+/// One executed task on a physical core.
+struct TaskInterval {
+  std::string job;
+  CoreId core = 0;
+  PeId pe = 0;
+  ChareId chare = 0;
+  int tag = 0;
+  SimTime start;
+  SimTime end;
+};
+
+/// A load-balancing step marker.
+struct LbMark {
+  std::string job;
+  int step = 0;
+  SimTime time;
+  int migrations = 0;
+};
+
+/// Captures per-core execution timelines — the stand-in for the paper's
+/// Projections tool, whose screenshots are Figures 1 and 3.
+///
+/// Attach it to one or more jobs (`job.set_observer(&tracer)`); every
+/// executed task becomes a TaskInterval keyed by *physical core*, so tasks
+/// of an application and of the interfering job sharing a core appear on
+/// the same row, exactly as the paper's timelines do (including the
+/// "cannot identify when the OS switches context" caveat, which our core
+/// accounting sidesteps by drawing both jobs distinctly).
+class TimelineTracer : public ExecutionObserver {
+ public:
+  void on_task_executed(const RuntimeJob& job, PeId pe, CoreId core,
+                        ChareId chare, int tag, SimTime start,
+                        SimTime end) override;
+  void on_lb_step(const RuntimeJob& job, int step, SimTime time,
+                  int migrations) override;
+
+  const std::vector<TaskInterval>& intervals() const { return intervals_; }
+  const std::vector<LbMark>& lb_marks() const { return lb_marks_; }
+  void clear();
+
+  /// Renders an ASCII timeline for cores [0, num_cores) over [from, to):
+  /// one row per core, `width` buckets; a bucket shows the first letter of
+  /// the job that executed there (uppercase when > half the bucket is
+  /// busy), '.' when idle. LB steps are tick-marked on a footer row.
+  void render_ascii(std::ostream& os, int num_cores, SimTime from, SimTime to,
+                    int width = 96) const;
+
+  /// Per-core busy fraction of [from, to) attributable to each traced job.
+  double busy_fraction(CoreId core, const std::string& job, SimTime from,
+                       SimTime to) const;
+
+  /// CSV export: job,core,pe,chare,tag,start_sec,end_sec.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TaskInterval> intervals_;
+  std::vector<LbMark> lb_marks_;
+};
+
+}  // namespace cloudlb

@@ -1,0 +1,381 @@
+#include "runtime/job.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudlb {
+
+RuntimeJob::RuntimeJob(Simulator& sim, VirtualMachine& vm, JobConfig config,
+                       std::unique_ptr<LoadBalancer> balancer)
+    : sim_{sim},
+      vm_{vm},
+      config_{std::move(config)},
+      balancer_{std::move(balancer)} {
+  CLB_CHECK_MSG(balancer_ != nullptr,
+                "a balancer is required; use NullLb for the noLB baseline");
+  CLB_CHECK(config_.lb_period >= 0);
+  CLB_CHECK(config_.pack_sec_per_byte >= 0.0);
+  CLB_CHECK(config_.unpack_sec_per_byte >= 0.0);
+}
+
+RuntimeJob::~RuntimeJob() = default;
+
+ChareId RuntimeJob::add_chare(std::unique_ptr<Chare> chare) {
+  CLB_CHECK_MSG(!started_, "cannot add chares after start()");
+  CLB_CHECK(chare != nullptr);
+  const auto id = static_cast<ChareId>(chares_.size());
+  chare->job_ = this;
+  chare->id_ = id;
+  chares_.push_back(std::move(chare));
+  return id;
+}
+
+void RuntimeJob::start() {
+  CLB_CHECK_MSG(!started_, "job already started");
+  CLB_CHECK_MSG(!chares_.empty(), "job has no chares");
+  started_ = true;
+  start_time_ = sim_.now();
+
+  const auto num_chares = chares_.size();
+  const auto num_pes = static_cast<std::size_t>(vm_.num_vcpus());
+  CLB_CHECK_MSG(num_chares >= num_pes,
+                "overdecomposition requires at least one chare per PE");
+
+  // Block initial mapping: chare i -> PE i·P/N, the even static
+  // decomposition a homogeneous dedicated machine would want.
+  assignment_.resize(num_chares);
+  for (std::size_t i = 0; i < num_chares; ++i)
+    assignment_[i] = static_cast<PeId>(i * num_pes / num_chares);
+
+  pes_.clear();
+  pes_.resize(num_pes);
+  chare_done_.assign(num_chares, false);
+  db_.reset(num_chares);
+  reset_lb_window();
+
+  for (auto& chare : chares_) chare->on_start();
+}
+
+SimTime RuntimeJob::finish_time() const {
+  CLB_CHECK_MSG(finished_, "job not finished yet");
+  return finish_time_;
+}
+
+SimTime RuntimeJob::elapsed() const { return finish_time() - start_time_; }
+
+PeId RuntimeJob::pe_of(ChareId chare) const {
+  CLB_CHECK(chare >= 0 && static_cast<std::size_t>(chare) < chares_.size());
+  CLB_CHECK_MSG(started_, "mapping exists only after start()");
+  return assignment_[static_cast<std::size_t>(chare)];
+}
+
+Chare& RuntimeJob::chare(ChareId id) {
+  CLB_CHECK(id >= 0 && static_cast<std::size_t>(id) < chares_.size());
+  return *chares_[static_cast<std::size_t>(id)];
+}
+
+SimTime RuntimeJob::cpu_consumed() const {
+  SimTime total = SimTime::zero();
+  for (int p = 0; p < vm_.num_vcpus(); ++p) total += vm_.vcpu_cpu_time(p);
+  return total;
+}
+
+void RuntimeJob::send(ChareId from, ChareId to, int tag,
+                      std::vector<double> data, std::size_t bytes) {
+  CLB_CHECK_MSG(started_, "send before start()");
+  CLB_CHECK_MSG(!lb_in_progress_,
+                "AtSync contract violated: send during a LB barrier");
+  CLB_CHECK(to >= 0 && static_cast<std::size_t>(to) < chares_.size());
+
+  Message msg;
+  msg.src = from;
+  msg.dest = to;
+  msg.tag = tag;
+  msg.data = std::move(data);
+  msg.bytes = bytes != 0 ? bytes
+                         : msg.data.size() * sizeof(double) +
+                               kMessageEnvelopeBytes;
+  ++counters_.messages_sent;
+
+  const CoreId src_core = core_of_pe(pe_of(from));
+  const CoreId dst_core = core_of_pe(pe_of(to));
+  const SimTime delay = network_delay(src_core, dst_core, msg.bytes);
+  sim_.schedule_after(delay, [this, m = std::move(msg)]() mutable {
+    deliver(std::move(m));
+  });
+}
+
+SimTime RuntimeJob::network_delay(CoreId src, CoreId dst, std::size_t bytes) {
+  const bool same_node = vm_.machine().same_node(src, dst);
+  if (same_node || !config_.network.model_nic_contention)
+    return delivery_delay(config_.network, bytes, same_node);
+
+  // Store-and-forward through the source node's egress NIC: the transfer
+  // occupies the link for bytes/bandwidth, queued behind earlier sends.
+  const int node = vm_.machine().node_of(src);
+  if (nic_free_at_.size() <= static_cast<std::size_t>(node))
+    nic_free_at_.resize(static_cast<std::size_t>(node) + 1, SimTime::zero());
+  const SimTime transfer = SimTime::from_seconds(
+      static_cast<double>(bytes) / config_.network.inter_node_bandwidth);
+  const SimTime depart =
+      std::max(sim_.now(), nic_free_at_[static_cast<std::size_t>(node)]);
+  nic_free_at_[static_cast<std::size_t>(node)] = depart + transfer;
+  return (depart + transfer + config_.network.inter_node_latency) -
+         sim_.now();
+}
+
+SimTime RuntimeJob::sampled_idle(PeId pe) const {
+  const SimTime idle = vm_.host_proc_stat(static_cast<int>(pe)).idle;
+  const SimTime q = config_.proc_stat_quantum;
+  if (q.is_zero()) return idle;
+  return SimTime::nanos(idle.ns() / q.ns() * q.ns());  // floor to a jiffy
+}
+
+void RuntimeJob::deliver(Message msg) {
+  // Route by the *current* mapping: migrations happen only at barriers,
+  // when no application messages are in flight, so this never misroutes.
+  const PeId pe = pe_of(msg.dest);
+  pes_[static_cast<std::size_t>(pe)].queue.push_back(std::move(msg));
+  start_next_task(pe);
+}
+
+void RuntimeJob::start_next_task(PeId pe) {
+  auto& p = pes_[static_cast<std::size_t>(pe)];
+  if (p.executing || p.queue.empty()) return;
+  CLB_CHECK_MSG(!lb_in_progress_,
+                "AtSync contract violated: task runnable during LB barrier");
+
+  Message msg = std::move(p.queue.front());
+  p.queue.pop_front();
+  p.executing = true;
+
+  Chare& target = *chares_[static_cast<std::size_t>(msg.dest)];
+  const SimTime cost = target.cost(msg);
+  CLB_CHECK(!cost.is_negative());
+  const SimTime begin = sim_.now();
+
+  vm_.demand(pe, cost,
+             [this, pe, begin, cost, m = std::move(msg)]() mutable {
+               db_.record_task(m.dest, cost.to_seconds());
+               ++counters_.tasks_executed;
+               if (observer_ != nullptr)
+                 observer_->on_task_executed(*this, pe, core_of_pe(pe),
+                                             m.dest, m.tag, begin, sim_.now());
+               chares_[static_cast<std::size_t>(m.dest)]->execute(m);
+               pes_[static_cast<std::size_t>(pe)].executing = false;
+               pump_service(pe);
+               start_next_task(pe);
+             });
+}
+
+void RuntimeJob::at_sync(ChareId chare) {
+  CLB_CHECK_MSG(config_.lb_period > 0,
+                "at_sync called but lb_period is 0 (balancing disabled)");
+  CLB_CHECK(!lb_in_progress_);
+  CLB_CHECK(!chare_done_[static_cast<std::size_t>(chare)]);
+  ++sync_count_;
+  const std::size_t live = chares_.size() - finished_chares_;
+  CLB_CHECK(sync_count_ <= live);
+  if (sync_count_ == live) {
+    sync_count_ = 0;
+    lb_in_progress_ = true;
+    // The gather/decide/broadcast of the LB framework is real CPU work on
+    // the master PE — if that core is interfered, the decision itself
+    // slows down, exactly as it would in the paper's setup.
+    enqueue_service(0, config_.lb_decision_overhead,
+                    [this] { run_lb_step(); });
+  }
+}
+
+void RuntimeJob::contribute(ChareId chare, double value) {
+  CLB_CHECK(!lb_in_progress_);
+  CLB_CHECK(!chare_done_[static_cast<std::size_t>(chare)]);
+  reduction_sum_ += value;
+  ++reduction_count_;
+  const std::size_t live = chares_.size() - finished_chares_;
+  CLB_CHECK_MSG(reduction_count_ <= live,
+                "more contributions than live chares in one reduction");
+  if (reduction_count_ == live) {
+    const double result = reduction_sum_;
+    reduction_count_ = 0;
+    reduction_sum_ = 0.0;
+    sim_.schedule_after(config_.reduction_latency, [this, result] {
+      for (std::size_t c = 0; c < chares_.size(); ++c) {
+        if (chare_done_[c]) continue;
+        chares_[c]->on_reduction_result(result);
+      }
+    });
+  }
+}
+
+LbStats RuntimeJob::collect_stats() const {
+  LbStats stats;
+  const SimTime now = sim_.now();
+  stats.pes.resize(pes_.size());
+  for (std::size_t p = 0; p < pes_.size(); ++p) {
+    PeSample& s = stats.pes[p];
+    s.pe = static_cast<PeId>(p);
+    s.core = core_of_pe(static_cast<PeId>(p));
+    s.wall_sec = (now - pes_[p].window_start).to_seconds();
+    s.core_idle_sec =
+        (sampled_idle(static_cast<PeId>(p)) - pes_[p].idle_anchor)
+            .to_seconds();
+  }
+  stats.chares.resize(chares_.size());
+  for (std::size_t c = 0; c < chares_.size(); ++c) {
+    ChareSample& s = stats.chares[c];
+    s.chare = static_cast<ChareId>(c);
+    s.pe = assignment_[c];
+    s.cpu_sec = db_.chare_cpu(static_cast<ChareId>(c));
+    s.bytes = chares_[c]->footprint_bytes();
+    stats.pes[static_cast<std::size_t>(s.pe)].task_cpu_sec += s.cpu_sec;
+  }
+  return stats;
+}
+
+void RuntimeJob::run_lb_step() {
+  const LbStats stats = collect_stats();
+  std::vector<PeId> new_assignment = balancer_->assign(stats);
+  CLB_CHECK_MSG(new_assignment.size() == chares_.size(),
+                "balancer returned a mapping of the wrong size");
+  int moves = 0;
+  for (std::size_t c = 0; c < new_assignment.size(); ++c) {
+    CLB_CHECK_MSG(new_assignment[c] >= 0 &&
+                      new_assignment[c] < static_cast<PeId>(pes_.size()),
+                  "balancer assigned chare " << c << " to invalid PE");
+    if (new_assignment[c] != assignment_[c]) ++moves;
+  }
+  ++counters_.lb_steps;
+  if (observer_ != nullptr)
+    observer_->on_lb_step(*this, counters_.lb_steps, sim_.now(), moves);
+  CLB_DEBUG(name() << ": LB step " << counters_.lb_steps << " at "
+                   << sim_.now().to_string() << ", " << moves
+                   << " migrations");
+
+  if (moves == 0) {
+    resume_all();
+    return;
+  }
+  begin_migrations(new_assignment);
+}
+
+void RuntimeJob::begin_migrations(const std::vector<PeId>& new_assignment) {
+  migrations_in_flight_ = 0;
+  std::vector<std::pair<ChareId, std::pair<PeId, PeId>>> moves;
+  for (std::size_t c = 0; c < new_assignment.size(); ++c) {
+    if (new_assignment[c] != assignment_[c]) {
+      moves.push_back({static_cast<ChareId>(c),
+                       {assignment_[c], new_assignment[c]}});
+    }
+  }
+  // Commit the mapping at decision time; no application messages are in
+  // flight at the barrier, so routing stays consistent.
+  assignment_ = new_assignment;
+  migrations_in_flight_ = static_cast<int>(moves.size());
+  for (const auto& [chare, fromto] : moves)
+    migrate_chare(chare, fromto.first, fromto.second);
+}
+
+void RuntimeJob::migrate_chare(ChareId chare, PeId from, PeId to) {
+  ++counters_.migrations;
+  const std::size_t bytes =
+      chares_[static_cast<std::size_t>(chare)]->footprint_bytes();
+  counters_.migrated_bytes += static_cast<std::int64_t>(bytes);
+  if (observer_ != nullptr) observer_->on_migration(*this, chare, from, to);
+
+  const SimTime pack =
+      SimTime::from_seconds(config_.pack_sec_per_byte *
+                            static_cast<double>(bytes));
+  const SimTime unpack =
+      SimTime::from_seconds(config_.unpack_sec_per_byte *
+                            static_cast<double>(bytes));
+  const SimTime transfer =
+      network_delay(core_of_pe(from), core_of_pe(to), bytes);
+
+  enqueue_service(from, pack, [this, to, unpack, transfer] {
+    sim_.schedule_after(transfer, [this, to, unpack] {
+      enqueue_service(to, unpack, [this] { migration_done(); });
+    });
+  });
+}
+
+void RuntimeJob::enqueue_service(PeId pe, SimTime cpu,
+                                 std::function<void()> done) {
+  auto& p = pes_[static_cast<std::size_t>(pe)];
+  CLB_CHECK_MSG(lb_in_progress_, "runtime services run only at LB barriers");
+  p.services.push_back(ServiceItem{cpu, std::move(done)});
+  pump_service(pe);
+}
+
+void RuntimeJob::pump_service(PeId pe) {
+  auto& p = pes_[static_cast<std::size_t>(pe)];
+  if (p.service_active || p.services.empty()) return;
+  // The barrier may complete inside the last chare's execute(): its PE is
+  // still unwinding the task, so wait for the flag to clear (the task's
+  // completion path re-pumps).
+  if (p.executing) return;
+  ServiceItem item = std::move(p.services.front());
+  p.services.pop_front();
+  p.service_active = true;
+  vm_.demand(pe, item.cpu, [this, pe, done = std::move(item.done)] {
+    pes_[static_cast<std::size_t>(pe)].service_active = false;
+    done();
+    pump_service(pe);
+  });
+}
+
+void RuntimeJob::migration_done() {
+  CLB_CHECK(migrations_in_flight_ > 0);
+  if (--migrations_in_flight_ == 0) resume_all();
+}
+
+void RuntimeJob::resume_all() {
+  reset_lb_window();
+  lb_in_progress_ = false;
+  for (std::size_t c = 0; c < chares_.size(); ++c) {
+    if (chare_done_[c]) continue;
+    sim_.schedule_after(SimTime::zero(), [this, c] {
+      chares_[c]->on_resume_sync();
+    });
+  }
+}
+
+void RuntimeJob::reset_lb_window() {
+  db_.clear_window();
+  const SimTime now = sim_.now();
+  for (std::size_t p = 0; p < pes_.size(); ++p) {
+    pes_[p].window_start = now;
+    pes_[p].idle_anchor = sampled_idle(static_cast<PeId>(p));
+  }
+}
+
+void RuntimeJob::report_iteration(ChareId chare, int iteration) {
+  CLB_CHECK(iteration >= 0);
+  (void)chare;
+  const auto it = static_cast<std::size_t>(iteration);
+  if (iteration_reports_.size() <= it) {
+    iteration_reports_.resize(it + 1, 0);
+    iteration_times_.resize(it + 1, SimTime::zero());
+  }
+  if (++iteration_reports_[it] == static_cast<int>(chares_.size())) {
+    iteration_times_[it] = sim_.now();
+    if (observer_ != nullptr)
+      observer_->on_iteration_complete(*this, iteration, sim_.now());
+  }
+}
+
+void RuntimeJob::chare_finished(ChareId chare) {
+  CLB_CHECK(!chare_done_[static_cast<std::size_t>(chare)]);
+  chare_done_[static_cast<std::size_t>(chare)] = true;
+  ++finished_chares_;
+  if (finished_chares_ == chares_.size()) {
+    finished_ = true;
+    finish_time_ = sim_.now();
+    CLB_INFO(name() << " finished at " << finish_time_.to_string());
+  }
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/framework.h"
+#include "runtime/chare.h"
+#include "runtime/lb_database.h"
+#include "runtime/message.h"
+#include "runtime/network.h"
+#include "runtime/observer.h"
+#include "sim/simulator.h"
+#include "vm/virtual_machine.h"
+
+namespace cloudlb {
+
+/// Runtime tuning for one job.
+struct JobConfig {
+  std::string name = "job";
+
+  /// Iterations between AtSync barriers. Applications read this to decide
+  /// when to call at_sync(); 0 disables periodic balancing entirely.
+  int lb_period = 10;
+
+  NetworkConfig network;
+
+  /// Migration cost model: CPU to serialize/deserialize one byte of chare
+  /// state on the source/destination PE (≈1 GB/s each by default), plus the
+  /// network transfer of the serialized bytes.
+  double pack_sec_per_byte = 1e-9;
+  double unpack_sec_per_byte = 1e-9;
+
+  /// CPU cost of running the LB framework itself (gather + decision +
+  /// broadcast), charged to the master PE once per LB step — and thus
+  /// stretched by whatever shares the master's core.
+  SimTime lb_decision_overhead = SimTime::micros(200);
+
+  /// Wall-clock latency of a full contribute/broadcast reduction cycle
+  /// once the last chare has contributed (tree gather + broadcast).
+  SimTime reduction_latency = SimTime::micros(250);
+
+  /// Resolution of the host's idle-time counters as sampled for Eq. 2.
+  /// Zero reads the exact fluid-model counters; the paper reads
+  /// /proc/stat, whose jiffies tick every 10 ms — set that here to study
+  /// the estimator under realistic quantization.
+  SimTime proc_stat_quantum = SimTime::zero();
+};
+
+/// A parallel job under the message-driven runtime: a set of chares mapped
+/// onto the PEs (one per vCPU of the job's VM), exchanging messages,
+/// hitting periodic AtSync barriers at which a LoadBalancer strategy may
+/// migrate chares.
+///
+/// This is the Charm++ substrate the paper's scheme plugs into: it keeps
+/// the LB database (per-task CPU times), measures each PE's wall-clock
+/// window and its host core's idle counter, and hands all of it to the
+/// strategy as LbStats.
+class RuntimeJob {
+ public:
+  /// The job runs one PE per vCPU of `vm`. The balancer may be the NullLb
+  /// to reproduce the paper's "noLB" configuration.
+  RuntimeJob(Simulator& sim, VirtualMachine& vm, JobConfig config,
+             std::unique_ptr<LoadBalancer> balancer);
+  ~RuntimeJob();
+
+  RuntimeJob(const RuntimeJob&) = delete;
+  RuntimeJob& operator=(const RuntimeJob&) = delete;
+
+  /// Registers a chare before start(); returns its id. Chares are assigned
+  /// to PEs block-wise initially (chare i -> PE i·P/N), matching an even
+  /// static decomposition.
+  ChareId add_chare(std::unique_ptr<Chare> chare);
+
+  /// Starts the job at the current simulation time: anchors measurement
+  /// windows and invokes every chare's on_start().
+  void start();
+
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+  SimTime start_time() const { return start_time_; }
+  /// Valid once finished(): time the last chare called finish().
+  SimTime finish_time() const;
+  /// Wall-clock makespan (finish − start).
+  SimTime elapsed() const;
+
+  const std::string& name() const { return config_.name; }
+  const JobConfig& config() const { return config_; }
+  int num_pes() const { return vm_.num_vcpus(); }
+  std::size_t num_chares() const { return chares_.size(); }
+  int lb_period() const { return config_.lb_period; }
+
+  Simulator& sim() { return sim_; }
+  VirtualMachine& vm() { return vm_; }
+
+  PeId pe_of(ChareId chare) const;
+  CoreId core_of_pe(PeId pe) const { return vm_.core_of(pe); }
+  Chare& chare(ChareId id);
+
+  /// Completion times of fully-finished application iterations
+  /// (index = iteration number as reported by chares).
+  const std::vector<SimTime>& iteration_times() const {
+    return iteration_times_;
+  }
+
+  void set_observer(ExecutionObserver* observer) { observer_ = observer; }
+
+  /// Aggregate counters, cumulative over the job's lifetime.
+  struct Counters {
+    std::int64_t tasks_executed = 0;
+    std::int64_t messages_sent = 0;
+    int lb_steps = 0;
+    int migrations = 0;
+    std::int64_t migrated_bytes = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Total CPU consumed by the job's PEs (from core accounting).
+  SimTime cpu_consumed() const;
+
+  // --- Chare-facing API (called from Chare protected helpers). ---
+
+  void send(ChareId from, ChareId to, int tag, std::vector<double> data,
+            std::size_t bytes);
+  void at_sync(ChareId chare);
+  void contribute(ChareId chare, double value);
+  void chare_finished(ChareId chare);
+  void report_iteration(ChareId chare, int iteration);
+
+ private:
+  /// Runtime-internal CPU work (migration pack/unpack) serialized per PE.
+  struct ServiceItem {
+    SimTime cpu;
+    std::function<void()> done;
+  };
+
+  struct Pe {
+    std::deque<Message> queue;
+    bool executing = false;
+    std::deque<ServiceItem> services;
+    bool service_active = false;
+    // Measurement-window anchors for LbStats (reset after each LB step).
+    SimTime window_start;
+    SimTime idle_anchor;
+  };
+
+  void deliver(Message msg);
+  SimTime sampled_idle(PeId pe) const;
+  /// Total delay for `bytes` from src to dst core, including NIC egress
+  /// queueing when the network model enables it.
+  SimTime network_delay(CoreId src, CoreId dst, std::size_t bytes);
+  void start_next_task(PeId pe);
+  void enqueue_service(PeId pe, SimTime cpu, std::function<void()> done);
+  void pump_service(PeId pe);
+  void run_lb_step();
+  void begin_migrations(const std::vector<PeId>& new_assignment);
+  void migrate_chare(ChareId chare, PeId from, PeId to);
+  void migration_done();
+  void resume_all();
+  LbStats collect_stats() const;
+  void reset_lb_window();
+
+  Simulator& sim_;
+  VirtualMachine& vm_;
+  JobConfig config_;
+  std::unique_ptr<LoadBalancer> balancer_;
+  std::vector<std::unique_ptr<Chare>> chares_;
+  std::vector<bool> chare_done_;
+  std::vector<PeId> assignment_;  ///< chare -> PE
+  std::vector<Pe> pes_;
+  LbDatabase db_;
+  ExecutionObserver* observer_ = nullptr;
+
+  bool started_ = false;
+  bool finished_ = false;
+  SimTime start_time_;
+  SimTime finish_time_;
+  std::size_t finished_chares_ = 0;
+
+  std::size_t sync_count_ = 0;
+  bool lb_in_progress_ = false;
+  std::size_t reduction_count_ = 0;
+  double reduction_sum_ = 0.0;
+  int migrations_in_flight_ = 0;
+
+  /// Per-source-node NIC egress availability (used when the network model
+  /// enables contention).
+  std::vector<SimTime> nic_free_at_;
+
+  std::vector<int> iteration_reports_;  ///< per-iteration completion counts
+  std::vector<SimTime> iteration_times_;
+
+  Counters counters_;
+};
+
+}  // namespace cloudlb

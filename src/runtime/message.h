@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lb/framework.h"
+
+namespace cloudlb {
+
+/// A message addressed to a chare's entry method.
+///
+/// `tag` selects the entry method (application-defined); `data` carries the
+/// payload (doubles cover ghost rows, particle records, scalar control
+/// values). `bytes` is the simulated wire size; if left zero the runtime
+/// charges the payload size plus a fixed envelope.
+struct Message {
+  ChareId src = -1;
+  ChareId dest = -1;
+  int tag = 0;
+  std::vector<double> data;
+  std::size_t bytes = 0;
+};
+
+/// Envelope overhead added to every message's wire size.
+inline constexpr std::size_t kMessageEnvelopeBytes = 64;
+
+}  // namespace cloudlb

@@ -1,0 +1,17 @@
+#include "runtime/network.h"
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+SimTime delivery_delay(const NetworkConfig& net, std::size_t bytes,
+                       bool same_node) {
+  const SimTime latency =
+      same_node ? net.intra_node_latency : net.inter_node_latency;
+  const double bw =
+      same_node ? net.intra_node_bandwidth : net.inter_node_bandwidth;
+  CLB_CHECK(bw > 0.0);
+  return latency + SimTime::from_seconds(static_cast<double>(bytes) / bw);
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/sim_time.h"
+
+namespace cloudlb {
+
+/// Point-to-point network cost model.
+///
+/// Cloud networks are the weak spot the paper repeatedly flags; the default
+/// inter-node figures model a virtualized Ethernet (tens of microseconds of
+/// latency, ~1 GB/s), while intra-node transfers go through shared memory.
+struct NetworkConfig {
+  SimTime intra_node_latency = SimTime::micros(2);
+  SimTime inter_node_latency = SimTime::micros(60);
+  double intra_node_bandwidth = 4.0e9;  ///< bytes/second
+  double inter_node_bandwidth = 1.0e9;  ///< bytes/second
+
+  /// When true, inter-node transfers of one job serialize through the
+  /// sending node's NIC (store-and-forward egress): simultaneous sends
+  /// queue instead of enjoying infinite parallel links. Off by default —
+  /// the paper's workloads are compute-dominated — but useful for
+  /// studying the §VI network concerns.
+  bool model_nic_contention = false;
+};
+
+/// Latency + size/bandwidth delivery delay for one message.
+SimTime delivery_delay(const NetworkConfig& net, std::size_t bytes,
+                       bool same_node);
+
+}  // namespace cloudlb

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "lb/framework.h"
+#include "machine/core.h"
+#include "util/sim_time.h"
+
+namespace cloudlb {
+
+class RuntimeJob;
+
+/// Hook interface for tools that watch a job execute (timeline tracers,
+/// statistics collectors). All callbacks are optional; default-no-op.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  /// One task (entry-method execution) finished on a PE.
+  virtual void on_task_executed(const RuntimeJob& /*job*/, PeId /*pe*/,
+                                CoreId /*core*/, ChareId /*chare*/,
+                                int /*tag*/, SimTime /*start*/,
+                                SimTime /*end*/) {}
+
+  /// A load-balancing step completed its decision phase.
+  virtual void on_lb_step(const RuntimeJob& /*job*/, int /*step*/,
+                          SimTime /*time*/, int /*migrations*/) {}
+
+  /// One chare migrated between PEs (fires at decision time).
+  virtual void on_migration(const RuntimeJob& /*job*/, ChareId /*chare*/,
+                            PeId /*from*/, PeId /*to*/) {}
+
+  /// All chares completed application iteration `iteration`.
+  virtual void on_iteration_complete(const RuntimeJob& /*job*/,
+                                     int /*iteration*/, SimTime /*time*/) {}
+};
+
+}  // namespace cloudlb

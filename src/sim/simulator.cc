@@ -1,0 +1,64 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
+  CLB_CHECK_MSG(t >= now_, "event scheduled in the past: t="
+                               << t.to_string() << " now=" << now_.to_string());
+  CLB_CHECK(cb != nullptr);
+  const std::uint64_t id = next_seq_++;
+  queue_.push(QueueEntry{t, id, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventHandle{id};
+}
+
+EventHandle Simulator::schedule_after(SimTime delay, Callback cb) {
+  CLB_CHECK(!delay.is_negative());
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  return callbacks_.erase(h.id_) > 0;
+  // The queue entry stays behind and is skipped lazily when popped.
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = entry.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  CLB_CHECK(t >= now_);
+  while (!queue_.empty()) {
+    // Skip stale (cancelled) heads without advancing the clock.
+    const QueueEntry entry = queue_.top();
+    if (!callbacks_.contains(entry.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace cloudlb

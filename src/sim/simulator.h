@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace cloudlb {
+
+/// Handle to a scheduled event, usable for cancellation. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_{id} {}
+  std::uint64_t id_ = 0;
+};
+
+/// Deterministic discrete-event simulator.
+///
+/// Events scheduled for the same timestamp execute in scheduling order
+/// (FIFO tie-break by sequence number), so a scenario is bit-reproducible
+/// across runs and platforms. Single-threaded by design: the parallelism
+/// being studied lives *inside* the simulated machine, not in the host.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time. Starts at zero.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventHandle schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` at now() + delay (delay must be >= 0).
+  EventHandle schedule_after(SimTime delay, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled
+  /// or inert handle is a no-op; returns whether something was cancelled.
+  bool cancel(EventHandle h);
+
+  /// Executes the next pending event. Returns false if none remain.
+  bool step();
+
+  /// Runs until the event queue drains.
+  void run();
+
+  /// Runs all events with timestamp <= `t`, then sets the clock to `t`.
+  void run_until(SimTime t);
+
+  /// Number of events scheduled but not yet fired or cancelled.
+  std::size_t pending() const { return callbacks_.size(); }
+
+  /// Total events executed so far (monitoring / benchmarks).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    bool operator>(const QueueEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace cloudlb

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cloudlb {
+
+/// Thrown on violated internal invariants and misuse of public APIs.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace cloudlb
+
+/// Always-on invariant check; throws CheckFailure (never aborts) so tests
+/// can assert on misuse and the simulator can fail loudly but cleanly.
+#define CLB_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::cloudlb::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CLB_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream os_;                                        \
+      os_ << msg;                                                    \
+      ::cloudlb::detail::check_failed(#cond, __FILE__, __LINE__,     \
+                                      os_.str());                    \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,58 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace cloudlb {
+
+Histogram::Histogram(double lo, double hi, int buckets) : lo_{lo}, hi_{hi} {
+  CLB_CHECK(hi > lo);
+  CLB_CHECK(buckets > 0);
+  counts_.assign(static_cast<std::size_t>(buckets), 0);
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    ++counts_.back();
+    return;
+  }
+  const auto b = static_cast<std::size_t>(
+      (value - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  ++counts_[std::min(b, counts_.size() - 1)];
+}
+
+double Histogram::bucket_lo(int b) const {
+  CLB_CHECK(b >= 0 && static_cast<std::size_t>(b) <= counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                   static_cast<double>(counts_.size());
+}
+
+void Histogram::print(std::ostream& os, const std::string& unit,
+                      int width) const {
+  CLB_CHECK(width > 0);
+  const std::int64_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (int b = 0; b < static_cast<int>(counts_.size()); ++b) {
+    const auto n = counts_[static_cast<std::size_t>(b)];
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(static_cast<double>(n) * width / peak);
+    os << '[' << Table::num(bucket_lo(b), 3) << ", "
+       << Table::num(bucket_lo(b + 1), 3) << ')' << unit << "  " << n << "  "
+       << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  if (underflow_ > 0 || overflow_ > 0)
+    os << "(clamped: " << underflow_ << " below, " << overflow_
+       << " above)\n";
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cloudlb {
+
+/// Fixed-range linear histogram with ASCII rendering, used for task-
+/// duration and message-size distributions in profiles and tools.
+class Histogram {
+ public:
+  /// Buckets span [lo, hi) evenly; values outside clamp into the first /
+  /// last bucket (and are counted separately as underflow/overflow).
+  Histogram(double lo, double hi, int buckets);
+
+  void add(double value);
+
+  std::size_t count() const { return total_; }
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+  const std::vector<std::int64_t>& buckets() const { return counts_; }
+
+  /// Lower edge of bucket `b`.
+  double bucket_lo(int b) const;
+
+  /// Renders rows of "[lo, hi)  count  ####…" scaled to `width` chars.
+  /// `unit` annotates the edges (e.g. "ms").
+  void print(std::ostream& os, const std::string& unit = "",
+             int width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cloudlb

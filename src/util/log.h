@@ -1,0 +1,34 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cloudlb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold; messages below it are discarded.
+/// Defaults to kWarn so tests and benches stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace cloudlb
+
+#define CLB_LOG(level, expr)                                   \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::cloudlb::log_level())) {            \
+      std::ostringstream os_;                                  \
+      os_ << expr;                                             \
+      ::cloudlb::detail::log_emit(level, os_.str());           \
+    }                                                          \
+  } while (0)
+
+#define CLB_DEBUG(expr) CLB_LOG(::cloudlb::LogLevel::kDebug, expr)
+#define CLB_INFO(expr) CLB_LOG(::cloudlb::LogLevel::kInfo, expr)
+#define CLB_WARN(expr) CLB_LOG(::cloudlb::LogLevel::kWarn, expr)
+#define CLB_ERROR(expr) CLB_LOG(::cloudlb::LogLevel::kError, expr)

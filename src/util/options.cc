@@ -1,0 +1,120 @@
+#include "util/options.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+Options::Options(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+Options::Options(const std::vector<std::string>& args) { parse(args); }
+
+void Options::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    CLB_CHECK_MSG(!body.empty(), "stray '--'");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself an option;
+    // otherwise a bare boolean flag.
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      values_[body] = args[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+const std::string* Options::lookup(const std::string& key) {
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) {
+  const std::string* v = lookup(key);
+  return v != nullptr ? *v : fallback;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) {
+  const std::string* v = lookup(key);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  CLB_CHECK_MSG(end != nullptr && *end == '\0' && !v->empty(),
+                "--" << key << " expects an integer, got '" << *v << "'");
+  return parsed;
+}
+
+double Options::get_double(const std::string& key, double fallback) {
+  const std::string* v = lookup(key);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  CLB_CHECK_MSG(end != nullptr && *end == '\0' && !v->empty(),
+                "--" << key << " expects a number, got '" << *v << "'");
+  return parsed;
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) {
+  const std::string* v = lookup(key);
+  if (v == nullptr) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  CLB_CHECK_MSG(false, "--" << key << " expects a boolean, got '" << *v << "'");
+  return fallback;
+}
+
+std::vector<int> Options::get_int_list(const std::string& key,
+                                       std::vector<int> fallback) {
+  const std::string* v = lookup(key);
+  if (v == nullptr) return fallback;
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos <= v->size()) {
+    const auto comma = v->find(',', pos);
+    const std::string item =
+        v->substr(pos, comma == std::string::npos ? std::string::npos
+                                                  : comma - pos);
+    char* end = nullptr;
+    const long parsed = std::strtol(item.c_str(), &end, 10);
+    CLB_CHECK_MSG(!item.empty() && end != nullptr && *end == '\0',
+                  "--" << key << " expects integers, got '" << item << "'");
+    out.push_back(static_cast<int>(parsed));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void Options::check_unused() const {
+  std::string unknown;
+  for (const auto& [key, value] : values_) {
+    if (!queried_.contains(key)) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + key;
+    }
+  }
+  CLB_CHECK_MSG(unknown.empty(), "unknown option(s): " << unknown);
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cloudlb {
+
+/// Minimal command-line option parser for the tools and benches.
+///
+/// Accepts `--key=value`, `--key value` and bare boolean `--flag` forms;
+/// everything that does not start with `--` is a positional argument.
+/// Typed getters consume defaults; `check_unused()` reports any option
+/// the tool never asked about (catching typos like `--epsilan`).
+class Options {
+ public:
+  /// Parses argv[1..argc). Throws CheckFailure on malformed input.
+  Options(int argc, const char* const* argv);
+
+  /// Convenience for tests.
+  explicit Options(const std::vector<std::string>& args);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "");
+  std::int64_t get_int(const std::string& key, std::int64_t fallback = 0);
+  double get_double(const std::string& key, double fallback = 0.0);
+  /// Bare `--flag` and `--flag=true/1` are true; `--flag=false/0` false.
+  bool get_bool(const std::string& key, bool fallback = false);
+  /// Comma-separated integer list, e.g. `--cores=4,8,16`.
+  std::vector<int> get_int_list(const std::string& key,
+                                std::vector<int> fallback = {});
+
+  /// Throws CheckFailure listing any provided option never queried.
+  void check_unused() const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+  const std::string* lookup(const std::string& key);
+
+  std::map<std::string, std::string> values_;
+  std::set<std::string> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cloudlb

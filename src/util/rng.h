@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cloudlb {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every stochastic element of a scenario (particle positions, interference
+/// jitter, random balancers) draws from an Rng seeded from the scenario
+/// seed, making whole experiments bit-reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Marsaglia polar method, scaled to (mean, stddev).
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-subsystem streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace cloudlb

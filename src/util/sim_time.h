@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <concepts>
+#include <cstdio>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace cloudlb {
+
+/// Virtual simulation time with nanosecond resolution.
+///
+/// A strong type so that times, durations and plain integers cannot be
+/// mixed up silently. All simulator, machine and runtime interfaces deal
+/// in SimTime; conversion to floating-point seconds happens only at the
+/// reporting boundary.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  static constexpr SimTime nanos(std::int64_t ns) { return SimTime{ns}; }
+  static constexpr SimTime micros(std::int64_t us) {
+    return SimTime{us * 1'000};
+  }
+  static constexpr SimTime millis(std::int64_t ms) {
+    return SimTime{ms * 1'000'000};
+  }
+  static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime{s * 1'000'000'000};
+  }
+  /// Converts a floating-point second count, rounding to the nearest ns.
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  template <std::integral I>
+  friend constexpr SimTime operator*(SimTime a, I k) {
+    return SimTime{a.ns_ * static_cast<std::int64_t>(k)};
+  }
+  template <std::integral I>
+  friend constexpr SimTime operator*(I k, SimTime a) {
+    return a * k;
+  }
+  template <std::floating_point F>
+  friend constexpr SimTime operator*(SimTime a, F k) {
+    return SimTime::from_seconds(a.to_seconds() * static_cast<double>(k));
+  }
+  template <std::floating_point F>
+  friend constexpr SimTime operator*(F k, SimTime a) {
+    return a * k;
+  }
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ / k};
+  }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  /// Human-readable rendering with an adaptive unit, e.g. "12.5ms".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+inline std::string SimTime::to_string() const {
+  const double s = to_seconds();
+  char buf[48];
+  if (ns_ == 0) return "0s";
+  const double abs = s < 0 ? -s : s;
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3fs", s);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3fms", s * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", s * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace cloudlb

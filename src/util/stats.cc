@@ -1,0 +1,116 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+void StatAccumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StatAccumulator::merge(const StatAccumulator& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = n_ + o.n_;
+  m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                     static_cast<double>(o.n_) / static_cast<double>(n);
+  mean_ = (mean_ * static_cast<double>(n_) + o.mean_ * static_cast<double>(o.n_)) /
+          static_cast<double>(n);
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  sum_ += o.sum_;
+  n_ = n;
+}
+
+double StatAccumulator::mean() const { return n_ ? mean_ : 0.0; }
+
+double StatAccumulator::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double StatAccumulator::min() const {
+  CLB_CHECK(n_ > 0);
+  return min_;
+}
+
+double StatAccumulator::max() const {
+  CLB_CHECK(n_ > 0);
+  return max_;
+}
+
+void SampleSet::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  CLB_CHECK(!values_.empty());
+  return sum() / static_cast<double>(values_.size());
+}
+
+double SampleSet::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  CLB_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  CLB_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  ensure_sorted();
+  CLB_CHECK(!sorted_.empty());
+  CLB_CHECK(p >= 0.0 && p <= 100.0);
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double load_imbalance(const std::vector<double>& loads) {
+  if (loads.empty()) return 0.0;
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  const double mean = total / static_cast<double>(loads.size());
+  const double mx = *std::max_element(loads.begin(), loads.end());
+  return mx / mean - 1.0;
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudlb {
+
+/// Streaming accumulator for count / mean / variance / extrema
+/// (Welford's algorithm; numerically stable).
+class StatAccumulator {
+ public:
+  void add(double x);
+  void merge(const StatAccumulator& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample container with percentile queries (holds all values).
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+  /// Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Coefficient-of-imbalance for a load vector: max/mean - 1.
+/// Zero means perfectly balanced; 1 means the worst core carries twice
+/// the average. Returns 0 for empty or all-zero input.
+double load_imbalance(const std::vector<double>& loads);
+
+}  // namespace cloudlb

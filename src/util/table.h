@@ -1,0 +1,34 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cloudlb {
+
+/// Column-aligned plain-text table, used by benches and examples to print
+/// paper-style result rows. Also exports CSV for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Writes an aligned table with a header separator line.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing commas/quotes get quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cloudlb

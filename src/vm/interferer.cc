@@ -1,0 +1,46 @@
+#include "vm/interferer.h"
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+SyntheticInterferer::SyntheticInterferer(Simulator& sim, Machine& machine,
+                                         std::vector<CoreId> cores,
+                                         Config config)
+    : sim_{sim}, config_{config} {
+  CLB_CHECK(config.duty_cycle > 0.0 && config.duty_cycle <= 1.0);
+  CLB_CHECK(config.chunk > SimTime::zero());
+  vm_ = std::make_unique<VirtualMachine>(machine, "interferer",
+                                         std::move(cores), config.weight);
+}
+
+void SyntheticInterferer::start() {
+  active_ = true;
+  for (int v = 0; v < vm_->num_vcpus(); ++v) pump(v);
+}
+
+void SyntheticInterferer::stop() { active_ = false; }
+
+void SyntheticInterferer::pump(int vcpu) {
+  // Re-entrancy guard: an in-flight chunk keeps pumping by itself, so a
+  // start() overlapping it must not issue a second demand.
+  if (!active_ || vm_->has_demand(vcpu)) return;
+  const SimTime busy = config_.chunk * config_.duty_cycle;
+  const SimTime rest = config_.chunk - busy;
+  vm_->demand(vcpu, busy, [this, vcpu, rest] {
+    if (!active_) return;
+    if (rest.is_zero()) {
+      pump(vcpu);
+    } else {
+      sim_.schedule_after(rest, [this, vcpu] { pump(vcpu); });
+    }
+  });
+}
+
+SimTime SyntheticInterferer::cpu_consumed() const {
+  SimTime total = SimTime::zero();
+  for (int v = 0; v < vm_->num_vcpus(); ++v) total += vm_->vcpu_cpu_time(v);
+  return total;
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "vm/virtual_machine.h"
+
+namespace cloudlb {
+
+/// A synthetic CPU-hog workload inside its own VM, used for controlled
+/// interference in tests and ablations (the paper's real background load —
+/// a 2-core Wave2D job — is built from the runtime layer instead).
+///
+/// While active it repeatedly issues compute chunks with a configurable
+/// duty cycle: duty 1.0 saturates its vCPU, 0.5 alternates equal compute
+/// and idle phases.
+class SyntheticInterferer {
+ public:
+  struct Config {
+    double duty_cycle = 1.0;                   ///< fraction of time computing
+    SimTime chunk = SimTime::millis(10);       ///< granularity of one burst
+    double weight = 1.0;                       ///< scheduler share of the VM
+  };
+
+  SyntheticInterferer(Simulator& sim, Machine& machine,
+                      std::vector<CoreId> cores, Config config);
+  SyntheticInterferer(Simulator& sim, Machine& machine,
+                      std::vector<CoreId> cores)
+      : SyntheticInterferer(sim, machine, std::move(cores), Config{}) {}
+
+  /// Begins hogging immediately; may be called again after stop().
+  void start();
+
+  /// Stops issuing new chunks (an in-flight chunk finishes naturally).
+  void stop();
+
+  bool active() const { return active_; }
+
+  /// Total CPU consumed by the interferer so far, summed over its vCPUs.
+  SimTime cpu_consumed() const;
+
+  VirtualMachine& vm() { return *vm_; }
+
+ private:
+  void pump(int vcpu);
+
+  Simulator& sim_;
+  Config config_;
+  std::unique_ptr<VirtualMachine> vm_;
+  bool active_ = false;
+};
+
+}  // namespace cloudlb

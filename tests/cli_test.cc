@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/cli.h"
+#include "util/check.h"
+#include "util/options.h"
+
+namespace cloudlb {
+namespace {
+
+// ---------------------------------------------------------------- Options
+
+TEST(OptionsTest, ParsesEqualsForm) {
+  Options options{{"--app=wave2d", "--cores=8"}};
+  EXPECT_EQ(options.get_string("app"), "wave2d");
+  EXPECT_EQ(options.get_int("cores"), 8);
+}
+
+TEST(OptionsTest, ParsesSpaceForm) {
+  Options options{{"--app", "mol3d", "--cores", "16"}};
+  EXPECT_EQ(options.get_string("app"), "mol3d");
+  EXPECT_EQ(options.get_int("cores"), 16);
+}
+
+TEST(OptionsTest, BareFlagIsTrue) {
+  Options options{{"--csv", "--verbose=false"}};
+  EXPECT_TRUE(options.get_bool("csv"));
+  EXPECT_FALSE(options.get_bool("verbose"));
+  EXPECT_FALSE(options.get_bool("absent", false));
+  EXPECT_TRUE(options.get_bool("absent2", true));
+}
+
+TEST(OptionsTest, PositionalArgumentsKept) {
+  Options options{{"sweep", "--cores=4", "extra"}};
+  EXPECT_EQ(options.positional(),
+            (std::vector<std::string>{"sweep", "extra"}));
+}
+
+TEST(OptionsTest, DefaultsWhenMissing) {
+  Options options{{}};
+  EXPECT_EQ(options.get_string("app", "jacobi2d"), "jacobi2d");
+  EXPECT_EQ(options.get_int("cores", 8), 8);
+  EXPECT_DOUBLE_EQ(options.get_double("epsilon", 0.05), 0.05);
+}
+
+TEST(OptionsTest, IntListParsing) {
+  Options options{{"--cores=4,8,16,32"}};
+  EXPECT_EQ(options.get_int_list("cores"), (std::vector<int>{4, 8, 16, 32}));
+  Options single{{"--cores=7"}};
+  EXPECT_EQ(single.get_int_list("cores"), (std::vector<int>{7}));
+}
+
+TEST(OptionsTest, TypeErrorsThrow) {
+  Options options{{"--cores=eight", "--epsilon=tiny", "--csv=maybe",
+                   "--list=1,x"}};
+  EXPECT_THROW(options.get_int("cores"), CheckFailure);
+  EXPECT_THROW(options.get_double("epsilon"), CheckFailure);
+  EXPECT_THROW(options.get_bool("csv"), CheckFailure);
+  EXPECT_THROW(options.get_int_list("list"), CheckFailure);
+}
+
+TEST(OptionsTest, UnusedOptionsDetected) {
+  Options options{{"--app=wave2d", "--epsilan=0.1"}};
+  options.get_string("app");
+  EXPECT_THROW(options.check_unused(), CheckFailure);
+  options.get_double("epsilan");
+  EXPECT_NO_THROW(options.check_unused());
+}
+
+// -------------------------------------------------------------------- CLI
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult cli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return CliResult{code, out.str(), err.str()};
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  const CliResult r = cli({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  const CliResult r = cli({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("penalty"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  const CliResult r = cli({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, ListsAppsAndBalancers) {
+  const CliResult apps = cli({"apps"});
+  EXPECT_EQ(apps.code, 0);
+  EXPECT_NE(apps.out.find("jacobi2d"), std::string::npos);
+  EXPECT_NE(apps.out.find("mol3d"), std::string::npos);
+  const CliResult balancers = cli({"balancers"});
+  EXPECT_EQ(balancers.code, 0);
+  EXPECT_NE(balancers.out.find("ia-refine"), std::string::npos);
+  EXPECT_NE(balancers.out.find("null"), std::string::npos);
+}
+
+TEST(CliTest, PenaltyRunsAndReports) {
+  const CliResult r = cli({"penalty", "--app=jacobi2d", "--cores=4",
+                           "--iterations=20", "--bg-iterations=40"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("app penalty (%)"), std::string::npos);
+  EXPECT_NE(r.out.find("migrations"), std::string::npos);
+}
+
+TEST(CliTest, PenaltyCsvMode) {
+  const CliResult r = cli({"penalty", "--app=jacobi2d", "--cores=4",
+                           "--iterations=20", "--bg-iterations=40",
+                           "--csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("metric,value"), std::string::npos);
+}
+
+TEST(CliTest, SweepCoversGrid) {
+  const CliResult r =
+      cli({"sweep", "--app=jacobi2d", "--cores=4,8", "--iterations=20",
+           "--bg-iterations=40", "--balancers=null,ia-refine"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // 4 data rows: 2 core counts x 2 balancers.
+  int rows = 0;
+  std::istringstream in{r.out};
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find("ia-refine") != std::string::npos ||
+        line.find("null") != std::string::npos)
+      ++rows;
+  EXPECT_EQ(rows, 4);
+}
+
+TEST(CliTest, TimelineRenders) {
+  const CliResult r = cli({"timeline", "--app=wave2d", "--cores=4",
+                           "--iterations=16", "--bg-iterations=30",
+                           "--width=60"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("core 0"), std::string::npos);
+  EXPECT_NE(r.out.find("busy %"), std::string::npos);
+}
+
+TEST(CliTest, RecordThenReplayRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cloudlb_trace.lbstats";
+  const CliResult record =
+      cli({"record", "--out=" + path, "--app=jacobi2d", "--cores=4",
+           "--iterations=20", "--bg-iterations=40"});
+  EXPECT_EQ(record.code, 0) << record.err;
+  EXPECT_NE(record.out.find("recorded"), std::string::npos);
+
+  const CliResult replay =
+      cli({"replay", "--trace=" + path, "--balancer=ia-refine"});
+  EXPECT_EQ(replay.code, 0) << replay.err;
+  EXPECT_NE(replay.out.find("max load before"), std::string::npos);
+  EXPECT_NE(replay.out.find("total migrations"), std::string::npos);
+}
+
+TEST(CliTest, ReplayMissingFileFails) {
+  const CliResult r = cli({"replay", "--trace=/no/such/file.lbstats"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, RecordRequiresOut) {
+  const CliResult r = cli({"record", "--app=jacobi2d"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--out"), std::string::npos);
+}
+
+TEST(CliTest, BadOptionValueReportsError) {
+  const CliResult r = cli({"penalty", "--cores=many"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownOptionReportsError) {
+  const CliResult r = cli({"penalty", "--coers=8", "--iterations=10",
+                           "--bg-iterations=20"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--coers"), std::string::npos);
+}
+
+TEST(CliTest, UnknownBalancerReportsError) {
+  const CliResult r = cli({"penalty", "--balancer=magic"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown balancer"), std::string::npos);
+}
+
+TEST(CliTest, UnknownAppReportsError) {
+  const CliResult r = cli({"penalty", "--app=linpack"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown application"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudlb

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/balancer_factory.h"
+#include "core/scenario.h"
+#include "vm/interferer.h"
+
+namespace cloudlb {
+namespace {
+
+ScenarioConfig config_for(const std::string& app, const std::string& balancer,
+                          int cores) {
+  ScenarioConfig config;
+  config.app.name = app;
+  config.app.iterations = 40;
+  config.app_cores = cores;
+  config.balancer = balancer;
+  config.lb_period = 5;
+  config.bg_iterations = 100;
+  return config;
+}
+
+// ------------------------------------------------- the paper's §V claims
+
+TEST(PaperClaimsTest, InterferenceRoughlyDoublesUnbalancedRuntime) {
+  // Fair CPU sharing on 2 of 4 cores + tight coupling → ≈100% penalty.
+  const PenaltyResult r =
+      run_penalty_experiment(config_for("jacobi2d", "null", 4));
+  EXPECT_GT(r.app_penalty_pct, 85.0);
+  EXPECT_LT(r.app_penalty_pct, 115.0);
+  EXPECT_GT(r.bg_penalty_pct, 80.0);
+}
+
+TEST(PaperClaimsTest, HeadlineTimingPenaltyReducedByHalfAt8Cores) {
+  // "our scheme reduces the timing penalty ... by at least 50%".
+  const PenaltyResult no_lb =
+      run_penalty_experiment(config_for("jacobi2d", "null", 8));
+  const PenaltyResult with_lb =
+      run_penalty_experiment(config_for("jacobi2d", "ia-refine", 8));
+  EXPECT_LT(with_lb.app_penalty_pct, 0.5 * no_lb.app_penalty_pct);
+}
+
+TEST(PaperClaimsTest, HeadlineEnergyOverheadReducedByHalfAt16Cores) {
+  // The energy-overhead halving needs enough cores for the balanced
+  // penalty to drop well below the noLB ~100% (the paper's grid goes to
+  // 32; the reduction crosses 50% between 8 and 16 in our model).
+  const PenaltyResult no_lb =
+      run_penalty_experiment(config_for("wave2d", "null", 16));
+  const PenaltyResult with_lb =
+      run_penalty_experiment(config_for("wave2d", "ia-refine", 16));
+  EXPECT_LT(with_lb.energy_overhead_pct, 0.5 * no_lb.energy_overhead_pct);
+}
+
+TEST(PaperClaimsTest, LbPenaltyDecreasesWithMoreCores) {
+  // Figure 2 trend: more cores → more places to offload the interfered
+  // cores' work → smaller LB penalty. noLB stays put.
+  const PenaltyResult lb4 =
+      run_penalty_experiment(config_for("jacobi2d", "ia-refine", 4));
+  const PenaltyResult lb8 =
+      run_penalty_experiment(config_for("jacobi2d", "ia-refine", 8));
+  const PenaltyResult lb16 =
+      run_penalty_experiment(config_for("jacobi2d", "ia-refine", 16));
+  EXPECT_LT(lb8.app_penalty_pct, lb4.app_penalty_pct);
+  EXPECT_LT(lb16.app_penalty_pct, lb8.app_penalty_pct);
+
+  const PenaltyResult nolb4 =
+      run_penalty_experiment(config_for("jacobi2d", "null", 4));
+  const PenaltyResult nolb16 =
+      run_penalty_experiment(config_for("jacobi2d", "null", 16));
+  EXPECT_GT(nolb16.app_penalty_pct, 0.7 * nolb4.app_penalty_pct);
+}
+
+TEST(PaperClaimsTest, BackgroundJobAlsoBenefitsFromLb) {
+  // Figure 2: "significantly reduces the timing penalty for the background
+  // load" (Jacobi2D / Wave2D).
+  const PenaltyResult no_lb =
+      run_penalty_experiment(config_for("wave2d", "null", 8));
+  const PenaltyResult with_lb =
+      run_penalty_experiment(config_for("wave2d", "ia-refine", 8));
+  EXPECT_LT(with_lb.bg_penalty_pct, no_lb.bg_penalty_pct);
+}
+
+TEST(PaperClaimsTest, Mol3dWithOsFavouredBackground) {
+  // The paper saw the OS strongly favour the BG job for Mol3D: tiny BG
+  // penalty, up to ~400% application penalty without LB.
+  ScenarioConfig no_lb = config_for("mol3d", "null", 8);
+  no_lb.bg_weight = 4.0;
+  // Weighting only bites while the BG is runnable; give it enough work to
+  // outlast even the heavily slowed noLB application run.
+  no_lb.bg_iterations = 700;
+  ScenarioConfig with_lb = no_lb;
+  with_lb.balancer = "ia-refine";
+
+  const PenaltyResult r_no = run_penalty_experiment(no_lb);
+  const PenaltyResult r_lb = run_penalty_experiment(with_lb);
+  // Far above the ~100% of fair sharing (the paper's Mol3D reached ~400%
+  // on their testbed; the exact factor depends on the OS preference and
+  // Mol3D's residual internal imbalance).
+  EXPECT_GT(r_no.app_penalty_pct, 120.0);
+  EXPECT_LT(r_no.bg_penalty_pct, 40.0);  // BG barely notices the app
+  EXPECT_LT(r_lb.app_penalty_pct, 0.5 * r_no.app_penalty_pct);
+}
+
+TEST(PaperClaimsTest, LbPowerHigherEnergyLowerForAllApps) {
+  // Figure 4 across all three applications.
+  for (const char* app : {"jacobi2d", "wave2d", "mol3d"}) {
+    const PenaltyResult no_lb =
+        run_penalty_experiment(config_for(app, "null", 8));
+    const PenaltyResult with_lb =
+        run_penalty_experiment(config_for(app, "ia-refine", 8));
+    EXPECT_GT(with_lb.combined.avg_power_watts,
+              no_lb.combined.avg_power_watts)
+        << app;
+    EXPECT_LT(with_lb.combined.energy_joules, no_lb.combined.energy_joules)
+        << app;
+  }
+}
+
+TEST(PaperClaimsTest, InternalImbalanceAloneAlsoHelped) {
+  // Mol3D is internally imbalanced (clustered particles); even without any
+  // interference the balancer should win.
+  ScenarioConfig null_config = config_for("mol3d", "null", 8);
+  null_config.with_background = false;
+  ScenarioConfig lb_config = null_config;
+  lb_config.balancer = "ia-refine";
+  const RunResult no_lb = run_scenario(null_config);
+  const RunResult with_lb = run_scenario(lb_config);
+  EXPECT_LT(with_lb.app_elapsed.to_seconds(),
+            0.95 * no_lb.app_elapsed.to_seconds());
+}
+
+// -------------------------------------------------- strategy comparisons
+
+TEST(StrategyComparisonTest, InterferenceAwareBeatsInterferenceBlind) {
+  // Classic RefineLB cannot see the background load; under pure external
+  // imbalance it does nothing (the paper's motivation).
+  const PenaltyResult blind =
+      run_penalty_experiment(config_for("jacobi2d", "refine", 8));
+  const PenaltyResult aware =
+      run_penalty_experiment(config_for("jacobi2d", "ia-refine", 8));
+  EXPECT_LT(aware.app_penalty_pct, 0.6 * blind.app_penalty_pct);
+  EXPECT_EQ(blind.combined.lb_migrations, 0);
+}
+
+TEST(StrategyComparisonTest, GainGateMigratesLessUnderSlowNetwork) {
+  ScenarioConfig aware = config_for("jacobi2d", "ia-refine", 8);
+  ScenarioConfig gated = config_for("jacobi2d", "gain-gated", 8);
+  const PenaltyResult r_aware = run_penalty_experiment(aware);
+  const PenaltyResult r_gated = run_penalty_experiment(gated);
+  EXPECT_LE(r_gated.combined.lb_migrations, r_aware.combined.lb_migrations);
+  // And it must still clearly beat doing nothing.
+  const PenaltyResult r_null =
+      run_penalty_experiment(config_for("jacobi2d", "null", 8));
+  EXPECT_LT(r_gated.app_penalty_pct, 0.7 * r_null.app_penalty_pct);
+}
+
+TEST(PaperClaimsTest, HeterogeneousCoresHandledByEq2) {
+  // A slow core is indistinguishable from an interfered one through the
+  // paper's estimator; the balancer right-sizes its share without any
+  // heterogeneity-specific logic.
+  ScenarioConfig config = config_for("jacobi2d", "null", 8);
+  config.with_background = false;
+  const double fast = run_scenario(config).app_elapsed.to_seconds();
+
+  config.machine.core_speed_overrides = {{0, 0.5}, {1, 0.5}};
+  const double slow_no_lb = run_scenario(config).app_elapsed.to_seconds();
+  config.balancer = "ia-refine";
+  const RunResult lb = run_scenario(config);
+  const double slow_lb = lb.app_elapsed.to_seconds();
+
+  EXPECT_GT(slow_no_lb, 1.8 * fast);  // tight coupling: ~2x from 2 slow cores
+  EXPECT_LT(slow_lb, 0.75 * slow_no_lb);
+  EXPECT_GT(lb.lb_migrations, 0);
+}
+
+// -------------------------------------------- dynamic interference (Fig. 3)
+
+TEST(DynamicInterferenceTest, BalancerTracksMovingInterferer) {
+  // Interference hops between cores mid-run; the LB must chase it.
+  auto run_with = [&](const std::string& balancer) {
+    Simulator sim;
+    Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 4}};
+    VirtualMachine vm{machine, "app", {0, 1, 2, 3}};
+    JobConfig jc;
+    jc.name = "wave2d";
+    jc.lb_period = 4;
+    RuntimeJob job{sim, vm, jc, make_balancer(balancer)};
+    AppSpec spec;
+    spec.name = "wave2d";
+    spec.iterations = 60;
+    populate_app(job, spec);
+
+    SyntheticInterferer hog1{sim, machine, {0}};
+    SyntheticInterferer hog2{sim, machine, {2}};
+    sim.schedule_at(SimTime::from_seconds(0.0), [&] { hog1.start(); });
+    sim.schedule_at(SimTime::from_seconds(3.0), [&] { hog1.stop(); });
+    sim.schedule_at(SimTime::from_seconds(4.0), [&] { hog2.start(); });
+    sim.schedule_at(SimTime::from_seconds(8.0), [&] { hog2.stop(); });
+
+    job.start();
+    while (!job.finished()) sim.step();
+    return std::pair{job.elapsed().to_seconds(), job.counters().migrations};
+  };
+  const auto [null_time, null_migrations] = run_with("null");
+  const auto [lb_time, lb_migrations] = run_with("ia-refine");
+  EXPECT_EQ(null_migrations, 0);
+  EXPECT_GT(lb_migrations, 4);  // moved away at least once per episode
+  EXPECT_LT(lb_time, 0.9 * null_time);
+}
+
+}  // namespace
+}  // namespace cloudlb

@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "lb/framework.h"
+#include "lb/greedy_lb.h"
+#include "lb/null_lb.h"
+#include "lb/random_lb.h"
+#include "lb/refine_lb.h"
+#include "lb/refinement.h"
+#include "lb/registry.h"
+#include "lb/stats_io.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cloudlb {
+namespace {
+
+/// Builds an LbStats where each PE's window is `wall` seconds and the idle
+/// time is whatever Eq. 2 would need for zero background load (idle =
+/// wall − task CPU), unless an explicit external load is given per PE.
+LbStats make_stats(int num_pes, const std::vector<double>& chare_cpu,
+                   const std::vector<PeId>& assignment, double wall = 10.0,
+                   const std::vector<double>& external = {}) {
+  CLB_CHECK(chare_cpu.size() == assignment.size());
+  LbStats stats;
+  stats.pes.resize(static_cast<std::size_t>(num_pes));
+  for (int p = 0; p < num_pes; ++p) {
+    stats.pes[static_cast<std::size_t>(p)].pe = p;
+    stats.pes[static_cast<std::size_t>(p)].core = p;
+    stats.pes[static_cast<std::size_t>(p)].wall_sec = wall;
+  }
+  stats.chares.resize(chare_cpu.size());
+  std::vector<double> task(static_cast<std::size_t>(num_pes), 0.0);
+  for (std::size_t c = 0; c < chare_cpu.size(); ++c) {
+    auto& ch = stats.chares[c];
+    ch.chare = static_cast<ChareId>(c);
+    ch.pe = assignment[c];
+    ch.cpu_sec = chare_cpu[c];
+    ch.bytes = 4096;
+    task[static_cast<std::size_t>(ch.pe)] += ch.cpu_sec;
+    stats.pes[static_cast<std::size_t>(ch.pe)].task_cpu_sec += ch.cpu_sec;
+  }
+  for (int p = 0; p < num_pes; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    const double ext = external.empty() ? 0.0 : external[i];
+    stats.pes[i].core_idle_sec = std::max(0.0, wall - task[i] - ext);
+  }
+  return stats;
+}
+
+std::vector<double> pe_loads(const LbStats& stats,
+                             const std::vector<PeId>& assignment,
+                             const std::vector<double>& external = {}) {
+  std::vector<double> load(stats.pes.size(), 0.0);
+  if (!external.empty()) load = external;
+  for (std::size_t c = 0; c < assignment.size(); ++c)
+    load[static_cast<std::size_t>(assignment[c])] += stats.chares[c].cpu_sec;
+  return load;
+}
+
+// ----------------------------------------------------------------- NullLb
+
+TEST(NullLbTest, KeepsAssignment) {
+  NullLb lb;
+  const LbStats stats = make_stats(2, {5.0, 1.0, 1.0}, {0, 1, 1});
+  EXPECT_EQ(lb.assign(stats), (std::vector<PeId>{0, 1, 1}));
+  EXPECT_EQ(lb.name(), "null");
+}
+
+// ---------------------------------------------------------------- GreedyLb
+
+TEST(GreedyLbTest, BalancesEqualTasksEvenly) {
+  GreedyLb lb;
+  const LbStats stats =
+      make_stats(4, std::vector<double>(8, 1.0), {0, 0, 0, 0, 0, 0, 0, 0});
+  const auto result = lb.assign(stats);
+  const auto load = pe_loads(stats, result);
+  for (const double l : load) EXPECT_DOUBLE_EQ(l, 2.0);
+}
+
+TEST(GreedyLbTest, HeaviestTaskGoesFirst) {
+  GreedyLb lb;
+  // Loads 6,3,3,2,2: greedy → PE0:{6,2}=8? no: 6|3|3 then 2→PE1(3),2→PE2(3)
+  const LbStats stats = make_stats(3, {6.0, 3.0, 3.0, 2.0, 2.0},
+                                   {0, 0, 0, 0, 0});
+  const auto result = lb.assign(stats);
+  const auto load = pe_loads(stats, result);
+  const double mx = *std::max_element(load.begin(), load.end());
+  EXPECT_DOUBLE_EQ(mx, 6.0);  // optimal here
+}
+
+TEST(GreedyLbTest, GreedyBoundHolds) {
+  // Graham's bound: makespan ≤ mean + max_task for list scheduling.
+  Rng rng{3};
+  for (int trial = 0; trial < 20; ++trial) {
+    const int pes = static_cast<int>(rng.uniform_int(2, 8));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(4, 40));
+    std::vector<double> cpu(n);
+    double total = 0.0, mx_task = 0.0;
+    for (auto& c : cpu) {
+      c = rng.uniform(0.1, 5.0);
+      total += c;
+      mx_task = std::max(mx_task, c);
+    }
+    const std::vector<PeId> assign(n, 0);
+    const LbStats stats = make_stats(pes, cpu, assign, 1000.0);
+    GreedyLb lb;
+    const auto result = lb.assign(stats);
+    const auto load = pe_loads(stats, result);
+    const double mx = *std::max_element(load.begin(), load.end());
+    EXPECT_LE(mx, total / pes + mx_task + 1e-9);
+  }
+}
+
+TEST(GreedyLbTest, Deterministic) {
+  const LbStats stats = make_stats(3, {1.0, 1.0, 1.0, 1.0}, {0, 0, 1, 2});
+  GreedyLb a, b;
+  EXPECT_EQ(a.assign(stats), b.assign(stats));
+}
+
+// ------------------------------------------------------------- refinement
+
+TEST(RefinementTest, BalancedInputMigratesNothing) {
+  const LbStats stats = make_stats(2, {1.0, 1.0, 1.0, 1.0}, {0, 0, 1, 1});
+  const auto r = refine_assignment(stats, {0.0, 0.0}, 0.05);
+  EXPECT_EQ(r.migrations, 0);
+  EXPECT_TRUE(r.fully_balanced);
+  EXPECT_EQ(r.assignment, (std::vector<PeId>{0, 0, 1, 1}));
+}
+
+TEST(RefinementTest, MovesWorkOffOverloadedPe) {
+  const LbStats stats =
+      make_stats(2, {2.0, 2.0, 2.0, 2.0}, {0, 0, 0, 0});
+  const auto r = refine_assignment(stats, {0.0, 0.0}, 0.05);
+  EXPECT_EQ(r.migrations, 2);
+  EXPECT_TRUE(r.fully_balanced);
+  const auto load = pe_loads(stats, r.assignment);
+  EXPECT_DOUBLE_EQ(load[0], 4.0);
+  EXPECT_DOUBLE_EQ(load[1], 4.0);
+}
+
+TEST(RefinementTest, MinimalMigrationsVersusGreedy) {
+  // Only slightly imbalanced: refinement should move exactly one chare
+  // while greedy would reshuffle many.
+  const LbStats stats = make_stats(
+      2, {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0}, {0, 0, 0, 0, 1, 1, 1});
+  const auto r = refine_assignment(stats, {0.0, 0.0}, 0.05);
+  EXPECT_EQ(r.migrations, 0);  // 4 vs 4: already balanced
+}
+
+TEST(RefinementTest, ExternalLoadTreatedAsUnmovable) {
+  // PE0 carries 5 s of background; app work is even. The interference-
+  // aware view must drain app work from PE0.
+  const LbStats stats = make_stats(2, {2.0, 2.0, 2.0, 2.0}, {0, 0, 1, 1},
+                                   10.0, {5.0, 0.0});
+  const auto r = refine_assignment(stats, {5.0, 0.0}, 0.05);
+  // T_avg = 13/2 = 6.5, ε ≈ 0.33. One 2 s chare moves (9 → 7); the second
+  // would push PE1 to 8 > T_avg + ε, so granularity stops refinement there.
+  EXPECT_EQ(r.migrations, 1);
+  EXPECT_FALSE(r.fully_balanced);
+  const auto load = pe_loads(stats, r.assignment, {5.0, 0.0});
+  EXPECT_DOUBLE_EQ(load[0], 7.0);
+  EXPECT_DOUBLE_EQ(load[1], 6.0);
+}
+
+TEST(RefinementTest, ReceiverNeverOverloaded) {
+  const LbStats stats =
+      make_stats(3, {9.0, 1.0, 1.0, 1.0}, {0, 0, 0, 0});
+  const auto r = refine_assignment(stats, {0.0, 0.0, 0.0}, 0.05);
+  const auto load = pe_loads(stats, r.assignment);
+  const double t_avg = 12.0 / 3.0;
+  // PEs 1 and 2 only ever receive; they must end within ε of T_avg.
+  EXPECT_LE(load[1], t_avg * 1.05 + 1e-9);
+  EXPECT_LE(load[2], t_avg * 1.05 + 1e-9);
+}
+
+TEST(RefinementTest, UnsplittableGiantTaskIsDropped) {
+  // One chare holds nearly all the load; nothing fits anywhere.
+  const LbStats stats = make_stats(2, {10.0, 0.5, 0.5}, {0, 0, 1});
+  const auto r = refine_assignment(stats, {0.0, 0.0}, 0.05);
+  EXPECT_FALSE(r.fully_balanced);
+  // The 10 s chare must not move (it would overload the receiver);
+  // at most the 0.5 s one moves.
+  EXPECT_EQ(r.assignment[0], 0);
+}
+
+TEST(RefinementTest, ZeroCostChareNeverMigrated) {
+  const LbStats stats = make_stats(2, {4.0, 0.0, 0.0, 0.0}, {0, 0, 0, 0});
+  const auto r = refine_assignment(stats, {0.0, 0.0}, 0.05);
+  for (std::size_t c = 1; c < 4; ++c) EXPECT_EQ(r.assignment[c], 0);
+}
+
+TEST(RefinementTest, EpsilonWidensTolerance) {
+  const LbStats stats = make_stats(2, {3.0, 2.0}, {0, 1});
+  // Mean 2.5; deviation 0.5 = 20% of T_avg. ε = 25% → no action.
+  const auto relaxed = refine_assignment(stats, {0.0, 0.0}, 0.25);
+  EXPECT_EQ(relaxed.migrations, 0);
+}
+
+TEST(RefinementTest, ValidatesInputs) {
+  LbStats stats = make_stats(2, {1.0}, {0});
+  EXPECT_THROW(refine_assignment(stats, {0.0}, 0.05), CheckFailure);
+  stats.chares[0].pe = 7;  // invalid PE
+  EXPECT_THROW(refine_assignment(stats, {0.0, 0.0}, 0.05), CheckFailure);
+}
+
+class RefinementPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefinementPropertyTest, InvariantsOnRandomInstances) {
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  const int pes = static_cast<int>(rng.uniform_int(2, 16));
+  const auto n = static_cast<std::size_t>(
+      rng.uniform_int(pes, pes * 8));
+  std::vector<double> cpu(n);
+  std::vector<PeId> assign(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    cpu[c] = rng.uniform(0.0, 2.0);
+    assign[c] = static_cast<PeId>(rng.uniform_int(0, pes - 1));
+  }
+  std::vector<double> external(static_cast<std::size_t>(pes), 0.0);
+  for (auto& e : external)
+    if (rng.next_double() < 0.3) e = rng.uniform(0.0, 8.0);
+
+  const LbStats stats = make_stats(pes, cpu, assign, 100.0, external);
+  const auto before = pe_loads(stats, assign, external);
+  const double t_avg =
+      std::accumulate(before.begin(), before.end(), 0.0) / pes;
+  const double eps = 0.05 * t_avg;
+
+  const auto r = refine_assignment(stats, external, 0.05);
+
+  // 1. Valid dense mapping, migration count consistent.
+  ASSERT_EQ(r.assignment.size(), n);
+  int moves = 0;
+  for (std::size_t c = 0; c < n; ++c) {
+    ASSERT_GE(r.assignment[c], 0);
+    ASSERT_LT(r.assignment[c], pes);
+    if (r.assignment[c] != assign[c]) ++moves;
+  }
+  EXPECT_EQ(moves, r.migrations);
+
+  const auto after = pe_loads(stats, r.assignment, external);
+
+  for (int p = 0; p < pes; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    if (after[i] > before[i] + 1e-12) {
+      // 2. PEs that gained load end within ε of the average.
+      EXPECT_LE(after[i], t_avg + eps + 1e-9) << "receiver overloaded";
+    }
+    // 3. Initially overloaded PEs never gain.
+    if (before[i] - t_avg > eps) {
+      EXPECT_LE(after[i], before[i] + 1e-12);
+    }
+  }
+
+  // 4. fully_balanced ⇔ every PE within ε.
+  bool all_within = true;
+  for (const double l : after)
+    if (std::abs(l - t_avg) > eps + 1e-9) all_within = false;
+  EXPECT_EQ(r.fully_balanced, all_within);
+
+  // 5. Repeated application converges quickly to a fixpoint. (A single
+  // pass of Algorithm 1 is not a fixpoint in general: a donor dropped
+  // early can find room opened by a later donor overshooting into the
+  // underloaded set; the next LB step then picks it up.)
+  std::vector<PeId> current = r.assignment;
+  bool converged = false;
+  for (int round = 0; round < 8 && !converged; ++round) {
+    const LbStats s = make_stats(pes, cpu, current, 100.0, external);
+    const auto rr = refine_assignment(s, external, 0.05);
+    converged = rr.migrations == 0;
+    current = rr.assignment;
+  }
+  EXPECT_TRUE(converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefinementPropertyTest,
+                         ::testing::Range(1, 33));
+
+// ---------------------------------------------------------------- RefineLb
+
+TEST(RefineLbTest, IgnoresBackgroundLoad) {
+  // App work even, heavy background on PE0: the interference-blind
+  // RefineLB sees perfect balance and does nothing — the paper's motivating
+  // failure.
+  RefineLb lb;
+  const LbStats stats = make_stats(2, {2.0, 2.0, 2.0, 2.0}, {0, 0, 1, 1},
+                                   10.0, {5.0, 0.0});
+  EXPECT_EQ(lb.assign(stats), (std::vector<PeId>{0, 0, 1, 1}));
+}
+
+TEST(RefineLbTest, FixesInternalImbalance) {
+  RefineLb lb;
+  const LbStats stats = make_stats(2, {2.0, 2.0, 2.0, 2.0}, {0, 0, 0, 0});
+  const auto result = lb.assign(stats);
+  const auto load = pe_loads(stats, result);
+  EXPECT_DOUBLE_EQ(load[0], 4.0);
+  EXPECT_DOUBLE_EQ(load[1], 4.0);
+}
+
+// ---------------------------------------------------------------- RandomLb
+
+TEST(RandomLbTest, ProducesValidPes) {
+  RandomLb lb{LbOptions{.epsilon_fraction = 0.05, .seed = 42}};
+  const LbStats stats =
+      make_stats(3, std::vector<double>(30, 1.0), std::vector<PeId>(30, 0));
+  const auto result = lb.assign(stats);
+  for (const PeId p : result) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 3);
+  }
+}
+
+TEST(RandomLbTest, SeedDeterminism) {
+  const LbStats stats =
+      make_stats(4, std::vector<double>(16, 1.0), std::vector<PeId>(16, 0));
+  RandomLb a{LbOptions{.epsilon_fraction = 0.05, .seed = 9}};
+  RandomLb b{LbOptions{.epsilon_fraction = 0.05, .seed = 9}};
+  EXPECT_EQ(a.assign(stats), b.assign(stats));
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(RegistryTest, CreatesAllBaselines) {
+  for (const auto& name : baseline_balancer_names()) {
+    const auto lb = make_baseline_balancer(name);
+    ASSERT_NE(lb, nullptr) << name;
+    EXPECT_EQ(lb->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(make_baseline_balancer("definitely-not-a-balancer"), nullptr);
+}
+
+// ---------------------------------------------------------------- stats IO
+
+TEST(StatsIoTest, RoundTripsExactly) {
+  const LbStats original = make_stats(3, {1.25, 0.5, 2.0, 0.0},
+                                      {0, 1, 2, 1}, 12.5, {0.0, 3.25, 0.0});
+  std::stringstream buffer;
+  write_stats(buffer, original, 0);
+  write_stats(buffer, original, 1);
+  const auto windows = read_stats(buffer);
+  ASSERT_EQ(windows.size(), 2u);
+  for (const LbStats& w : windows) {
+    ASSERT_EQ(w.pes.size(), original.pes.size());
+    ASSERT_EQ(w.chares.size(), original.chares.size());
+    for (std::size_t p = 0; p < w.pes.size(); ++p) {
+      EXPECT_EQ(w.pes[p].pe, original.pes[p].pe);
+      EXPECT_EQ(w.pes[p].core, original.pes[p].core);
+      EXPECT_EQ(w.pes[p].wall_sec, original.pes[p].wall_sec);
+      EXPECT_EQ(w.pes[p].core_idle_sec, original.pes[p].core_idle_sec);
+      EXPECT_EQ(w.pes[p].task_cpu_sec, original.pes[p].task_cpu_sec);
+    }
+    for (std::size_t c = 0; c < w.chares.size(); ++c) {
+      EXPECT_EQ(w.chares[c].pe, original.chares[c].pe);
+      EXPECT_EQ(w.chares[c].cpu_sec, original.chares[c].cpu_sec);
+      EXPECT_EQ(w.chares[c].bytes, original.chares[c].bytes);
+    }
+  }
+}
+
+TEST(StatsIoTest, EmptyStreamIsEmptyTrace) {
+  std::stringstream buffer;
+  EXPECT_TRUE(read_stats(buffer).empty());
+}
+
+TEST(StatsIoTest, MalformedInputRejected) {
+  {
+    std::stringstream buffer{"pe 0 0 1 1 0\n"};  // record outside a window
+    EXPECT_THROW(read_stats(buffer), CheckFailure);
+  }
+  {
+    std::stringstream buffer{"window 0\npe 0 0 junk\nend\n"};
+    EXPECT_THROW(read_stats(buffer), CheckFailure);
+  }
+  {
+    std::stringstream buffer{"window 0\npe 0 0 1 1 0\n"};  // missing end
+    EXPECT_THROW(read_stats(buffer), CheckFailure);
+  }
+  {
+    std::stringstream buffer{"wat 1 2 3\n"};
+    EXPECT_THROW(read_stats(buffer), CheckFailure);
+  }
+}
+
+TEST(StatsIoTest, RecordingDecoratorCapturesEveryWindow) {
+  std::stringstream buffer;
+  RecordingLb recorder{std::make_unique<GreedyLb>(), &buffer};
+  EXPECT_EQ(recorder.name(), "greedy+record");
+  const LbStats stats = make_stats(2, {1.0, 2.0}, {0, 0});
+  const auto forwarded = recorder.assign(stats);
+  recorder.assign(stats);
+  EXPECT_EQ(recorder.windows_recorded(), 2);
+  // Forwarding really happened (greedy balances the two chares).
+  EXPECT_NE(forwarded[0], forwarded[1]);
+  EXPECT_EQ(read_stats(buffer).size(), 2u);
+}
+
+// --------------------------------------------------------------- framework
+
+TEST(LbStatsTest, CurrentAssignmentRoundTrips) {
+  const LbStats stats = make_stats(2, {1.0, 2.0, 3.0}, {1, 0, 1});
+  EXPECT_EQ(stats.current_assignment(), (std::vector<PeId>{1, 0, 1}));
+}
+
+TEST(LbStatsTest, ValidateCatchesSparseIds) {
+  LbStats stats = make_stats(2, {1.0}, {0});
+  stats.chares[0].chare = 5;
+  EXPECT_THROW(stats.validate(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace cloudlb

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace cloudlb {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::millis(30), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::millis(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::millis(30));
+}
+
+TEST(SimulatorTest, FifoTieBreakAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(SimTime::millis(5), [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired;
+  sim.schedule_at(SimTime::seconds(1), [&] {
+    sim.schedule_after(SimTime::millis(500), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, SimTime::millis(1500));
+}
+
+TEST(SimulatorTest, ClockVisibleDuringCallback) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_at(SimTime::micros(42), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::micros(42));
+}
+
+TEST(SimulatorTest, PastSchedulingRejected) {
+  Simulator sim;
+  sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::millis(1), [] {}), CheckFailure);
+  EXPECT_THROW(sim.schedule_after(SimTime::millis(-1), [] {}), CheckFailure);
+}
+
+TEST(SimulatorTest, NullCallbackRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(SimTime::zero(), nullptr), CheckFailure);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h =
+      sim.schedule_at(SimTime::millis(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelIsIdempotent) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_at(SimTime::millis(1), [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_at(SimTime::millis(1), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime::millis(1), [&] { ++count; });
+  sim.schedule_at(SimTime::millis(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime::millis(10), [&] { fired.push_back(10); });
+  sim.schedule_at(SimTime::millis(20), [&] { fired.push_back(20); });
+  sim.schedule_at(SimTime::millis(30), [&] { fired.push_back(30); });
+  sim.run_until(SimTime::millis(20));
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.now(), SimTime::millis(20));
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_at(SimTime::millis(1), [&] { fired = true; });
+  sim.schedule_at(SimTime::millis(5), [] {});
+  sim.cancel(h);
+  sim.run_until(SimTime::millis(2));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), SimTime::millis(2));
+}
+
+TEST(SimulatorTest, EventsScheduledFromCallbackRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(SimTime::micros(1), chain);
+  };
+  sim.schedule_after(SimTime::zero(), chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), SimTime::micros(99));
+}
+
+TEST(SimulatorTest, ZeroDelaySelfChainingTerminates) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 1'000) sim.schedule_after(SimTime::zero(), chain);
+  };
+  sim.schedule_after(SimTime::zero(), chain);
+  sim.run();
+  EXPECT_EQ(count, 1'000);
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(SimulatorTest, ExecutedCounterCountsFiredOnly) {
+  Simulator sim;
+  sim.schedule_at(SimTime::millis(1), [] {});
+  const EventHandle h = sim.schedule_at(SimTime::millis(2), [] {});
+  sim.cancel(h);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorTest, PendingTracksOutstanding) {
+  Simulator sim;
+  sim.schedule_at(SimTime::millis(1), [] {});
+  const EventHandle h = sim.schedule_at(SimTime::millis(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(h);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, ManyEventsStressDeterministic) {
+  auto run_once = [] {
+    Simulator sim;
+    std::uint64_t checksum = 0;
+    for (int i = 0; i < 5'000; ++i) {
+      // Pseudo-random but fixed times.
+      const auto t = SimTime::nanos((i * 2654435761u) % 1'000'000);
+      sim.schedule_at(t, [&checksum, i] { checksum = checksum * 31 + static_cast<std::uint64_t>(i); });
+    }
+    sim.run();
+    return checksum;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace cloudlb

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace cloudlb {
+namespace {
+
+// ---------------------------------------------------------------- SimTime
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_TRUE(SimTime{}.is_zero());
+}
+
+TEST(SimTimeTest, UnitConstructors) {
+  EXPECT_EQ(SimTime::nanos(5).ns(), 5);
+  EXPECT_EQ(SimTime::micros(5).ns(), 5'000);
+  EXPECT_EQ(SimTime::millis(5).ns(), 5'000'000);
+  EXPECT_EQ(SimTime::seconds(5).ns(), 5'000'000'000);
+}
+
+TEST(SimTimeTest, FromSecondsRounds) {
+  EXPECT_EQ(SimTime::from_seconds(1.5e-9).ns(), 2);
+  EXPECT_EQ(SimTime::from_seconds(1.4e-9).ns(), 1);
+  EXPECT_EQ(SimTime::from_seconds(-1.5e-9).ns(), -2);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::millis(3);
+  const SimTime b = SimTime::millis(1);
+  EXPECT_EQ((a + b).ns(), 4'000'000);
+  EXPECT_EQ((a - b).ns(), 2'000'000);
+  EXPECT_EQ((a * 3).ns(), 9'000'000);
+  EXPECT_EQ((3 * a).ns(), 9'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  EXPECT_EQ((a / 3).ns(), 1'000'000);
+}
+
+TEST(SimTimeTest, ScaleByDouble) {
+  EXPECT_EQ((SimTime::seconds(2) * 0.25).ns(), 500'000'000);
+}
+
+TEST(SimTimeTest, CompoundAssignment) {
+  SimTime t = SimTime::seconds(1);
+  t += SimTime::millis(500);
+  EXPECT_EQ(t.ns(), 1'500'000'000);
+  t -= SimTime::seconds(2);
+  EXPECT_TRUE(t.is_negative());
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_GT(SimTime::seconds(1), SimTime::millis(999));
+  EXPECT_EQ(SimTime::micros(1000), SimTime::millis(1));
+}
+
+TEST(SimTimeTest, ToSecondsRoundTrip) {
+  const SimTime t = SimTime::from_seconds(123.456789);
+  EXPECT_NEAR(t.to_seconds(), 123.456789, 1e-9);
+  EXPECT_NEAR(t.to_millis(), 123456.789, 1e-6);
+}
+
+TEST(SimTimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::zero().to_string(), "0s");
+  EXPECT_EQ(SimTime::seconds(2).to_string(), "2.000s");
+  EXPECT_EQ(SimTime::millis(12).to_string(), "12.000ms");
+  EXPECT_EQ(SimTime::micros(7).to_string(), "7.000us");
+  EXPECT_EQ(SimTime::nanos(3).to_string(), "3ns");
+}
+
+// ------------------------------------------------------------------ check
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(CLB_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrows) {
+  EXPECT_THROW(CLB_CHECK(false), CheckFailure);
+}
+
+TEST(CheckTest, MessageIsIncluded) {
+  try {
+    CLB_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng{9};
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng{4};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2'000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng{4};
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng{4};
+  EXPECT_THROW(rng.uniform_int(2, 1), CheckFailure);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng{11};
+  StatAccumulator acc;
+  for (int i = 0; i < 50'000; ++i) acc.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng{12};
+  StatAccumulator acc;
+  for (int i = 0; i < 50'000; ++i) acc.add(rng.exponential(3.0));
+  EXPECT_NEAR(acc.mean(), 3.0, 0.1);
+  EXPECT_GE(acc.min(), 0.0);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng{13};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a{77};
+  Rng child = a.split();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(StatAccumulatorTest, EmptyDefaults) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_THROW(acc.min(), CheckFailure);
+}
+
+TEST(StatAccumulatorTest, MeanVarianceExtrema) {
+  StatAccumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(StatAccumulatorTest, MergeMatchesCombinedStream) {
+  StatAccumulator all, left, right;
+  Rng rng{5};
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StatAccumulatorTest, MergeWithEmptyIsIdentity) {
+  StatAccumulator acc, empty;
+  acc.add(3.0);
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 1u);
+  empty.merge(acc);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(SampleSetTest, PercentilesInterpolate) {
+  SampleSet s;
+  for (const double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(SampleSetTest, SingleValue) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(SampleSetTest, AddAfterQueryResortsLazily) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(LoadImbalanceTest, BalancedIsZero) {
+  EXPECT_DOUBLE_EQ(load_imbalance({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(LoadImbalanceTest, WorstCoreTwiceMeanIsOne) {
+  EXPECT_DOUBLE_EQ(load_imbalance({4.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(LoadImbalanceTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(load_imbalance({}), 0.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({0.0, 0.0}), 0.0);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketsValuesLinearly) {
+  Histogram h{0.0, 10.0, 5};
+  for (const double v : {0.5, 1.5, 2.5, 2.9, 9.9}) h.add(v);
+  EXPECT_EQ(h.buckets(), (std::vector<std::int64_t>{2, 2, 0, 0, 1}));
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.underflow(), 0);
+  EXPECT_EQ(h.overflow(), 0);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.buckets()[0], 1);
+  EXPECT_EQ(h.buckets()[1], 1);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram h{2.0, 12.0, 5};
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 12.0);
+}
+
+TEST(HistogramTest, PrintRendersBars) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  std::ostringstream os;
+  h.print(os, "s", 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bucket
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(HistogramTest, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), CheckFailure);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckFailure);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"a", "longer"});
+  t.add_row({"xxxxx", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a      longer"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx  1"), std::string::npos);
+}
+
+TEST(TableTest, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(TableTest, CsvEscapesSpecialCells) {
+  Table t({"name", "note"});
+  t.add_row({"x,y", "say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace cloudlb

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "vm/interferer.h"
+#include "vm/tenant.h"
+#include "vm/virtual_machine.h"
+
+namespace cloudlb {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+class VmTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+  Machine machine{sim, MachineConfig{.nodes = 2, .cores_per_node = 4}};
+};
+
+TEST_F(VmTest, PinsVcpusToRequestedCores) {
+  VirtualMachine vm{machine, "vm0", {1, 5, 6}};
+  EXPECT_EQ(vm.num_vcpus(), 3);
+  EXPECT_EQ(vm.core_of(0), 1);
+  EXPECT_EQ(vm.core_of(1), 5);
+  EXPECT_EQ(vm.core_of(2), 6);
+  EXPECT_EQ(vm.name(), "vm0");
+}
+
+TEST_F(VmTest, VcpuBoundsChecked) {
+  VirtualMachine vm{machine, "vm0", {0}};
+  EXPECT_THROW(vm.core_of(1), CheckFailure);
+  EXPECT_THROW(vm.core_of(-1), CheckFailure);
+  EXPECT_THROW(VirtualMachine(machine, "bad", {}), CheckFailure);
+}
+
+TEST_F(VmTest, DemandRunsOnBackingCore) {
+  VirtualMachine vm{machine, "vm0", {2}};
+  SimTime done;
+  vm.demand(0, SimTime::seconds(1), [&] { done = sim.now(); });
+  EXPECT_TRUE(vm.has_demand(0));
+  sim.run();
+  EXPECT_NEAR(done.to_seconds(), 1.0, kTol);
+  EXPECT_NEAR(vm.vcpu_cpu_time(0).to_seconds(), 1.0, kTol);
+  EXPECT_NEAR(machine.core(2).proc_stat().busy.to_seconds(), 1.0, kTol);
+}
+
+TEST_F(VmTest, CoLocatedVmsContend) {
+  // The central multi-tenancy effect: two VMs pinned to the same core run
+  // at half speed each.
+  VirtualMachine a{machine, "a", {0}};
+  VirtualMachine b{machine, "b", {0}};
+  SimTime done_a, done_b;
+  a.demand(0, SimTime::seconds(1), [&] { done_a = sim.now(); });
+  b.demand(0, SimTime::seconds(1), [&] { done_b = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_a.to_seconds(), 2.0, kTol);
+  EXPECT_NEAR(done_b.to_seconds(), 2.0, kTol);
+}
+
+TEST_F(VmTest, WeightGivesPreferentialShare) {
+  VirtualMachine app{machine, "app", {0}, 1.0};
+  VirtualMachine bg{machine, "bg", {0}, 4.0};
+  SimTime done_bg;
+  app.demand(0, SimTime::seconds(10), [] {});
+  bg.demand(0, SimTime::seconds(1), [&] { done_bg = sim.now(); });
+  sim.run();
+  // BG at 4/5 rate → 1.25 s.
+  EXPECT_NEAR(done_bg.to_seconds(), 1.25, kTol);
+}
+
+TEST_F(VmTest, SetWeightAppliesToAllVcpus) {
+  VirtualMachine app{machine, "app", {0, 1}, 1.0};
+  VirtualMachine bg{machine, "bg", {0, 1}, 1.0};
+  bg.set_weight(3.0);
+  SimTime done0, done1;
+  app.demand(0, SimTime::seconds(10), [] {});
+  app.demand(1, SimTime::seconds(10), [] {});
+  bg.demand(0, SimTime::seconds(3), [&] { done0 = sim.now(); });
+  bg.demand(1, SimTime::seconds(3), [&] { done1 = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done0.to_seconds(), 4.0, kTol);  // rate 3/4
+  EXPECT_NEAR(done1.to_seconds(), 4.0, kTol);
+}
+
+TEST_F(VmTest, HostProcStatReflectsWholeCore) {
+  VirtualMachine a{machine, "a", {3}};
+  VirtualMachine b{machine, "b", {3}};
+  a.demand(0, SimTime::seconds(1), [] {});
+  b.demand(0, SimTime::seconds(1), [] {});
+  sim.run();
+  // Both VMs see the same host core counters: 2 s busy, 0 idle.
+  EXPECT_NEAR(a.host_proc_stat(0).busy.to_seconds(), 2.0, kTol);
+  EXPECT_NEAR(b.host_proc_stat(0).idle.to_seconds(), 0.0, kTol);
+}
+
+// ------------------------------------------------------- SyntheticInterferer
+
+TEST_F(VmTest, InterfererSaturatesItsCore) {
+  SyntheticInterferer hog{sim, machine, {0}};
+  hog.start();
+  sim.run_until(SimTime::seconds(2));
+  hog.stop();
+  sim.run();
+  EXPECT_NEAR(hog.cpu_consumed().to_seconds(), 2.0, 0.02);
+  EXPECT_NEAR(machine.core(0).proc_stat().busy.to_seconds(), 2.0, 0.02);
+}
+
+TEST_F(VmTest, InterfererHonorsDutyCycle) {
+  SyntheticInterferer::Config config;
+  config.duty_cycle = 0.25;
+  config.chunk = SimTime::millis(20);
+  SyntheticInterferer hog{sim, machine, {1}, config};
+  hog.start();
+  sim.run_until(SimTime::seconds(4));
+  hog.stop();
+  sim.run();
+  EXPECT_NEAR(hog.cpu_consumed().to_seconds(), 1.0, 0.05);
+}
+
+TEST_F(VmTest, InterfererStopsAndRestarts) {
+  SyntheticInterferer hog{sim, machine, {0}};
+  hog.start();
+  sim.run_until(SimTime::seconds(1));
+  hog.stop();
+  sim.run_until(SimTime::seconds(3));
+  const double after_stop = hog.cpu_consumed().to_seconds();
+  EXPECT_NEAR(after_stop, 1.0, 0.02);
+  hog.start();
+  sim.run_until(SimTime::seconds(4));
+  hog.stop();
+  sim.run();
+  EXPECT_NEAR(hog.cpu_consumed().to_seconds(), after_stop + 1.0, 0.04);
+}
+
+TEST_F(VmTest, InterfererRestartWhileChunkInFlightDoesNotDoubleDemand) {
+  SyntheticInterferer hog{sim, machine, {0}};
+  hog.start();
+  sim.run_until(SimTime::millis(5));  // mid-chunk
+  hog.stop();
+  EXPECT_NO_THROW(hog.start());  // would throw on a double demand
+  sim.run_until(SimTime::seconds(1));
+  hog.stop();
+  sim.run();
+  EXPECT_NEAR(hog.cpu_consumed().to_seconds(), 1.0, 0.02);
+}
+
+TEST_F(VmTest, MultiCoreInterferer) {
+  SyntheticInterferer hog{sim, machine, {0, 1, 2}};
+  hog.start();
+  sim.run_until(SimTime::seconds(1));
+  hog.stop();
+  sim.run();
+  EXPECT_NEAR(hog.cpu_consumed().to_seconds(), 3.0, 0.05);
+}
+
+TEST_F(VmTest, InterfererConfigValidated) {
+  SyntheticInterferer::Config bad;
+  bad.duty_cycle = 0.0;
+  EXPECT_THROW(SyntheticInterferer(sim, machine, {0}, bad), CheckFailure);
+  bad.duty_cycle = 1.5;
+  EXPECT_THROW(SyntheticInterferer(sim, machine, {0}, bad), CheckFailure);
+}
+
+TEST_F(VmTest, InterfererSlowsCoLocatedVm) {
+  SyntheticInterferer hog{sim, machine, {0}};
+  VirtualMachine app{machine, "app", {0}};
+  hog.start();
+  SimTime done;
+  app.demand(0, SimTime::seconds(1), [&] { done = sim.now(); });
+  sim.run_until(SimTime::seconds(5));
+  hog.stop();
+  sim.run();
+  EXPECT_NEAR(done.to_seconds(), 2.0, 0.05);  // halved by the hog
+}
+
+// ------------------------------------------------------------- TenantField
+
+TEST_F(VmTest, TenantFieldDeterministicPlacement) {
+  TenantFieldConfig config;
+  config.num_tenants = 5;
+  config.seed = 123;
+  TenantField a{sim, machine, config};
+  TenantField b{sim, machine, config};
+  for (int t = 0; t < 5; ++t)
+    EXPECT_EQ(a.core_of_tenant(t), b.core_of_tenant(t));
+}
+
+TEST_F(VmTest, TenantFieldCyclesOnAndOff) {
+  TenantFieldConfig config;
+  config.num_tenants = 6;
+  config.mean_on_seconds = 0.5;
+  config.mean_off_seconds = 0.5;
+  TenantField field{sim, machine, config};
+  EXPECT_EQ(field.active_tenants(), 0);
+  field.start();
+  // Sample activity over time: should neither stay all-on nor all-off.
+  int ever_active = 0, ever_idle = 0;
+  for (int s = 1; s <= 40; ++s) {
+    sim.run_until(SimTime::from_seconds(0.25 * s));
+    const int active = field.active_tenants();
+    if (active > 0) ++ever_active;
+    if (active < 6) ++ever_idle;
+  }
+  field.stop();
+  sim.run();
+  EXPECT_GT(ever_active, 10);
+  EXPECT_GT(ever_idle, 10);
+  // With ~50% duty over 10 s x 6 tenants, consumption is substantial but
+  // clearly below saturation.
+  const double cpu = field.cpu_consumed().to_seconds();
+  EXPECT_GT(cpu, 10.0);
+  EXPECT_LT(cpu, 55.0);
+}
+
+TEST_F(VmTest, TenantFieldConsumptionDeterministic) {
+  auto consumed = [&](std::uint64_t seed) {
+    Simulator local_sim;
+    Machine local_machine{local_sim,
+                          MachineConfig{.nodes = 2, .cores_per_node = 4}};
+    TenantFieldConfig config;
+    config.num_tenants = 4;
+    config.seed = seed;
+    TenantField field{local_sim, local_machine, config};
+    field.start();
+    local_sim.run_until(SimTime::seconds(5));
+    field.stop();
+    local_sim.run();
+    return field.cpu_consumed().ns();
+  };
+  EXPECT_EQ(consumed(7), consumed(7));
+  EXPECT_NE(consumed(7), consumed(8));
+}
+
+TEST_F(VmTest, TenantFieldStopPreventsNewEpisodes) {
+  TenantFieldConfig config;
+  config.num_tenants = 3;
+  config.mean_on_seconds = 0.2;
+  config.mean_off_seconds = 0.2;
+  TenantField field{sim, machine, config};
+  field.start();
+  sim.run_until(SimTime::seconds(2));
+  field.stop();
+  sim.run();  // drains: no episode reschedules itself
+  EXPECT_EQ(field.active_tenants(), 0);
+  const double at_stop = field.cpu_consumed().to_seconds();
+  EXPECT_DOUBLE_EQ(field.cpu_consumed().to_seconds(), at_stop);
+}
+
+TEST_F(VmTest, TenantFieldValidation) {
+  TenantFieldConfig config;
+  config.mean_on_seconds = 0.0;
+  EXPECT_THROW(TenantField(sim, machine, config), CheckFailure);
+}
+
+}  // namespace
+}  // namespace cloudlb

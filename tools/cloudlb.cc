@@ -1,0 +1,14 @@
+// The cloudlb command-line tool; all logic lives in src/cli so tests can
+// drive it without spawning processes.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return cloudlb::run_cli(args, std::cout, std::cerr);
+}
