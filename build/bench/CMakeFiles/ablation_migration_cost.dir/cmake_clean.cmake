@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_migration_cost.dir/ablation_migration_cost.cc.o"
+  "CMakeFiles/ablation_migration_cost.dir/ablation_migration_cost.cc.o.d"
+  "ablation_migration_cost"
+  "ablation_migration_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_migration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multitenant.dir/ablation_multitenant.cc.o"
+  "CMakeFiles/ablation_multitenant.dir/ablation_multitenant.cc.o.d"
+  "ablation_multitenant"
+  "ablation_multitenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

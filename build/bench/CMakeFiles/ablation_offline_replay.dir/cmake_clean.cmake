@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_offline_replay.dir/ablation_offline_replay.cc.o"
+  "CMakeFiles/ablation_offline_replay.dir/ablation_offline_replay.cc.o.d"
+  "ablation_offline_replay"
+  "ablation_offline_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_offline_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

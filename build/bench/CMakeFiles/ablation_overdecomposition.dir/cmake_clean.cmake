@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overdecomposition.dir/ablation_overdecomposition.cc.o"
+  "CMakeFiles/ablation_overdecomposition.dir/ablation_overdecomposition.cc.o.d"
+  "ablation_overdecomposition"
+  "ablation_overdecomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overdecomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_timing_penalty.dir/fig2_timing_penalty.cc.o"
+  "CMakeFiles/fig2_timing_penalty.dir/fig2_timing_penalty.cc.o.d"
+  "fig2_timing_penalty"
+  "fig2_timing_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_timing_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dynamic_interference.dir/fig3_dynamic_interference.cc.o"
+  "CMakeFiles/fig3_dynamic_interference.dir/fig3_dynamic_interference.cc.o.d"
+  "fig3_dynamic_interference"
+  "fig3_dynamic_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dynamic_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

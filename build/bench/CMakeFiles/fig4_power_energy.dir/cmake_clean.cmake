@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_power_energy.dir/fig4_power_energy.cc.o"
+  "CMakeFiles/fig4_power_energy.dir/fig4_power_energy.cc.o.d"
+  "fig4_power_energy"
+  "fig4_power_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_power_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

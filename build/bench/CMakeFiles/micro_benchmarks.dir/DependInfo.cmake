@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_benchmarks.cc" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cc.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cloudlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cloudlb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cloudlb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cloudlb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/cloudlb_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cloudlb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cloudlb_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudlb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampi_stencil.dir/ampi_stencil.cpp.o"
+  "CMakeFiles/ampi_stencil.dir/ampi_stencil.cpp.o.d"
+  "ampi_stencil"
+  "ampi_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampi_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_multitenant.dir/cloud_multitenant.cpp.o"
+  "CMakeFiles/cloud_multitenant.dir/cloud_multitenant.cpp.o.d"
+  "cloud_multitenant"
+  "cloud_multitenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_balancer.dir/custom_balancer.cpp.o"
+  "CMakeFiles/custom_balancer.dir/custom_balancer.cpp.o.d"
+  "custom_balancer"
+  "custom_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_apps.dir/app_factory.cc.o"
+  "CMakeFiles/cloudlb_apps.dir/app_factory.cc.o.d"
+  "CMakeFiles/cloudlb_apps.dir/jacobi2d.cc.o"
+  "CMakeFiles/cloudlb_apps.dir/jacobi2d.cc.o.d"
+  "CMakeFiles/cloudlb_apps.dir/mol3d.cc.o"
+  "CMakeFiles/cloudlb_apps.dir/mol3d.cc.o.d"
+  "CMakeFiles/cloudlb_apps.dir/stencil_base.cc.o"
+  "CMakeFiles/cloudlb_apps.dir/stencil_base.cc.o.d"
+  "CMakeFiles/cloudlb_apps.dir/wave2d.cc.o"
+  "CMakeFiles/cloudlb_apps.dir/wave2d.cc.o.d"
+  "libcloudlb_apps.a"
+  "libcloudlb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_cli.dir/cli.cc.o"
+  "CMakeFiles/cloudlb_cli.dir/cli.cc.o.d"
+  "libcloudlb_cli.a"
+  "libcloudlb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

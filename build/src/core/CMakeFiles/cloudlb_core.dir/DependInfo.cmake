@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/background_estimator.cc" "src/core/CMakeFiles/cloudlb_core.dir/background_estimator.cc.o" "gcc" "src/core/CMakeFiles/cloudlb_core.dir/background_estimator.cc.o.d"
+  "/root/repo/src/core/balancer_factory.cc" "src/core/CMakeFiles/cloudlb_core.dir/balancer_factory.cc.o" "gcc" "src/core/CMakeFiles/cloudlb_core.dir/balancer_factory.cc.o.d"
+  "/root/repo/src/core/gain_gated_lb.cc" "src/core/CMakeFiles/cloudlb_core.dir/gain_gated_lb.cc.o" "gcc" "src/core/CMakeFiles/cloudlb_core.dir/gain_gated_lb.cc.o.d"
+  "/root/repo/src/core/interference_aware_lb.cc" "src/core/CMakeFiles/cloudlb_core.dir/interference_aware_lb.cc.o" "gcc" "src/core/CMakeFiles/cloudlb_core.dir/interference_aware_lb.cc.o.d"
+  "/root/repo/src/core/replay.cc" "src/core/CMakeFiles/cloudlb_core.dir/replay.cc.o" "gcc" "src/core/CMakeFiles/cloudlb_core.dir/replay.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/cloudlb_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/cloudlb_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/smoothed_lb.cc" "src/core/CMakeFiles/cloudlb_core.dir/smoothed_lb.cc.o" "gcc" "src/core/CMakeFiles/cloudlb_core.dir/smoothed_lb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/cloudlb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/cloudlb_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cloudlb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cloudlb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cloudlb_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cloudlb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudlb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

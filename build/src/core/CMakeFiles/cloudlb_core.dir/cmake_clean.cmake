@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_core.dir/background_estimator.cc.o"
+  "CMakeFiles/cloudlb_core.dir/background_estimator.cc.o.d"
+  "CMakeFiles/cloudlb_core.dir/balancer_factory.cc.o"
+  "CMakeFiles/cloudlb_core.dir/balancer_factory.cc.o.d"
+  "CMakeFiles/cloudlb_core.dir/gain_gated_lb.cc.o"
+  "CMakeFiles/cloudlb_core.dir/gain_gated_lb.cc.o.d"
+  "CMakeFiles/cloudlb_core.dir/interference_aware_lb.cc.o"
+  "CMakeFiles/cloudlb_core.dir/interference_aware_lb.cc.o.d"
+  "CMakeFiles/cloudlb_core.dir/replay.cc.o"
+  "CMakeFiles/cloudlb_core.dir/replay.cc.o.d"
+  "CMakeFiles/cloudlb_core.dir/scenario.cc.o"
+  "CMakeFiles/cloudlb_core.dir/scenario.cc.o.d"
+  "CMakeFiles/cloudlb_core.dir/smoothed_lb.cc.o"
+  "CMakeFiles/cloudlb_core.dir/smoothed_lb.cc.o.d"
+  "libcloudlb_core.a"
+  "libcloudlb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

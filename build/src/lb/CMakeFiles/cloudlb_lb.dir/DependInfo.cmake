@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/framework.cc" "src/lb/CMakeFiles/cloudlb_lb.dir/framework.cc.o" "gcc" "src/lb/CMakeFiles/cloudlb_lb.dir/framework.cc.o.d"
+  "/root/repo/src/lb/greedy_lb.cc" "src/lb/CMakeFiles/cloudlb_lb.dir/greedy_lb.cc.o" "gcc" "src/lb/CMakeFiles/cloudlb_lb.dir/greedy_lb.cc.o.d"
+  "/root/repo/src/lb/null_lb.cc" "src/lb/CMakeFiles/cloudlb_lb.dir/null_lb.cc.o" "gcc" "src/lb/CMakeFiles/cloudlb_lb.dir/null_lb.cc.o.d"
+  "/root/repo/src/lb/random_lb.cc" "src/lb/CMakeFiles/cloudlb_lb.dir/random_lb.cc.o" "gcc" "src/lb/CMakeFiles/cloudlb_lb.dir/random_lb.cc.o.d"
+  "/root/repo/src/lb/refine_lb.cc" "src/lb/CMakeFiles/cloudlb_lb.dir/refine_lb.cc.o" "gcc" "src/lb/CMakeFiles/cloudlb_lb.dir/refine_lb.cc.o.d"
+  "/root/repo/src/lb/refinement.cc" "src/lb/CMakeFiles/cloudlb_lb.dir/refinement.cc.o" "gcc" "src/lb/CMakeFiles/cloudlb_lb.dir/refinement.cc.o.d"
+  "/root/repo/src/lb/registry.cc" "src/lb/CMakeFiles/cloudlb_lb.dir/registry.cc.o" "gcc" "src/lb/CMakeFiles/cloudlb_lb.dir/registry.cc.o.d"
+  "/root/repo/src/lb/stats_io.cc" "src/lb/CMakeFiles/cloudlb_lb.dir/stats_io.cc.o" "gcc" "src/lb/CMakeFiles/cloudlb_lb.dir/stats_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudlb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_lb.dir/framework.cc.o"
+  "CMakeFiles/cloudlb_lb.dir/framework.cc.o.d"
+  "CMakeFiles/cloudlb_lb.dir/greedy_lb.cc.o"
+  "CMakeFiles/cloudlb_lb.dir/greedy_lb.cc.o.d"
+  "CMakeFiles/cloudlb_lb.dir/null_lb.cc.o"
+  "CMakeFiles/cloudlb_lb.dir/null_lb.cc.o.d"
+  "CMakeFiles/cloudlb_lb.dir/random_lb.cc.o"
+  "CMakeFiles/cloudlb_lb.dir/random_lb.cc.o.d"
+  "CMakeFiles/cloudlb_lb.dir/refine_lb.cc.o"
+  "CMakeFiles/cloudlb_lb.dir/refine_lb.cc.o.d"
+  "CMakeFiles/cloudlb_lb.dir/refinement.cc.o"
+  "CMakeFiles/cloudlb_lb.dir/refinement.cc.o.d"
+  "CMakeFiles/cloudlb_lb.dir/registry.cc.o"
+  "CMakeFiles/cloudlb_lb.dir/registry.cc.o.d"
+  "CMakeFiles/cloudlb_lb.dir/stats_io.cc.o"
+  "CMakeFiles/cloudlb_lb.dir/stats_io.cc.o.d"
+  "libcloudlb_lb.a"
+  "libcloudlb_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_machine.dir/core.cc.o"
+  "CMakeFiles/cloudlb_machine.dir/core.cc.o.d"
+  "CMakeFiles/cloudlb_machine.dir/machine.cc.o"
+  "CMakeFiles/cloudlb_machine.dir/machine.cc.o.d"
+  "CMakeFiles/cloudlb_machine.dir/power.cc.o"
+  "CMakeFiles/cloudlb_machine.dir/power.cc.o.d"
+  "libcloudlb_machine.a"
+  "libcloudlb_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

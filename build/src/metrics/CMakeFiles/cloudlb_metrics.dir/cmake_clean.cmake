@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_metrics.dir/profile.cc.o"
+  "CMakeFiles/cloudlb_metrics.dir/profile.cc.o.d"
+  "CMakeFiles/cloudlb_metrics.dir/timeline.cc.o"
+  "CMakeFiles/cloudlb_metrics.dir/timeline.cc.o.d"
+  "libcloudlb_metrics.a"
+  "libcloudlb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

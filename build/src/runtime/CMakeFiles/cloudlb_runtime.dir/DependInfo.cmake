@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/ampi.cc" "src/runtime/CMakeFiles/cloudlb_runtime.dir/ampi.cc.o" "gcc" "src/runtime/CMakeFiles/cloudlb_runtime.dir/ampi.cc.o.d"
+  "/root/repo/src/runtime/chare.cc" "src/runtime/CMakeFiles/cloudlb_runtime.dir/chare.cc.o" "gcc" "src/runtime/CMakeFiles/cloudlb_runtime.dir/chare.cc.o.d"
+  "/root/repo/src/runtime/job.cc" "src/runtime/CMakeFiles/cloudlb_runtime.dir/job.cc.o" "gcc" "src/runtime/CMakeFiles/cloudlb_runtime.dir/job.cc.o.d"
+  "/root/repo/src/runtime/lb_database.cc" "src/runtime/CMakeFiles/cloudlb_runtime.dir/lb_database.cc.o" "gcc" "src/runtime/CMakeFiles/cloudlb_runtime.dir/lb_database.cc.o.d"
+  "/root/repo/src/runtime/network.cc" "src/runtime/CMakeFiles/cloudlb_runtime.dir/network.cc.o" "gcc" "src/runtime/CMakeFiles/cloudlb_runtime.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/cloudlb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/cloudlb_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudlb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cloudlb_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_runtime.dir/ampi.cc.o"
+  "CMakeFiles/cloudlb_runtime.dir/ampi.cc.o.d"
+  "CMakeFiles/cloudlb_runtime.dir/chare.cc.o"
+  "CMakeFiles/cloudlb_runtime.dir/chare.cc.o.d"
+  "CMakeFiles/cloudlb_runtime.dir/job.cc.o"
+  "CMakeFiles/cloudlb_runtime.dir/job.cc.o.d"
+  "CMakeFiles/cloudlb_runtime.dir/lb_database.cc.o"
+  "CMakeFiles/cloudlb_runtime.dir/lb_database.cc.o.d"
+  "CMakeFiles/cloudlb_runtime.dir/network.cc.o"
+  "CMakeFiles/cloudlb_runtime.dir/network.cc.o.d"
+  "libcloudlb_runtime.a"
+  "libcloudlb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_sim.dir/simulator.cc.o"
+  "CMakeFiles/cloudlb_sim.dir/simulator.cc.o.d"
+  "libcloudlb_sim.a"
+  "libcloudlb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_util.dir/histogram.cc.o"
+  "CMakeFiles/cloudlb_util.dir/histogram.cc.o.d"
+  "CMakeFiles/cloudlb_util.dir/log.cc.o"
+  "CMakeFiles/cloudlb_util.dir/log.cc.o.d"
+  "CMakeFiles/cloudlb_util.dir/options.cc.o"
+  "CMakeFiles/cloudlb_util.dir/options.cc.o.d"
+  "CMakeFiles/cloudlb_util.dir/rng.cc.o"
+  "CMakeFiles/cloudlb_util.dir/rng.cc.o.d"
+  "CMakeFiles/cloudlb_util.dir/stats.cc.o"
+  "CMakeFiles/cloudlb_util.dir/stats.cc.o.d"
+  "CMakeFiles/cloudlb_util.dir/table.cc.o"
+  "CMakeFiles/cloudlb_util.dir/table.cc.o.d"
+  "libcloudlb_util.a"
+  "libcloudlb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/interferer.cc" "src/vm/CMakeFiles/cloudlb_vm.dir/interferer.cc.o" "gcc" "src/vm/CMakeFiles/cloudlb_vm.dir/interferer.cc.o.d"
+  "/root/repo/src/vm/tenant.cc" "src/vm/CMakeFiles/cloudlb_vm.dir/tenant.cc.o" "gcc" "src/vm/CMakeFiles/cloudlb_vm.dir/tenant.cc.o.d"
+  "/root/repo/src/vm/virtual_machine.cc" "src/vm/CMakeFiles/cloudlb_vm.dir/virtual_machine.cc.o" "gcc" "src/vm/CMakeFiles/cloudlb_vm.dir/virtual_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/cloudlb_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudlb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

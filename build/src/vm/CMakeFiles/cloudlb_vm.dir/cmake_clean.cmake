@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_vm.dir/interferer.cc.o"
+  "CMakeFiles/cloudlb_vm.dir/interferer.cc.o.d"
+  "CMakeFiles/cloudlb_vm.dir/tenant.cc.o"
+  "CMakeFiles/cloudlb_vm.dir/tenant.cc.o.d"
+  "CMakeFiles/cloudlb_vm.dir/virtual_machine.cc.o"
+  "CMakeFiles/cloudlb_vm.dir/virtual_machine.cc.o.d"
+  "libcloudlb_vm.a"
+  "libcloudlb_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampi_test.dir/ampi_test.cc.o"
+  "CMakeFiles/ampi_test.dir/ampi_test.cc.o.d"
+  "ampi_test"
+  "ampi_test.pdb"
+  "ampi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlb_tool.dir/cloudlb.cc.o"
+  "CMakeFiles/cloudlb_tool.dir/cloudlb.cc.o.d"
+  "cloudlb"
+  "cloudlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlb_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
