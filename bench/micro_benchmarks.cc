@@ -122,6 +122,26 @@ BENCHMARK(BM_RefinementAlgorithm)
     ->Args({128, 1024})
     ->Args({512, 4096});
 
+// The retained naive kernel at the same sizes, for a quick indexed-vs-naive
+// ratio without the full bench/micro_refinement_sweep run.
+void BM_RefinementAlgorithmNaive(benchmark::State& state) {
+  const auto pes = static_cast<int>(state.range(0));
+  const auto chares = static_cast<int>(state.range(1));
+  const LbStats stats = synthetic_stats(pes, chares, 42);
+  const auto background = estimate_background_load(stats);
+  const RefinementOptions options{.epsilon_fraction = 0.05};
+  for (auto _ : state) {
+    auto result = refine_assignment_naive(stats, background, options);
+    benchmark::DoNotOptimize(result.migrations);
+  }
+  state.SetItemsProcessed(state.iterations() * chares);
+}
+BENCHMARK(BM_RefinementAlgorithmNaive)
+    ->Args({8, 64})
+    ->Args({32, 256})
+    ->Args({128, 1024})
+    ->Args({512, 4096});
+
 void BM_GreedyAlgorithm(benchmark::State& state) {
   const auto pes = static_cast<int>(state.range(0));
   const auto chares = static_cast<int>(state.range(1));

@@ -1,11 +1,32 @@
 #include "core/background_estimator.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
 
 namespace cloudlb {
 
+namespace {
+
+/// A corrupt sample field (e.g. wall_sec = NaN from a failed /proc/stat
+/// style read) must not reach Eq. 2: NaN/Inf would propagate into T_avg
+/// and poison the whole balance decision. Treat non-finite fields as 0.
+double finite_or_zero(double v, const char* field, PeId pe) {
+  if (std::isfinite(v)) return v;
+  CLB_WARN("background estimator: PE " << pe << " sample has non-finite "
+                                       << field << " (" << v
+                                       << "); treating as 0");
+  return 0.0;
+}
+
+}  // namespace
+
 double estimate_background_load(const PeSample& pe) {
-  const double o_p = pe.wall_sec - pe.task_cpu_sec - pe.core_idle_sec;
+  const double wall = finite_or_zero(pe.wall_sec, "wall_sec", pe.pe);
+  const double task = finite_or_zero(pe.task_cpu_sec, "task_cpu_sec", pe.pe);
+  const double idle = finite_or_zero(pe.core_idle_sec, "core_idle_sec", pe.pe);
+  const double o_p = wall - task - idle;
   return std::max(o_p, 0.0);
 }
 

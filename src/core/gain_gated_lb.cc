@@ -23,14 +23,15 @@ double max_pe_load(const LbStats& stats, const std::vector<double>& background,
 std::vector<PeId> MigrationGainGatedLb::assign(const LbStats& stats) {
   const std::vector<double> background = estimate_background_load(stats);
   RefinementResult refined =
-      refine_assignment(stats, background, options_.base.epsilon_fraction);
+      refine_assignment(stats, background, make_refinement_options(options_.base));
 
   const std::vector<PeId> current = stats.current_assignment();
   if (refined.migrations == 0) return current;
 
+  // The engine reports the refined max load directly; only the pre-move
+  // makespan still needs recomputing.
   const double gain =
-      (max_pe_load(stats, background, current) -
-       max_pe_load(stats, background, refined.assignment)) *
+      (max_pe_load(stats, background, current) - refined.max_load) *
       options_.horizon_windows;
 
   double cost = 0.0;

@@ -8,7 +8,7 @@ namespace cloudlb {
 std::vector<PeId> InterferenceAwareRefineLb::assign(const LbStats& stats) {
   const std::vector<double> background = estimate_background_load(stats);
   RefinementResult result =
-      refine_assignment(stats, background, options_.epsilon_fraction);
+      refine_assignment(stats, background, make_refinement_options(options_));
   total_migrations_ += result.migrations;
   return std::move(result.assignment);
 }

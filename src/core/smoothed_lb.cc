@@ -36,14 +36,14 @@ std::vector<PeId> SmoothedInterferenceAwareLb::assign(const LbStats& stats) {
     for (std::size_t c = 0; c < smoothed.chares.size(); ++c)
       smoothed.chares[c].cpu_sec = chare_ewma_[c];
     return refine_assignment(smoothed, ewma_,
-                             options_.base.epsilon_fraction)
+                             make_refinement_options(options_.base))
         .assignment;
   }
 
   // Normalize to the current window length: the EWMA mixes windows of
   // (slightly) different wall lengths, which refinement tolerates since
   // loads only matter relative to T_avg.
-  return refine_assignment(stats, ewma_, options_.base.epsilon_fraction)
+  return refine_assignment(stats, ewma_, make_refinement_options(options_.base))
       .assignment;
 }
 

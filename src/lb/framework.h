@@ -67,6 +67,11 @@ struct LbOptions {
   /// `epsilon_fraction · T_avg`.
   double epsilon_fraction = 0.05;
 
+  /// Hard cap on migrations per LB invocation for refinement-style
+  /// strategies; negative means unlimited. Bounds the per-step migration
+  /// burst (pack/transfer/unpack traffic) on large machines.
+  int max_migrations = -1;
+
   /// Seed for randomized strategies.
   std::uint64_t seed = 1;
 

@@ -7,7 +7,8 @@ namespace cloudlb {
 std::vector<PeId> RefineLb::assign(const LbStats& stats) {
   // Interference-blind: external load is identically zero.
   const std::vector<double> no_external(stats.pes.size(), 0.0);
-  return refine_assignment(stats, no_external, options_.epsilon_fraction)
+  return refine_assignment(stats, no_external,
+                           make_refinement_options(options_))
       .assignment;
 }
 

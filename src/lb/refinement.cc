@@ -1,147 +1,204 @@
 #include "lb/refinement.h"
 
 #include <algorithm>
-#include <cmath>
+#include <limits>
 #include <queue>
 #include <set>
+#include <utility>
 
+#include "lb/refinement_internal.h"
 #include "util/check.h"
 
 namespace cloudlb {
 
+namespace refinement_detail {
+
+Problem build_problem(const LbStats& stats,
+                      const std::vector<double>& external_load,
+                      const RefinementOptions& options) {
+  stats.validate();
+  CLB_CHECK(external_load.size() == stats.pes.size());
+  CLB_CHECK(options.epsilon_fraction >= 0.0);
+
+  Problem p;
+  p.num_pes = stats.pes.size();
+
+  // Per-PE load = external (background) + migratable task CPU.   (Eq. 1)
+  p.load = external_load;
+  for (auto& l : p.load) l = std::max(l, 0.0);
+  p.tasks.resize(p.num_pes);
+  for (const auto& ch : stats.chares) {
+    p.load[static_cast<std::size_t>(ch.pe)] += ch.cpu_sec;
+    p.tasks[static_cast<std::size_t>(ch.pe)].push_back(ch.chare);
+  }
+  // Tasks per PE, sorted by descending cost (ties by chare id per policy).
+  const bool low = options.tie_break == RefinementTieBreak::kLowestId;
+  auto cost = [&](ChareId c) {
+    return stats.chares[static_cast<std::size_t>(c)].cpu_sec;
+  };
+  for (auto& v : p.tasks)
+    std::sort(v.begin(), v.end(), [&](ChareId a, ChareId b) {
+      if (cost(a) != cost(b)) return cost(a) > cost(b);
+      return low ? a < b : a > b;
+    });
+
+  double total = 0.0;
+  for (double l : p.load) total += l;
+  p.t_avg = total / static_cast<double>(p.num_pes);
+  p.epsilon = options.epsilon_fraction * p.t_avg;
+  p.limit = p.t_avg + p.epsilon;
+  return p;
+}
+
+void finalize(const Problem& p, RefinementResult* result) {
+  result->fully_balanced = true;
+  result->max_load = 0.0;
+  for (std::size_t i = 0; i < p.num_pes; ++i) {
+    result->max_load = std::max(result->max_load, p.load[i]);
+    if (std::abs(p.load[i] - p.t_avg) > p.epsilon + 1e-12)
+      result->fully_balanced = false;
+  }
+}
+
+}  // namespace refinement_detail
+
 namespace {
+
+using refinement_detail::Problem;
 
 struct HeapEntry {
   double load;
   PeId pe;
-  bool operator<(const HeapEntry& o) const {
-    if (load != o.load) return load < o.load;
-    return pe > o.pe;  // smaller id wins ties at equal load
-  }
 };
+
+/// (load, PE) node of the underloaded index; multiset-ordered ascending by
+/// load so `begin()` is always the least-loaded receiver.
+using UnderNode = std::pair<double, PeId>;
 
 }  // namespace
 
 RefinementResult refine_assignment(const LbStats& stats,
                                    const std::vector<double>& external_load,
-                                   double epsilon_fraction) {
-  stats.validate();
-  CLB_CHECK(external_load.size() == stats.pes.size());
-  CLB_CHECK(epsilon_fraction >= 0.0);
-
-  const std::size_t num_pes = stats.pes.size();
+                                   const RefinementOptions& options) {
   RefinementResult result;
   result.assignment = stats.current_assignment();
 
-  // Per-PE load = external (background) + migratable task CPU.   (Eq. 1)
-  std::vector<double> load(external_load);
-  for (auto& l : load) l = std::max(l, 0.0);
-  // Tasks per PE, kept sorted by descending cost (stable by chare id).
-  std::vector<std::vector<ChareId>> tasks(num_pes);
-  for (const auto& ch : stats.chares) {
-    load[static_cast<std::size_t>(ch.pe)] += ch.cpu_sec;
-    tasks[static_cast<std::size_t>(ch.pe)].push_back(ch.chare);
+  // Degenerate: no PEs. T_avg would divide by zero — there is nothing to
+  // balance and nowhere to move anything, so report a no-op.
+  if (stats.pes.empty()) {
+    result.fully_balanced = true;
+    return result;
   }
+
+  Problem p =
+      refinement_detail::build_problem(stats, external_load, options);
+
+  // Degenerate: zero total load. ε = epsilon_fraction·T_avg collapses to 0
+  // and the heavy/light classification loses meaning; every load is 0 (the
+  // inputs are clamped/validated non-negative), so the instance is already
+  // balanced.
+  if (p.t_avg <= 0.0) {
+    refinement_detail::finalize(p, &result);
+    return result;
+  }
+
+  const bool low = options.tie_break == RefinementTieBreak::kLowestId;
   auto cost = [&](ChareId c) {
     return stats.chares[static_cast<std::size_t>(c)].cpu_sec;
   };
-  for (auto& v : tasks)
-    std::sort(v.begin(), v.end(), [&](ChareId a, ChareId b) {
-      if (cost(a) != cost(b)) return cost(a) > cost(b);
-      return a < b;
-    });
 
-  double total = 0.0;
-  for (double l : load) total += l;
-  const double t_avg = total / static_cast<double>(num_pes);
-  const double epsilon = epsilon_fraction * t_avg;
-
-  const auto is_heavy = [&](PeId p) {
-    return load[static_cast<std::size_t>(p)] - t_avg > epsilon;
+  // Max-heap of overloaded donors (Algorithm 1's overheap). Each heavy PE
+  // is in the heap at most once: it is popped, mutated, and conditionally
+  // re-pushed, so entries are never stale.
+  auto heap_less = [low](const HeapEntry& a, const HeapEntry& b) {
+    if (a.load != b.load) return a.load < b.load;
+    return low ? a.pe > b.pe : a.pe < b.pe;  // preferred id surfaces first
   };
-  const auto is_light = [&](PeId p) {
-    return t_avg - load[static_cast<std::size_t>(p)] > epsilon;
-  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(heap_less)>
+      overheap(heap_less);
 
-  // createOverheapAndUnderset (Algorithm 1, lines 2-9).
-  std::priority_queue<HeapEntry> overheap;
-  std::set<PeId> underset;
-  for (std::size_t p = 0; p < num_pes; ++p) {
-    const auto pe = static_cast<PeId>(p);
-    if (is_heavy(pe)) {
-      overheap.push(HeapEntry{load[p], pe});
-    } else if (is_light(pe)) {
-      underset.insert(pe);
+  // Ordered index over the underloaded set, keyed by (load, PE id): the
+  // least-loaded receiver — the only one whose feasibility matters, since
+  // `fits` is monotone in receiver load — is *begin(), an O(1) peek, and
+  // every insert/erase is O(log P).
+  auto under_less = [low](const UnderNode& a, const UnderNode& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return low ? a.second < b.second : a.second > b.second;
+  };
+  std::set<UnderNode, decltype(under_less)> underset(under_less);
+
+  for (std::size_t i = 0; i < p.num_pes; ++i) {
+    const auto pe = static_cast<PeId>(i);
+    if (refinement_detail::is_heavy(p, pe)) {
+      overheap.push(HeapEntry{p.load[i], pe});
+    } else if (refinement_detail::is_light(p, pe)) {
+      underset.insert(UnderNode{p.load[i], pe});
     }
   }
 
   // Main refinement loop (Algorithm 1, lines 10-15).
-  while (!overheap.empty()) {
+  int budget = options.max_migrations < 0 ? std::numeric_limits<int>::max()
+                                          : options.max_migrations;
+  while (!overheap.empty() && budget > 0) {
     const PeId donor = overheap.top().pe;
     overheap.pop();
-    auto& donor_tasks = tasks[static_cast<std::size_t>(donor)];
+    if (underset.empty()) continue;  // nobody can take work; drop donor
 
-    // getBestCoreAndTask: the donor's largest task that some underloaded
-    // core can absorb without itself becoming overloaded (Eq. 3 guard).
-    std::size_t best_task_idx = donor_tasks.size();
-    PeId best_core = -1;
-    for (std::size_t t = 0; t < donor_tasks.size(); ++t) {
-      const double c = cost(donor_tasks[t]);
-      if (c <= 0.0) break;  // sorted: the rest are zero-cost, unmovable gain
-      double best_load = 0.0;
-      for (const PeId cand : underset) {
-        const double after = load[static_cast<std::size_t>(cand)] + c;
-        if (after - t_avg > epsilon) continue;  // would overload receiver
-        if (best_core == -1 || load[static_cast<std::size_t>(cand)] < best_load) {
-          best_core = cand;
-          best_load = load[static_cast<std::size_t>(cand)];
-        }
-      }
-      if (best_core != -1) {
-        best_task_idx = t;
-        break;  // tasks are sorted descending: this is the biggest movable
-      }
-    }
+    // getBestCoreAndTask in O(log T + log P): the least-loaded receiver
+    // bounds the absorbable cost at limit − its load, and the donor's
+    // descending-sorted task list is binary-searched for the largest task
+    // under that bound (ties already resolved by the sort order).
+    const UnderNode receiver_node = *underset.begin();
+    const double receiver_load = receiver_node.first;
+    const PeId receiver = receiver_node.second;
+    auto& donor_tasks = p.tasks[static_cast<std::size_t>(donor)];
+    const auto it = std::partition_point(
+        donor_tasks.begin(), donor_tasks.end(), [&](ChareId t) {
+          return !refinement_detail::fits(p, cost(t), receiver_load);
+        });
+    // Zero-cost tasks are unmovable gain; a donor with no positive-cost
+    // movable task cannot be relieved and leaves the heap (line 12).
+    if (it == donor_tasks.end() || cost(*it) <= 0.0) continue;
 
-    if (best_core == -1) continue;  // donor cannot be relieved; drop it
-
-    // Perform the transfer and update loads, heap and set (lines 13-14).
-    const ChareId moved = donor_tasks[best_task_idx];
-    donor_tasks.erase(donor_tasks.begin() +
-                      static_cast<std::ptrdiff_t>(best_task_idx));
+    // Perform the transfer and update loads, heap and index (lines 13-14).
+    const ChareId moved = *it;
     const double c = cost(moved);
-    load[static_cast<std::size_t>(donor)] -= c;
-    load[static_cast<std::size_t>(best_core)] += c;
-    result.assignment[static_cast<std::size_t>(moved)] = best_core;
+    donor_tasks.erase(it);
+    underset.erase(underset.begin());
+    p.load[static_cast<std::size_t>(donor)] -= c;
+    p.load[static_cast<std::size_t>(receiver)] += c;
+    result.assignment[static_cast<std::size_t>(moved)] = receiver;
     ++result.migrations;
-    // Keep the receiver's task list coherent for potential later inspection.
-    auto& recv_tasks = tasks[static_cast<std::size_t>(best_core)];
-    recv_tasks.insert(
-        std::lower_bound(recv_tasks.begin(), recv_tasks.end(), moved,
-                         [&](ChareId a, ChareId b) {
-                           if (cost(a) != cost(b)) return cost(a) > cost(b);
-                           return a < b;
-                         }),
-        moved);
+    --budget;
 
     // updateHeapAndSet (line 14): reclassify both endpoints. A donor that
-    // overshoots below the tolerance band becomes a receiver candidate.
-    if (is_heavy(donor)) {
-      overheap.push(HeapEntry{load[static_cast<std::size_t>(donor)], donor});
-    } else if (is_light(donor)) {
-      underset.insert(donor);
+    // overshoots below the tolerance band becomes a receiver candidate; a
+    // receiver stays in the index (with its new key) while still light.
+    // Received tasks never need to join the receiver's donation list: the
+    // Eq. 3 guard keeps receivers at or below T_avg + ε, so they can never
+    // turn into donors later.
+    if (refinement_detail::is_heavy(p, donor)) {
+      overheap.push(HeapEntry{p.load[static_cast<std::size_t>(donor)], donor});
+    } else if (refinement_detail::is_light(p, donor)) {
+      underset.insert(
+          UnderNode{p.load[static_cast<std::size_t>(donor)], donor});
     }
-    if (!is_light(best_core)) underset.erase(best_core);
+    if (refinement_detail::is_light(p, receiver)) {
+      underset.insert(
+          UnderNode{p.load[static_cast<std::size_t>(receiver)], receiver});
+    }
   }
 
-  result.fully_balanced = true;
-  for (std::size_t p = 0; p < num_pes; ++p) {
-    if (std::abs(load[p] - t_avg) > epsilon + 1e-12) {
-      result.fully_balanced = false;
-      break;
-    }
-  }
+  refinement_detail::finalize(p, &result);
   return result;
+}
+
+RefinementResult refine_assignment(const LbStats& stats,
+                                   const std::vector<double>& external_load,
+                                   double epsilon_fraction) {
+  RefinementOptions options;
+  options.epsilon_fraction = epsilon_fraction;
+  return refine_assignment(stats, external_load, options);
 }
 
 }  // namespace cloudlb

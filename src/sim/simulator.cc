@@ -1,15 +1,44 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "util/check.h"
 
 namespace cloudlb {
+
+namespace {
+
+// Below this size, compaction is not worth the pass: lazily skipping a
+// handful of stale heads is cheaper than rebuilding the heap.
+constexpr std::size_t kCompactionFloor = 64;
+
+}  // namespace
+
+void Simulator::push_entry(const QueueEntry& e) {
+  queue_.push_back(e);
+  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
+}
+
+void Simulator::pop_entry() {
+  std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  queue_.pop_back();
+}
+
+void Simulator::compact_queue() {
+  std::erase_if(queue_, [this](const QueueEntry& e) {
+    return !callbacks_.contains(e.id);
+  });
+  std::make_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  stale_ = 0;
+}
 
 EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
   CLB_CHECK_MSG(t >= now_, "event scheduled in the past: t="
                                << t.to_string() << " now=" << now_.to_string());
   CLB_CHECK(cb != nullptr);
   const std::uint64_t id = next_seq_++;
-  queue_.push(QueueEntry{t, id, id});
+  push_entry(QueueEntry{t, id, id});
   callbacks_.emplace(id, std::move(cb));
   return EventHandle{id};
 }
@@ -21,16 +50,25 @@ EventHandle Simulator::schedule_after(SimTime delay, Callback cb) {
 
 bool Simulator::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  return callbacks_.erase(h.id_) > 0;
-  // The queue entry stays behind and is skipped lazily when popped.
+  if (callbacks_.erase(h.id_) == 0) return false;
+  // The queue entry is normally skipped lazily when popped, but repeated
+  // schedule/cancel cycles (re-armed periodic timers) would then grow the
+  // queue without bound: compact once stale entries outnumber live ones.
+  ++stale_;
+  if (queue_.size() > kCompactionFloor && stale_ * 2 > queue_.size())
+    compact_queue();
+  return true;
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
+    const QueueEntry entry = queue_.front();
+    pop_entry();
     auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) continue;  // cancelled
+    if (it == callbacks_.end()) {  // cancelled
+      if (stale_ > 0) --stale_;
+      continue;
+    }
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
     now_ = entry.time;
@@ -50,9 +88,10 @@ void Simulator::run_until(SimTime t) {
   CLB_CHECK(t >= now_);
   while (!queue_.empty()) {
     // Skip stale (cancelled) heads without advancing the clock.
-    const QueueEntry entry = queue_.top();
+    const QueueEntry entry = queue_.front();
     if (!callbacks_.contains(entry.id)) {
-      queue_.pop();
+      pop_entry();
+      if (stale_ > 0) --stale_;
       continue;
     }
     if (entry.time > t) break;

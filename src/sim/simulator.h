@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +57,11 @@ class Simulator {
   /// Number of events scheduled but not yet fired or cancelled.
   std::size_t pending() const { return callbacks_.size(); }
 
+  /// Heap entries currently held, including stale (cancelled) ones waiting
+  /// to be skipped or compacted away. Bounded at < 2·pending() + a small
+  /// floor even under adversarial schedule/cancel churn.
+  std::size_t queue_size() const { return queue_.size(); }
+
   /// Total events executed so far (monitoring / benchmarks).
   std::uint64_t executed() const { return executed_; }
 
@@ -72,11 +76,18 @@ class Simulator {
     }
   };
 
+  // Min-heap (std::*_heap with operator>) over queue_; manual layout so
+  // cancellation can compact stale entries in place, which a
+  // std::priority_queue cannot.
+  void push_entry(const QueueEntry& e);
+  void pop_entry();
+  void compact_queue();
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      queue_;
+  std::vector<QueueEntry> queue_;
+  std::size_t stale_ = 0;  ///< cancelled entries still sitting in queue_
   std::unordered_map<std::uint64_t, Callback> callbacks_;
 };
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "core/background_estimator.h"
@@ -76,6 +78,32 @@ TEST(BackgroundEstimatorTest, ClampsNegativeJitter) {
   pe.task_cpu_sec = 6.0;
   pe.core_idle_sec = 4.5;  // measurement jitter: sums past the wall clock
   EXPECT_DOUBLE_EQ(estimate_background_load(pe), 0.0);
+}
+
+TEST(BackgroundEstimatorTest, SanitizesNonFiniteSampleFields) {
+  // A corrupt /proc/stat-style read (NaN wall clock, Inf idle, ...) must
+  // not leak NaN/Inf into O_p — that would poison T_avg and with it every
+  // balance decision downstream. Non-finite fields are treated as 0.
+  PeSample pe;
+  pe.wall_sec = std::numeric_limits<double>::quiet_NaN();
+  pe.task_cpu_sec = 4.0;
+  pe.core_idle_sec = 1.0;
+  EXPECT_DOUBLE_EQ(estimate_background_load(pe), 0.0);  // 0 - 4 - 1, clamped
+
+  pe.wall_sec = 10.0;
+  pe.core_idle_sec = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(estimate_background_load(pe), 6.0);  // 10 - 4 - 0
+
+  pe.core_idle_sec = 1.0;
+  pe.task_cpu_sec = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(estimate_background_load(pe), 9.0);  // 10 - 0 - 1
+
+  // Vector form stays finite even when one PE's sample is corrupt.
+  LbStats stats = make_stats(3, {1.0, 1.0, 1.0}, {0, 1, 2}, 10.0,
+                             {0.0, 3.0, 9.0});
+  stats.pes[1].wall_sec = std::numeric_limits<double>::quiet_NaN();
+  const auto bg = estimate_background_load(stats);
+  for (const double b : bg) EXPECT_TRUE(std::isfinite(b));
 }
 
 TEST(BackgroundEstimatorTest, VectorVersionPerPe) {

@@ -200,6 +200,87 @@ TEST(RefinementTest, EpsilonWidensTolerance) {
   EXPECT_EQ(relaxed.migrations, 0);
 }
 
+TEST(RefinementTest, ZeroPesIsNoOpNotDivisionByZero) {
+  // Degenerate: an empty machine. T_avg would be 0/0; the engine must
+  // return an empty no-op result instead of dividing by zero.
+  LbStats stats;
+  const auto r = refine_assignment(stats, {}, 0.05);
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_EQ(r.migrations, 0);
+  EXPECT_TRUE(r.fully_balanced);
+  EXPECT_DOUBLE_EQ(r.max_load, 0.0);
+}
+
+TEST(RefinementTest, ZeroTotalLoadEarlyOuts) {
+  // Degenerate: T_avg == 0 collapses ε to 0; with all loads zero the
+  // instance is vacuously balanced and nothing must be classified heavy.
+  const LbStats stats = make_stats(3, {0.0, 0.0, 0.0}, {0, 0, 1});
+  const auto r = refine_assignment(stats, {0.0, 0.0, 0.0}, 0.05);
+  EXPECT_EQ(r.migrations, 0);
+  EXPECT_TRUE(r.fully_balanced);
+  EXPECT_DOUBLE_EQ(r.max_load, 0.0);
+  EXPECT_EQ(r.assignment, (std::vector<PeId>{0, 0, 1}));
+}
+
+TEST(RefinementTest, MaxMigrationsCapsSchedulePrefix) {
+  // Needs 2 moves to balance; capped runs perform exactly the first moves
+  // of the uncapped schedule.
+  const LbStats stats = make_stats(2, {2.0, 2.0, 2.0, 2.0}, {0, 0, 0, 0});
+  RefinementOptions options;
+  options.epsilon_fraction = 0.05;
+
+  options.max_migrations = 0;
+  const auto none = refine_assignment(stats, {0.0, 0.0}, options);
+  EXPECT_EQ(none.migrations, 0);
+  EXPECT_EQ(none.assignment, stats.current_assignment());
+  EXPECT_FALSE(none.fully_balanced);
+
+  options.max_migrations = 1;
+  const auto one = refine_assignment(stats, {0.0, 0.0}, options);
+  EXPECT_EQ(one.migrations, 1);
+  EXPECT_FALSE(one.fully_balanced);
+
+  options.max_migrations = -1;
+  const auto all = refine_assignment(stats, {0.0, 0.0}, options);
+  EXPECT_EQ(all.migrations, 2);
+  EXPECT_TRUE(all.fully_balanced);
+  // The capped run is a prefix: every chare moved under cap 1 moved to the
+  // same place in the uncapped run.
+  for (std::size_t c = 0; c < 4; ++c) {
+    if (one.assignment[c] != stats.chares[c].pe) {
+      EXPECT_EQ(one.assignment[c], all.assignment[c]);
+    }
+  }
+}
+
+TEST(RefinementTest, TieBreakModesDeterministicAndEquivalentQuality) {
+  // Four identical chares on PE0 of a 3-PE machine: receivers and tasks
+  // tie everywhere. Both modes must be self-deterministic and reach the
+  // same makespan, differing only in which ids they prefer.
+  const LbStats stats = make_stats(3, {2.0, 2.0, 2.0, 2.0, 2.0, 2.0},
+                                   {0, 0, 0, 0, 0, 0});
+  RefinementOptions lowest;
+  lowest.tie_break = RefinementTieBreak::kLowestId;
+  RefinementOptions highest;
+  highest.tie_break = RefinementTieBreak::kHighestId;
+
+  const auto a1 = refine_assignment(stats, {0.0, 0.0, 0.0}, lowest);
+  const auto a2 = refine_assignment(stats, {0.0, 0.0, 0.0}, lowest);
+  const auto b1 = refine_assignment(stats, {0.0, 0.0, 0.0}, highest);
+  const auto b2 = refine_assignment(stats, {0.0, 0.0, 0.0}, highest);
+  EXPECT_EQ(a1.assignment, a2.assignment);
+  EXPECT_EQ(b1.assignment, b2.assignment);
+  EXPECT_EQ(a1.migrations, b1.migrations);
+  EXPECT_NEAR(a1.max_load, b1.max_load, 1e-12);
+}
+
+TEST(RefinementTest, ReportsFinalMaxLoad) {
+  const LbStats stats = make_stats(2, {2.0, 2.0, 2.0, 2.0}, {0, 0, 0, 0});
+  const auto r = refine_assignment(stats, {0.0, 0.0}, 0.05);
+  const auto load = pe_loads(stats, r.assignment);
+  EXPECT_DOUBLE_EQ(r.max_load, *std::max_element(load.begin(), load.end()));
+}
+
 TEST(RefinementTest, ValidatesInputs) {
   LbStats stats = make_stats(2, {1.0}, {0});
   EXPECT_THROW(refine_assignment(stats, {0.0}, 0.05), CheckFailure);

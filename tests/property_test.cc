@@ -217,6 +217,66 @@ TEST_P(RefinementQualityTest, NeverWorsensMakespanAndMovesSparingly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RefinementQualityTest,
                          ::testing::Range(1, 41));
 
+// ------------------------------------------------ refinement safety net
+//
+// Invariants that must hold for ANY instance and ANY engine options — the
+// safety net under the indexed-engine rewrite (see also
+// refinement_diff_test.cc for naive-vs-indexed equivalence).
+
+class RefinementSafetyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefinementSafetyTest, NeverRaisesMaxLoadOrOverloadsReceiver) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 48611 + 5};
+  const int pes = static_cast<int>(rng.uniform_int(2, 48));
+  const int chares = static_cast<int>(rng.uniform_int(pes, pes * 12));
+  std::vector<double> external;
+  const LbStats stats = random_stats(rng, pes, chares, &external);
+
+  RefinementOptions options;
+  const double eps_choices[] = {0.0, 0.02, 0.05, 0.2};
+  options.epsilon_fraction =
+      eps_choices[static_cast<std::size_t>(GetParam()) % 4];
+  options.tie_break = GetParam() % 2 == 0 ? RefinementTieBreak::kLowestId
+                                          : RefinementTieBreak::kHighestId;
+  if (GetParam() % 5 == 0)
+    options.max_migrations = static_cast<int>(rng.uniform_int(0, 8));
+
+  const auto before = loads_of(stats, stats.current_assignment(), external);
+  const double t_avg =
+      std::accumulate(before.begin(), before.end(), 0.0) /
+      static_cast<double>(pes);
+  const double eps = options.epsilon_fraction * t_avg;
+
+  const auto r = refine_assignment(stats, external, options);
+  const auto after = loads_of(stats, r.assignment, external);
+
+  // 1. The maximum per-PE load never increases.
+  EXPECT_LE(*std::max_element(after.begin(), after.end()),
+            *std::max_element(before.begin(), before.end()) + 1e-9);
+
+  // 2. Eq. 3 guard: no chare lands on a PE that ends above T_avg + ε —
+  //    i.e. every PE whose load grew is within the tolerance ceiling.
+  for (int p = 0; p < pes; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    if (after[i] > before[i] + 1e-12) {
+      EXPECT_LE(after[i], t_avg + eps + 1e-9)
+          << "PE " << p << " was overloaded by a migration";
+    }
+  }
+
+  // 3. The reported makespan matches an independent recomputation.
+  EXPECT_NEAR(r.max_load, *std::max_element(after.begin(), after.end()),
+              1e-9);
+
+  // 4. Migration cap respected.
+  if (options.max_migrations >= 0) {
+    EXPECT_LE(r.migrations, options.max_migrations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefinementSafetyTest,
+                         ::testing::Range(1, 61));
+
 // ----------------------------------------- stencil geometry sweep (bitwise)
 
 struct StencilGeometry {

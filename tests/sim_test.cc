@@ -176,6 +176,46 @@ TEST(SimulatorTest, PendingTracksOutstanding) {
   EXPECT_EQ(sim.pending(), 0u);
 }
 
+TEST(SimulatorTest, RepeatedScheduleCancelKeepsQueueBounded) {
+  // Regression: cancel() used to leave the QueueEntry in the priority queue
+  // forever, so a periodic LB re-arming a timer (schedule, cancel, schedule
+  // again) grew the queue without bound. Stale entries are now compacted
+  // once they outnumber the live ones.
+  Simulator sim;
+  EventHandle armed;
+  int fired = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    if (armed.valid()) {
+      EXPECT_TRUE(sim.cancel(armed));
+    }
+    armed = sim.schedule_at(SimTime::seconds(1000) + SimTime::millis(i),
+                            [&fired] { ++fired; });
+    ASSERT_LE(sim.queue_size(), 512u) << "at cycle " << i;
+    ASSERT_EQ(sim.pending(), 1u);
+  }
+  sim.run();
+  EXPECT_EQ(fired, 1);  // only the last armed timer survives
+  EXPECT_EQ(sim.executed(), 1u);
+  EXPECT_EQ(sim.queue_size(), 0u);
+}
+
+TEST(SimulatorTest, CompactionPreservesLiveEventsAndOrder) {
+  // Interleave long-lived events with heavy schedule/cancel churn; every
+  // live event must still fire, in time order, despite compaction passes.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i)
+    sim.schedule_at(SimTime::millis(10 * (i + 1)),
+                    [&order, i] { order.push_back(i); });
+  for (int i = 0; i < 10'000; ++i)
+    sim.cancel(sim.schedule_at(SimTime::seconds(100), [] {}));
+  EXPECT_LE(sim.queue_size(), 1024u);
+  sim.run();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 TEST(SimulatorTest, ManyEventsStressDeterministic) {
   auto run_once = [] {
     Simulator sim;
