@@ -6,18 +6,25 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
   std::cout << "Ablation: epsilon tolerance (Jacobi2D, 8 cores, ia-refine)\n\n";
+  const std::vector<double> epsilons = {0.01, 0.02, 0.05, 0.10,
+                                        0.20, 0.40, 0.80};
+  const std::vector<PenaltyResult> results = parallel_map<PenaltyResult>(
+      epsilons.size(), parse_jobs(argc, argv), [&](std::size_t i) {
+        ScenarioConfig config = grid_config("jacobi2d", "ia-refine", 8);
+        config.lb_options.epsilon_fraction = epsilons[i];
+        return run_penalty_experiment(config);
+      });
   Table table({"epsilon (frac of T_avg)", "app penalty %", "BG penalty %",
                "migrations", "LB steps"});
-  for (const double eps : {0.01, 0.02, 0.05, 0.10, 0.20, 0.40, 0.80}) {
-    ScenarioConfig config = grid_config("jacobi2d", "ia-refine", 8);
-    config.lb_options.epsilon_fraction = eps;
-    const PenaltyResult r = run_penalty_experiment(config);
-    table.add_row({Table::num(eps, 2), Table::num(r.app_penalty_pct, 1),
+  for (std::size_t i = 0; i < epsilons.size(); ++i) {
+    const PenaltyResult& r = results[i];
+    table.add_row({Table::num(epsilons[i], 2),
+                   Table::num(r.app_penalty_pct, 1),
                    Table::num(r.bg_penalty_pct, 1),
                    std::to_string(r.combined.lb_migrations),
                    std::to_string(r.combined.app_counters.lb_steps)});

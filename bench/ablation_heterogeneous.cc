@@ -12,7 +12,7 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
@@ -29,14 +29,25 @@ int main() {
     return run_scenario(config);
   };
 
+  // Cell 0 is the all-fast baseline; then two cells (noLB, ia-refine) per
+  // slowed speed, each an independent deterministic scenario.
+  const std::vector<double> speeds = {0.8, 0.5, 0.25};
+  const std::vector<RunResult> results = parallel_map<RunResult>(
+      1 + speeds.size() * 2, parse_jobs(argc, argv), [&](std::size_t i) {
+        if (i == 0) return run_with("null", 1.0);
+        const std::size_t cell = i - 1;
+        return run_with(cell % 2 == 0 ? "null" : "ia-refine",
+                        speeds[cell / 2]);
+      });
+
   Table table({"slow-core speed", "noLB slowdown %", "ia-refine slowdown %",
                "ia migrations"});
-  const double fast = run_with("null", 1.0).app_elapsed.to_seconds();
-  for (const double speed : {0.8, 0.5, 0.25}) {
-    const RunResult no_lb = run_with("null", speed);
-    const RunResult lb = run_with("ia-refine", speed);
+  const double fast = results[0].app_elapsed.to_seconds();
+  for (std::size_t s = 0; s < speeds.size(); ++s) {
+    const RunResult& no_lb = results[1 + 2 * s];
+    const RunResult& lb = results[1 + 2 * s + 1];
     table.add_row(
-        {Table::num(speed, 2),
+        {Table::num(speeds[s], 2),
          Table::num((no_lb.app_elapsed.to_seconds() / fast - 1) * 100, 1),
          Table::num((lb.app_elapsed.to_seconds() / fast - 1) * 100, 1),
          std::to_string(lb.lb_migrations)});

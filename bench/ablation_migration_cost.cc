@@ -10,29 +10,34 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
   std::cout << "Ablation: migration cost scaling (Jacobi2D, 8 cores)\n\n";
+  const std::vector<double> scales = {1.0, 100.0, 1000.0, 10000.0, 50000.0};
+  const auto configure = [](const char* balancer, double scale) {
+    ScenarioConfig config = grid_config("jacobi2d", balancer, 8);
+    config.job.pack_sec_per_byte = 1e-9 * scale;
+    config.job.unpack_sec_per_byte = 1e-9 * scale;
+    config.job.network.inter_node_bandwidth = 1.0e9 / scale;
+    config.job.network.intra_node_bandwidth = 4.0e9 / scale;
+    // Tell the gated strategy what migration actually costs now.
+    config.lb_options.migration_sec_per_byte_hint = 3e-9 * scale;
+    return config;
+  };
+  // Two cells per scale: even index = ia-refine, odd = gain-gated.
+  const std::vector<PenaltyResult> results = parallel_map<PenaltyResult>(
+      scales.size() * 2, parse_jobs(argc, argv), [&](std::size_t i) {
+        const char* balancer = i % 2 == 0 ? "ia-refine" : "gain-gated";
+        return run_penalty_experiment(configure(balancer, scales[i / 2]));
+      });
   Table table({"cost scale", "ia-refine penalty %", "gated penalty %",
                "ia migrations", "gated migrations"});
-  for (const double scale : {1.0, 100.0, 1000.0, 10000.0, 50000.0}) {
-    auto configure = [&](const char* balancer) {
-      ScenarioConfig config = grid_config("jacobi2d", balancer, 8);
-      config.job.pack_sec_per_byte = 1e-9 * scale;
-      config.job.unpack_sec_per_byte = 1e-9 * scale;
-      config.job.network.inter_node_bandwidth = 1.0e9 / scale;
-      config.job.network.intra_node_bandwidth = 4.0e9 / scale;
-      // Tell the gated strategy what migration actually costs now.
-      config.lb_options.migration_sec_per_byte_hint = 3e-9 * scale;
-      return config;
-    };
-    const PenaltyResult aware =
-        run_penalty_experiment(configure("ia-refine"));
-    const PenaltyResult gated =
-        run_penalty_experiment(configure("gain-gated"));
-    table.add_row({Table::num(scale, 0),
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    const PenaltyResult& aware = results[2 * i];
+    const PenaltyResult& gated = results[2 * i + 1];
+    table.add_row({Table::num(scales[i], 0),
                    Table::num(aware.app_penalty_pct, 1),
                    Table::num(gated.app_penalty_pct, 1),
                    std::to_string(aware.combined.lb_migrations),

@@ -57,22 +57,34 @@ TenantRun run_once(const std::string& balancer, int tenants) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
   std::cout << "Ablation: multi-tenant cloud (Wave2D, 16 cores, tenants "
                "with ~1s on/off episodes on random cores)\n\n";
 
-  const double solo = run_once("null", 0).elapsed_sec;
+  // Cell 0 is the tenant-free normalization run; then three balancers per
+  // tenant count. Each cell owns its Simulator and tenant RNG (seeded by
+  // the cell's config), so results are identical for every --jobs value.
+  const std::vector<int> tenant_counts = {1, 2, 4, 8};
+  const char* const balancers[] = {"null", "ia-refine", "ia-refine-ewma"};
+  const std::vector<TenantRun> results = parallel_map<TenantRun>(
+      1 + tenant_counts.size() * 3, parse_jobs(argc, argv),
+      [&](std::size_t i) {
+        if (i == 0) return run_once("null", 0);
+        const std::size_t cell = i - 1;
+        return run_once(balancers[cell % 3], tenant_counts[cell / 3]);
+      });
+  const double solo = results[0].elapsed_sec;
 
   Table table({"tenants", "noLB slowdown %", "ia-refine %", "ewma %",
                "ia migrations", "ewma migrations"});
-  for (const int tenants : {1, 2, 4, 8}) {
-    const TenantRun no_lb = run_once("null", tenants);
-    const TenantRun aware = run_once("ia-refine", tenants);
-    const TenantRun ewma = run_once("ia-refine-ewma", tenants);
-    table.add_row({std::to_string(tenants),
+  for (std::size_t t = 0; t < tenant_counts.size(); ++t) {
+    const TenantRun& no_lb = results[1 + 3 * t];
+    const TenantRun& aware = results[1 + 3 * t + 1];
+    const TenantRun& ewma = results[1 + 3 * t + 2];
+    table.add_row({std::to_string(tenant_counts[t]),
                    Table::num((no_lb.elapsed_sec / solo - 1) * 100, 1),
                    Table::num((aware.elapsed_sec / solo - 1) * 100, 1),
                    Table::num((ewma.elapsed_sec / solo - 1) * 100, 1),

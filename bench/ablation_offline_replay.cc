@@ -15,7 +15,7 @@
 #include "core/replay.h"
 #include "lb/stats_io.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
@@ -30,21 +30,33 @@ int main() {
   std::cout << "Ablation: offline replay of " << windows.size()
             << " recorded LB windows (Jacobi2D, 8 cores, noLB trace)\n\n";
 
-  Table table({"balancer", "mean max-load before (s)",
-               "mean max-load after (s)", "total migrations"});
-  for (const auto& name : balancer_names()) {
-    const auto balancer = make_balancer(name);
-    const auto rows = replay_stats(windows, *balancer);
+  // One recording, scored by every strategy in parallel. Each replay
+  // builds its own balancer instance, so the cells share only the
+  // immutable recorded windows.
+  struct Score {
     double before = 0.0, after = 0.0;
     int migrations = 0;
-    for (const ReplayRow& row : rows) {
-      before += row.max_load_before;
-      after += row.max_load_after;
-      migrations += row.migrations;
-    }
-    const auto n = static_cast<double>(rows.size());
-    table.add_row({name, Table::num(before / n, 3), Table::num(after / n, 3),
-                   std::to_string(migrations)});
+  };
+  const std::vector<std::string> names = balancer_names();
+  const std::vector<Score> scores = parallel_map<Score>(
+      names.size(), parse_jobs(argc, argv), [&](std::size_t i) {
+        const auto balancer = make_balancer(names[i]);
+        Score score;
+        for (const ReplayRow& row : replay_stats(windows, *balancer)) {
+          score.before += row.max_load_before;
+          score.after += row.max_load_after;
+          score.migrations += row.migrations;
+        }
+        return score;
+      });
+
+  Table table({"balancer", "mean max-load before (s)",
+               "mean max-load after (s)", "total migrations"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto n = static_cast<double>(windows.size());
+    table.add_row({names[i], Table::num(scores[i].before / n, 3),
+                   Table::num(scores[i].after / n, 3),
+                   std::to_string(scores[i].migrations)});
   }
   emit(table, "per-strategy offline score");
   return 0;

@@ -12,25 +12,29 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
   std::cout << "Ablation: overdecomposition (Jacobi2D, 16 cores, ia-refine)\n\n";
+  struct Grid { int x, y; };
+  const std::vector<Grid> grids = {Grid{4, 4}, Grid{8, 4}, Grid{8, 8},
+                                   Grid{16, 8}, Grid{32, 16}, Grid{32, 32}};
+  // Two cells per grid size: even index = ia-refine, odd = null.
+  const std::vector<PenaltyResult> results = parallel_map<PenaltyResult>(
+      grids.size() * 2, parse_jobs(argc, argv), [&](std::size_t i) {
+        ScenarioConfig config = grid_config(
+            "jacobi2d", i % 2 == 0 ? "ia-refine" : "null", 16);
+        config.app.blocks_x = grids[i / 2].x;
+        config.app.blocks_y = grids[i / 2].y;
+        return run_penalty_experiment(config);
+      });
   Table table({"chares", "chares/PE", "LB penalty %", "noLB penalty %",
                "migrations"});
-  struct Grid { int x, y; };
-  for (const Grid grid : {Grid{4, 4}, Grid{8, 4}, Grid{8, 8}, Grid{16, 8},
-                          Grid{32, 16}, Grid{32, 32}}) {
-    auto with = [&](const char* balancer) {
-      ScenarioConfig config = grid_config("jacobi2d", balancer, 16);
-      config.app.blocks_x = grid.x;
-      config.app.blocks_y = grid.y;
-      return run_penalty_experiment(config);
-    };
-    const PenaltyResult lb = with("ia-refine");
-    const PenaltyResult no_lb = with("null");
-    const int chares = grid.x * grid.y;
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    const PenaltyResult& lb = results[2 * g];
+    const PenaltyResult& no_lb = results[2 * g + 1];
+    const int chares = grids[g].x * grids[g].y;
     table.add_row({std::to_string(chares), std::to_string(chares / 16),
                    Table::num(lb.app_penalty_pct, 1),
                    Table::num(no_lb.app_penalty_pct, 1),

@@ -6,19 +6,25 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
   std::cout << "Ablation: LB period (Jacobi2D, 8 cores, ia-refine, 60 "
                "iterations)\n\n";
+  const std::vector<int> periods = {2, 3, 5, 10, 20, 30};
+  const std::vector<PenaltyResult> results = parallel_map<PenaltyResult>(
+      periods.size(), parse_jobs(argc, argv), [&](std::size_t i) {
+        ScenarioConfig config = grid_config("jacobi2d", "ia-refine", 8);
+        config.lb_period = periods[i];
+        return run_penalty_experiment(config);
+      });
   Table table({"period (iterations)", "app penalty %", "BG penalty %",
                "migrations", "LB steps"});
-  for (const int period : {2, 3, 5, 10, 20, 30}) {
-    ScenarioConfig config = grid_config("jacobi2d", "ia-refine", 8);
-    config.lb_period = period;
-    const PenaltyResult r = run_penalty_experiment(config);
-    table.add_row({std::to_string(period), Table::num(r.app_penalty_pct, 1),
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const PenaltyResult& r = results[i];
+    table.add_row({std::to_string(periods[i]),
+                   Table::num(r.app_penalty_pct, 1),
                    Table::num(r.bg_penalty_pct, 1),
                    std::to_string(r.combined.lb_migrations),
                    std::to_string(r.combined.app_counters.lb_steps)});

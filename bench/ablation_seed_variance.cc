@@ -8,22 +8,30 @@
 #include "bench_common.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
   std::cout << "Ablation: variability across seeds\n\n";
 
+  const int jobs = parse_jobs(argc, argv);
+  const char* const balancers[] = {"null", "ia-refine"};
+  constexpr std::uint64_t kSeeds = 5;
+
   {
+    // Flat cells: balancer-major, seed-minor. Each cell is an independent
+    // scenario with its own seeded RNG, so any --jobs value is identical.
+    const std::vector<double> penalties = parallel_map<double>(
+        2 * kSeeds, jobs, [&](std::size_t i) {
+          ScenarioConfig config = grid_config("mol3d", balancers[i / kSeeds], 8);
+          config.app.seed = 1 + i % kSeeds;
+          return run_penalty_experiment(config).app_penalty_pct;
+        });
     Table table({"balancer", "mean penalty %", "stddev", "min", "max"});
-    for (const char* balancer : {"null", "ia-refine"}) {
+    for (std::size_t b = 0; b < 2; ++b) {
       StatAccumulator acc;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        ScenarioConfig config = grid_config("mol3d", balancer, 8);
-        config.app.seed = seed;
-        acc.add(run_penalty_experiment(config).app_penalty_pct);
-      }
-      table.add_row({balancer, Table::num(acc.mean(), 1),
+      for (std::uint64_t s = 0; s < kSeeds; ++s) acc.add(penalties[b * kSeeds + s]);
+      table.add_row({balancers[b], Table::num(acc.mean(), 1),
                      Table::num(acc.stddev(), 1), Table::num(acc.min(), 1),
                      Table::num(acc.max(), 1)});
     }
@@ -31,22 +39,23 @@ int main() {
   }
 
   {
+    const std::vector<double> slowdowns = parallel_map<double>(
+        2 * kSeeds, jobs, [&](std::size_t i) {
+          ScenarioConfig config = grid_config("wave2d", balancers[i / kSeeds], 8);
+          config.with_background = false;
+          config.tenants = 4;
+          config.tenant_config.seed = 1 + i % kSeeds;
+          ScenarioConfig solo = config;
+          solo.tenants = 0;
+          const double base = run_scenario(solo).app_elapsed.to_seconds();
+          const double with = run_scenario(config).app_elapsed.to_seconds();
+          return percent_increase(with, base);
+        });
     Table table({"balancer", "mean slowdown %", "stddev", "min", "max"});
-    for (const char* balancer : {"null", "ia-refine"}) {
+    for (std::size_t b = 0; b < 2; ++b) {
       StatAccumulator acc;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        ScenarioConfig config = grid_config("wave2d", balancer, 8);
-        config.with_background = false;
-        config.tenants = 4;
-        config.tenant_config.seed = seed;
-        ScenarioConfig solo = config;
-        solo.tenants = 0;
-        const double base = run_scenario(solo).app_elapsed.to_seconds();
-        const double with =
-            run_scenario(config).app_elapsed.to_seconds();
-        acc.add(percent_increase(with, base));
-      }
-      table.add_row({balancer, Table::num(acc.mean(), 1),
+      for (std::uint64_t s = 0; s < kSeeds; ++s) acc.add(slowdowns[b * kSeeds + s]);
+      table.add_row({balancers[b], Table::num(acc.mean(), 1),
                      Table::num(acc.stddev(), 1), Table::num(acc.min(), 1),
                      Table::num(acc.max(), 1)});
     }

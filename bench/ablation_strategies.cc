@@ -11,17 +11,21 @@
 #include "bench_common.h"
 #include "core/balancer_factory.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
   std::cout << "Ablation: strategy comparison (Jacobi2D, 8 cores)\n\n";
+  const std::vector<std::string> names = balancer_names();
+  const std::vector<PenaltyResult> results = parallel_map<PenaltyResult>(
+      names.size(), parse_jobs(argc, argv), [&](std::size_t i) {
+        return run_penalty_experiment(grid_config("jacobi2d", names[i], 8));
+      });
   Table table({"balancer", "app penalty %", "BG penalty %",
                "energy overhead %", "migrations"});
-  for (const auto& name : balancer_names()) {
-    const PenaltyResult r =
-        run_penalty_experiment(grid_config("jacobi2d", name, 8));
-    table.add_row({name, Table::num(r.app_penalty_pct, 1),
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const PenaltyResult& r = results[i];
+    table.add_row({names[i], Table::num(r.app_penalty_pct, 1),
                    Table::num(r.bg_penalty_pct, 1),
                    Table::num(r.energy_overhead_pct, 1),
                    std::to_string(r.combined.lb_migrations)});

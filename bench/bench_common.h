@@ -1,10 +1,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/scenario.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace cloudlb::bench {
 
@@ -20,6 +24,13 @@ ScenarioConfig grid_config(const std::string& app, const std::string& balancer,
 
 /// Runs penalty experiments, memoizing the expensive interference-free
 /// baseline and BG-solo runs per (app, cores) so noLB/LB rows share them.
+///
+/// Thread-safe: every memoized cell is latched behind a std::once_flag,
+/// so concurrent callers of the same (or an overlapping) cell compute it
+/// exactly once and the rest block until the value is ready. Returned
+/// references stay valid for the grid's lifetime. Results are a pure
+/// function of the key, so which thread wins the latch never shows in
+/// the numbers.
 class PenaltyGrid {
  public:
   const PenaltyResult& run(const std::string& app, const std::string& balancer,
@@ -30,12 +41,79 @@ class PenaltyGrid {
     RunResult base;
     SimTime bg_solo;
   };
-  std::map<std::string, PenaltyResult> cache_;
-  std::map<std::string, Baseline> baselines_;
+  template <typename T>
+  struct Latched {
+    std::once_flag once;
+    T value;
+  };
+
+  template <typename T>
+  Latched<T>& entry(std::map<std::string, std::unique_ptr<Latched<T>>>& map,
+                    const std::string& key) {
+    std::lock_guard<std::mutex> lock{mu_};
+    auto& slot = map[key];
+    if (slot == nullptr) slot = std::make_unique<Latched<T>>();
+    return *slot;
+  }
+
+  std::mutex mu_;  ///< guards map shape only; values latch independently
+  std::map<std::string, std::unique_ptr<Latched<PenaltyResult>>> cache_;
+  std::map<std::string, std::unique_ptr<Latched<Baseline>>> baselines_;
+};
+
+/// Runs a grid of independent (app, balancer, cores) penalty cells across
+/// worker threads, then serves the memoized results. Usage:
+///
+///   ParallelGrid grid{parse_jobs(argc, argv)};
+///   for (...) grid.add(app, balancer, cores);   // declare the grid
+///   grid.run_queued();                          // compute, in parallel
+///   ... grid.run(app, balancer, cores) ...      // emit, in print order
+///
+/// Emission happens on the caller's thread in the caller's order, so the
+/// printed tables are bit-identical for every --jobs value; only the
+/// wall-clock changes. run() on a cell that was never queued computes it
+/// on the spot (serially), so harnesses degrade gracefully.
+class ParallelGrid {
+ public:
+  explicit ParallelGrid(int jobs = 1) : jobs_{jobs} {}
+
+  /// Queues one cell for the next run_queued(). Duplicates are fine (the
+  /// grid memoizes); queueing both balancers of a figure also shares the
+  /// per-(app, cores) baseline runs.
+  void add(const std::string& app, const std::string& balancer, int cores) {
+    cells_.push_back(Cell{app, balancer, cores});
+  }
+
+  /// Computes every queued cell, `jobs` at a time, then clears the queue.
+  void run_queued();
+
+  /// Returns the memoized cell (computing it serially if never queued).
+  const PenaltyResult& run(const std::string& app, const std::string& balancer,
+                           int cores) {
+    return grid_.run(app, balancer, cores);
+  }
+
+  int jobs() const { return jobs_; }
+
+ private:
+  struct Cell {
+    std::string app;
+    std::string balancer;
+    int cores;
+  };
+  int jobs_;
+  std::vector<Cell> cells_;
+  PenaltyGrid grid_;
 };
 
 /// Core counts of the paper's Figure 2 / Figure 4 sweeps.
 inline constexpr int kCoreSweep[] = {4, 8, 16, 32};
+
+/// Parses the harness-wide `--jobs N` / `--jobs=N` flag (0 = all hardware
+/// threads) from argv, falling back to the CLOUDLB_BENCH_JOBS environment
+/// variable, then to 1. Unknown arguments are ignored so harnesses stay
+/// forward-compatible.
+int parse_jobs(int argc, char** argv);
 
 /// Prints `table` plus an empty line, and the same rows as CSV when the
 /// CLOUDLB_BENCH_CSV environment variable is set.

@@ -13,12 +13,17 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
   std::cout << "Figure 2: effect of load balancing on execution time\n\n";
-  PenaltyGrid grid;
+  ParallelGrid grid{parse_jobs(argc, argv)};
+  for (const char* app : {"jacobi2d", "wave2d", "mol3d"})
+    for (const int cores : kCoreSweep)
+      for (const char* balancer : {"null", "ia-refine"})
+        grid.add(app, balancer, cores);
+  grid.run_queued();
   for (const char* app : {"jacobi2d", "wave2d", "mol3d"}) {
     Table table({"cores", "noLB %", "LB %", "BG noLB %", "BG LB %",
                  "LB migrations"});

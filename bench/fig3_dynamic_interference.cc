@@ -34,9 +34,13 @@ cloudlb::Wave2dConfig one_core_bg(int iterations) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
+
+  // One scenario, one timeline: --jobs is accepted for grid-harness
+  // uniformity but there is nothing here to parallelize.
+  (void)parse_jobs(argc, argv);
 
   Simulator sim;
   Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 4}};

@@ -11,13 +11,18 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudlb;
   using namespace cloudlb::bench;
 
   std::cout << "Figure 4: effect of load balancing on power and energy\n"
             << "(base 40 W/node, 32.5 W per busy core, quad-core nodes)\n\n";
-  PenaltyGrid grid;
+  ParallelGrid grid{parse_jobs(argc, argv)};
+  for (const char* app : {"jacobi2d", "wave2d", "mol3d"})
+    for (const int cores : kCoreSweep)
+      for (const char* balancer : {"null", "ia-refine"})
+        grid.add(app, balancer, cores);
+  grid.run_queued();
   for (const char* app : {"jacobi2d", "wave2d", "mol3d"}) {
     Table table({"cores", "noLB power W", "LB power W", "noLB energy ovh %",
                  "LB energy ovh %", "base power W"});

@@ -50,6 +50,113 @@ void BM_SimulatorCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCancelHeavy);
 
+// --------------------------------------------------- event-engine core
+//
+// The three access patterns the runtime actually generates, measured in
+// steady state (the Simulator lives across iterations, so slot/queue
+// storage is warm and the schedule→fire cycle is the only cost):
+//   - SteadyState: K self-re-arming timers, small captures;
+//   - SteadyStateFatCapture: same, but captures too big for libstdc++'s
+//     std::function SSO (exercises the callback-storage allocation path);
+//   - ScheduleCancelChurn: re-armed timeout that almost never fires;
+//   - TimerWheelRearm: cancel + push-back of rotating timeouts
+//     interleaved with real event delivery.
+
+constexpr int kEngineBatch = 4096;
+
+// Deterministic delay stream (no <random>, identical across runs).
+inline std::uint64_t mix_delay(std::uint64_t& state) {
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  return 1 + ((state >> 33) % 1000);
+}
+
+void BM_EventEngineSteadyState(benchmark::State& state) {
+  const auto timers = static_cast<int>(state.range(0));
+  struct Wheel {
+    Simulator sim;
+    std::uint64_t delays = 0x9e3779b97f4a7c15ull;
+    void arm(int slot) {
+      sim.schedule_after(SimTime::nanos(mix_delay(delays)),
+                         [this, slot] { arm(slot); });
+    }
+  };
+  Wheel w;
+  for (int i = 0; i < timers; ++i) w.arm(i);
+  for (auto _ : state) {
+    for (int i = 0; i < kEngineBatch; ++i) w.sim.step();
+  }
+  state.SetItemsProcessed(state.iterations() * kEngineBatch);
+}
+BENCHMARK(BM_EventEngineSteadyState)->Arg(16)->Arg(1024);
+
+void BM_EventEngineSteadyStateFatCapture(benchmark::State& state) {
+  struct Wheel {
+    Simulator sim;
+    std::uint64_t delays = 0x9e3779b97f4a7c15ull;
+    std::uint64_t sink = 0;
+    void arm(int slot) {
+      // 40 payload bytes + this + slot: past std::function's 16-byte SSO,
+      // within the engine's inline-callback budget.
+      std::uint64_t payload[5] = {delays, delays + 1, delays + 2,
+                                  delays + 3, delays + 4};
+      sim.schedule_after(
+          SimTime::nanos(mix_delay(delays)), [this, slot, payload] {
+            sink += payload[static_cast<std::size_t>(slot) % 5];
+            arm(slot);
+          });
+    }
+  };
+  Wheel w;
+  for (int i = 0; i < 64; ++i) w.arm(i);
+  for (auto _ : state) {
+    for (int i = 0; i < kEngineBatch; ++i) w.sim.step();
+  }
+  benchmark::DoNotOptimize(w.sink);
+  state.SetItemsProcessed(state.iterations() * kEngineBatch);
+}
+BENCHMARK(BM_EventEngineSteadyStateFatCapture);
+
+void BM_EventEngineScheduleCancelChurn(benchmark::State& state) {
+  Simulator sim;
+  std::uint64_t delays = 0x9e3779b97f4a7c15ull;
+  EventHandle armed;
+  for (auto _ : state) {
+    for (int i = 0; i < kEngineBatch; ++i) {
+      if (armed.valid()) sim.cancel(armed);
+      armed = sim.schedule_after(SimTime::seconds(3600) +
+                                     SimTime::nanos(mix_delay(delays)),
+                                 [] {});
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kEngineBatch);
+}
+BENCHMARK(BM_EventEngineScheduleCancelChurn);
+
+void BM_EventEngineTimerWheelRearm(benchmark::State& state) {
+  // kTimers rotating timeouts, each pushed back on every "message"; one in
+  // kTimers operations also delivers a real event (the pattern of a NIC
+  // model guarding transfers with a timeout that rarely expires).
+  constexpr int kTimers = 256;
+  Simulator sim;
+  std::uint64_t delays = 0x9e3779b97f4a7c15ull;
+  std::vector<EventHandle> timeout(kTimers);
+  int next = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kEngineBatch; ++i) {
+      auto& h = timeout[static_cast<std::size_t>(next)];
+      if (h.valid()) sim.cancel(h);
+      h = sim.schedule_after(SimTime::millis(10), [] {});
+      if (++next == kTimers) {
+        next = 0;
+        sim.schedule_after(SimTime::nanos(mix_delay(delays)), [] {});
+        sim.step();
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kEngineBatch);
+}
+BENCHMARK(BM_EventEngineTimerWheelRearm);
+
 // ---------------------------------------------------------- PS core
 
 void BM_CoreProcessorSharing(benchmark::State& state) {

@@ -12,6 +12,7 @@
 #include "util/check.h"
 #include "util/options.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace cloudlb {
 
@@ -37,6 +38,8 @@ commands:
              --csv                         (emit CSV instead of a table)
   sweep      the Figure-2/4 grid
              --app=..., --cores=4,8,16,32, --balancers=null,ia-refine
+             --jobs=N  (run grid cells on N threads; 0 = all hardware
+                        threads; output is identical for every N)
              (other penalty options apply)
   timeline   run one scenario and draw per-core ASCII timelines
              --app=..., --balancer=..., --cores=N (<= 8 renders best),
@@ -122,23 +125,34 @@ int cmd_sweep(Options& options, std::ostream& out) {
     }
   }
   const bool csv = options.get_bool("csv", false);
+  int jobs = static_cast<int>(options.get_int("jobs", 1));
+  if (jobs <= 0) jobs = hardware_jobs();
   options.check_unused();
+
+  // Each grid cell runs an independent pair of scenarios whose RNGs are
+  // seeded from the cell's config, so the table is byte-identical for
+  // every --jobs value; rows are emitted in cores-major order regardless
+  // of which thread finished first.
+  const std::size_t n_cells = cores.size() * balancers.size();
+  const std::vector<PenaltyResult> results = parallel_map<PenaltyResult>(
+      n_cells, jobs, [&](std::size_t i) {
+        ScenarioConfig config = base;
+        config.app_cores = cores[i / balancers.size()];
+        config.balancer = balancers[i % balancers.size()];
+        return run_penalty_experiment(config);
+      });
 
   Table table({"cores", "balancer", "app penalty %", "BG penalty %",
                "energy overhead %", "power W", "migrations"});
-  for (const int c : cores) {
-    for (const auto& balancer : balancers) {
-      ScenarioConfig config = base;
-      config.app_cores = c;
-      config.balancer = balancer;
-      const PenaltyResult r = run_penalty_experiment(config);
-      table.add_row({std::to_string(c), balancer,
-                     Table::num(r.app_penalty_pct, 1),
-                     Table::num(r.bg_penalty_pct, 1),
-                     Table::num(r.energy_overhead_pct, 1),
-                     Table::num(r.combined.avg_power_watts, 1),
-                     std::to_string(r.combined.lb_migrations)});
-    }
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    const PenaltyResult& r = results[i];
+    table.add_row({std::to_string(cores[i / balancers.size()]),
+                   balancers[i % balancers.size()],
+                   Table::num(r.app_penalty_pct, 1),
+                   Table::num(r.bg_penalty_pct, 1),
+                   Table::num(r.energy_overhead_pct, 1),
+                   Table::num(r.combined.avg_power_watts, 1),
+                   std::to_string(r.combined.lb_migrations)});
   }
   emit_table(table, csv, out);
   return 0;

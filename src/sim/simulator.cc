@@ -1,82 +1,20 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <functional>
 
 #include "util/check.h"
 
 namespace cloudlb {
 
-namespace {
-
-// Below this size, compaction is not worth the pass: lazily skipping a
-// handful of stale heads is cheaper than rebuilding the heap.
-constexpr std::size_t kCompactionFloor = 64;
-
-}  // namespace
-
-void Simulator::push_entry(const QueueEntry& e) {
-  queue_.push_back(e);
-  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
-}
-
-void Simulator::pop_entry() {
-  std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
-  queue_.pop_back();
-}
-
 void Simulator::compact_queue() {
   std::erase_if(queue_, [this](const QueueEntry& e) {
-    return !callbacks_.contains(e.id);
+    return slots_[e.slot].gen != e.gen;
   });
-  std::make_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  // Re-establish the 4-ary heap: sift down every internal node, deepest
+  // first (the classic Floyd build, just with fan-out 4).
+  if (queue_.size() > 1)
+    for (std::size_t i = (queue_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
   stale_ = 0;
-}
-
-EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
-  CLB_CHECK_MSG(t >= now_, "event scheduled in the past: t="
-                               << t.to_string() << " now=" << now_.to_string());
-  CLB_CHECK(cb != nullptr);
-  const std::uint64_t id = next_seq_++;
-  push_entry(QueueEntry{t, id, id});
-  callbacks_.emplace(id, std::move(cb));
-  return EventHandle{id};
-}
-
-EventHandle Simulator::schedule_after(SimTime delay, Callback cb) {
-  CLB_CHECK(!delay.is_negative());
-  return schedule_at(now_ + delay, std::move(cb));
-}
-
-bool Simulator::cancel(EventHandle h) {
-  if (!h.valid()) return false;
-  if (callbacks_.erase(h.id_) == 0) return false;
-  // The queue entry is normally skipped lazily when popped, but repeated
-  // schedule/cancel cycles (re-armed periodic timers) would then grow the
-  // queue without bound: compact once stale entries outnumber live ones.
-  ++stale_;
-  if (queue_.size() > kCompactionFloor && stale_ * 2 > queue_.size())
-    compact_queue();
-  return true;
-}
-
-bool Simulator::step() {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.front();
-    pop_entry();
-    auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) {  // cancelled
-      if (stale_ > 0) --stale_;
-      continue;
-    }
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = entry.time;
-    ++executed_;
-    cb();
-    return true;
-  }
-  return false;
 }
 
 void Simulator::run() {
@@ -89,7 +27,7 @@ void Simulator::run_until(SimTime t) {
   while (!queue_.empty()) {
     // Skip stale (cancelled) heads without advancing the clock.
     const QueueEntry entry = queue_.front();
-    if (!callbacks_.contains(entry.id)) {
+    if (slots_[entry.slot].gen != entry.gen) {
       pop_entry();
       if (stale_ > 0) --stale_;
       continue;
@@ -97,6 +35,15 @@ void Simulator::run_until(SimTime t) {
     if (entry.time > t) break;
     step();
   }
+  // The loop exits only with an empty queue or a live head strictly past
+  // `t` — events executed above may have scheduled more work at times
+  // <= t (e.g. schedule_at(now())), and all of it must have run before
+  // the clock is allowed to jump. Guard the invariant so a future engine
+  // change can never move now() past an unexecuted pending event.
+  CLB_CHECK_MSG(queue_.empty() || slots_[queue_.front().slot].gen !=
+                                      queue_.front().gen ||
+                    queue_.front().time > t,
+                "run_until would advance the clock past a pending event");
   now_ = t;
 }
 

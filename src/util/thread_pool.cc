@@ -1,0 +1,61 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk) {
+  CLB_CHECK(fn != nullptr);
+  CLB_CHECK(chunk >= 1);
+  if (jobs <= 0) jobs = hardware_jobs();
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs),
+                            (n + chunk - 1) / std::max<std::size_t>(chunk, 1));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto body = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + chunk, n);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock{error_mu};
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(body);
+  body();
+  for (auto& t : threads) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace cloudlb

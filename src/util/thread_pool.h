@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace cloudlb {
+
+/// Number of concurrent hardware threads, at least 1.
+int hardware_jobs();
+
+/// Runs `fn(i)` for every i in [0, n) across up to `jobs` OS threads
+/// (jobs <= 0 means hardware_jobs(); jobs == 1 runs inline).
+///
+/// Scheduling is deliberately minimal — no work stealing, no per-worker
+/// deques, no persistent pool: workers claim `chunk` consecutive indices
+/// at a time from one shared atomic cursor and exit when it runs past n.
+/// The intended workload is a grid of independent scenario cells, where
+/// each index is milliseconds-to-seconds of simulation: a single
+/// fetch_add per chunk is already invisible next to the work, and the
+/// flat structure keeps the execution order irrelevant to the results
+/// (every cell owns its private Simulator/Machine/RNG, seeded from the
+/// cell's own configuration — see DESIGN.md on seeding discipline).
+///
+/// Worker threads are spawned per call and joined before returning; the
+/// calling thread participates as a worker. If any invocation throws, the
+/// first exception (in completion order) is rethrown on the caller after
+/// all workers have drained, and remaining unclaimed indices are skipped.
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk = 1);
+
+/// parallel_for that collects `fn(i)` into a vector in index order —
+/// results are positioned by index, never by completion, so the output
+/// is bit-identical for every `jobs` value. T must be default- and
+/// move-constructible.
+template <typename T>
+std::vector<T> parallel_map(std::size_t n, int jobs,
+                            const std::function<T(std::size_t)>& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, jobs, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace cloudlb

@@ -143,6 +143,26 @@ TEST(CliTest, SweepCoversGrid) {
   EXPECT_EQ(rows, 4);
 }
 
+TEST(CliTest, SweepJobsOutputIsThreadCountInvariant) {
+  // The parallel grid runner must produce byte-identical output no matter
+  // how many worker threads execute the cells.
+  const std::vector<std::string> base = {
+      "sweep", "--app=jacobi2d", "--cores=4,8", "--iterations=20",
+      "--bg-iterations=40", "--balancers=null,ia-refine"};
+  auto with_jobs = [&](const std::string& jobs) {
+    std::vector<std::string> args = base;
+    args.push_back("--jobs=" + jobs);
+    return cli(args);
+  };
+  const CliResult serial = with_jobs("1");
+  EXPECT_EQ(serial.code, 0) << serial.err;
+  for (const char* jobs : {"4", "0"}) {  // 0 = all hardware threads
+    const CliResult parallel = with_jobs(jobs);
+    EXPECT_EQ(parallel.code, 0) << parallel.err;
+    EXPECT_EQ(parallel.out, serial.out) << "--jobs=" << jobs;
+  }
+}
+
 TEST(CliTest, TimelineRenders) {
   const CliResult r = cli({"timeline", "--app=wave2d", "--cores=4",
                            "--iterations=16", "--bg-iterations=30",

@@ -216,6 +216,92 @@ TEST(SimulatorTest, CompactionPreservesLiveEventsAndOrder) {
     EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+TEST(SimulatorTest, RunUntilInterleavedWithScheduleAtNow) {
+  // Regression: run_until() used to set now_ = t unconditionally after the
+  // loop; interleaving it with schedule_at(now()) must never let the clock
+  // pass an event that has not executed yet.
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime::millis(10), [&] {
+    fired.push_back(10);
+    // Same-time follow-up scheduled while run_until is draining t=10ms.
+    sim.schedule_at(sim.now(), [&] { fired.push_back(11); });
+  });
+  sim.run_until(SimTime::millis(10));
+  EXPECT_EQ(fired, (std::vector<int>{10, 11}));
+  EXPECT_EQ(sim.now(), SimTime::millis(10));
+  EXPECT_EQ(sim.pending(), 0u);
+
+  // A later boundary with a pending event exactly on it behaves the same.
+  sim.schedule_at(SimTime::millis(20), [&] {
+    fired.push_back(20);
+    sim.schedule_after(SimTime::zero(), [&] { fired.push_back(21); });
+  });
+  sim.run_until(SimTime::millis(25));
+  EXPECT_EQ(fired, (std::vector<int>{10, 11, 20, 21}));
+  EXPECT_EQ(sim.now(), SimTime::millis(25));
+  // Scheduling at the post-run_until clock still works (not "in the past").
+  bool tail = false;
+  sim.schedule_at(sim.now(), [&] { tail = true; });
+  sim.run();
+  EXPECT_TRUE(tail);
+}
+
+TEST(SimulatorTest, StaleHandleOnRecycledSlotIsRejected) {
+  // A fired event's slot goes back on the free list; the very next
+  // schedule reuses it at a bumped generation. Cancelling the stale handle
+  // must fail and must NOT cancel the new occupant.
+  Simulator sim;
+  bool first = false;
+  const EventHandle stale =
+      sim.schedule_at(SimTime::millis(1), [&] { first = true; });
+  sim.run();
+  EXPECT_TRUE(first);
+  EXPECT_EQ(sim.slot_count(), 1u);  // arena has exactly one slot to recycle
+
+  bool second = false;
+  const EventHandle fresh =
+      sim.schedule_at(SimTime::millis(2), [&] { second = true; });
+  EXPECT_EQ(sim.slot_count(), 1u);  // same slot, new generation
+  EXPECT_FALSE(sim.cancel(stale));  // generation mismatch: rejected
+  EXPECT_EQ(sim.pending(), 1u);     // the new occupant is untouched
+  sim.run();
+  EXPECT_TRUE(second);
+  EXPECT_FALSE(sim.cancel(fresh));  // fired; its handle is stale too now
+}
+
+TEST(SimulatorTest, CancelledSlotRecycledHandleIsRejected) {
+  // Same recycling scenario, but the slot is freed via cancel() rather
+  // than firing.
+  Simulator sim;
+  const EventHandle a = sim.schedule_at(SimTime::millis(1), [] {});
+  EXPECT_TRUE(sim.cancel(a));
+  bool fired = false;
+  sim.schedule_at(SimTime::millis(1), [&] { fired = true; });
+  EXPECT_EQ(sim.slot_count(), 1u);
+  EXPECT_FALSE(sim.cancel(a));  // stale handle on the recycled slot
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, TraceHookSeesExecutedEventsInOrder) {
+  Simulator sim;
+  std::vector<std::pair<SimTime, std::uint64_t>> trace;
+  sim.set_trace_hook(
+      [&](SimTime t, std::uint64_t seq) { trace.emplace_back(t, seq); });
+  sim.schedule_at(SimTime::millis(2), [] {});
+  const EventHandle h = sim.schedule_at(SimTime::millis(1), [] {});
+  sim.schedule_at(SimTime::millis(1), [] {});
+  sim.cancel(h);  // cancelled events never reach the hook
+  sim.run();
+  ASSERT_EQ(trace.size(), 2u);
+  // Sequence numbers record SCHEDULING order (1-based), so the 1ms
+  // survivor is seq 3 (the cancelled one was seq 2) and the 2ms event,
+  // scheduled first, is seq 1.
+  EXPECT_EQ(trace[0], std::make_pair(SimTime::millis(1), std::uint64_t{3}));
+  EXPECT_EQ(trace[1], std::make_pair(SimTime::millis(2), std::uint64_t{1}));
+}
+
 TEST(SimulatorTest, ManyEventsStressDeterministic) {
   auto run_once = [] {
     Simulator sim;

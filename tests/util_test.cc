@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/check.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
+#include "util/small_function.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace cloudlb {
 namespace {
@@ -333,6 +338,114 @@ TEST(TableTest, CsvEscapesSpecialCells) {
 TEST(TableTest, NumFormatsPrecision) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(3.0, 0), "3");
+}
+
+// --------------------------------------------------------- SmallFunction
+
+TEST(SmallFunctionTest, InvokesAndReportsInline) {
+  SmallFunction<int(int), 32> f = [](int x) { return x + 1; };
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(41), 42);
+}
+
+TEST(SmallFunctionTest, EmptyIsFalseAndInline) {
+  SmallFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());  // no storage at all
+  EXPECT_TRUE(f == nullptr);
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(SmallFunctionTest, OverBudgetCaptureGoesToHeapButStillWorks) {
+  struct Big {
+    std::uint64_t words[12];  // 96 bytes > the 32-byte budget below
+  };
+  Big big{};
+  big.words[0] = 7;
+  SmallFunction<std::uint64_t(), 32> f = [big] { return big.words[0]; };
+  static_assert(!SmallFunction<std::uint64_t(), 32>::fits_inline<Big>());
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 7u);
+}
+
+TEST(SmallFunctionTest, MoveTransfersOwnership) {
+  int calls = 0;
+  SmallFunction<void()> a = [&calls] { ++calls; };
+  SmallFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(calls, 1);
+  a = std::move(b);
+  a();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SmallFunctionTest, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(5);
+  SmallFunction<int()> f = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(f(), 5);
+  SmallFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 5);
+}
+
+TEST(SmallFunctionTest, DestroysCaptureOnReset) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> n;
+    ~Probe() {
+      if (n) ++*n;
+    }
+    Probe(std::shared_ptr<int> p) : n{std::move(p)} {}
+    Probe(Probe&&) = default;
+    void operator()() const {}
+  };
+  {
+    SmallFunction<void()> f = Probe{counter};
+    EXPECT_EQ(*counter, 0);
+    f.reset();
+    EXPECT_EQ(*counter, 1);
+  }
+  EXPECT_EQ(*counter, 1);  // reset() already destroyed; dtor must not double
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), 4,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  for (const int jobs : {1, 2, 7}) {
+    const std::vector<std::size_t> out = parallel_map<std::size_t>(
+        257, jobs, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsFine) {
+  parallel_for(0, 8, [](std::size_t) { FAIL(); });
+  EXPECT_TRUE(parallel_map<int>(0, 8, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  EXPECT_THROW(parallel_for(100, 4,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error{"boom"};
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NonPositiveJobsUsesHardware) {
+  EXPECT_GE(hardware_jobs(), 1);
+  const std::vector<int> out =
+      parallel_map<int>(16, 0, [](std::size_t i) { return static_cast<int>(i); });
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
 }
 
 }  // namespace
