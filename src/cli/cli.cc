@@ -7,6 +7,7 @@
 #include "core/balancer_factory.h"
 #include "core/replay.h"
 #include "core/scenario.h"
+#include "faults/fault_spec.h"
 #include "lb/stats_io.h"
 #include "metrics/profile.h"
 #include "util/check.h"
@@ -18,7 +19,7 @@ namespace cloudlb {
 
 namespace {
 
-constexpr const char* kUsage = R"(cloudlb — interference-aware load balancing playground
+constexpr const char* kUsage = R"usage(cloudlb — interference-aware load balancing playground
 
 usage: cloudlb <command> [options]
 
@@ -35,6 +36,20 @@ commands:
              --tenants=N                   (bursty tenant VMs on random
                                             cores; replaces the 2-core BG
                                             job unless --with-bg)
+             --faults=SPEC                 (fault-injection spec, e.g.
+                                            "spike(core=2,start=0.5,duration=1);
+                                            drop(prob=0.1);seed(value=42)";
+                                            see docs/fault-injection.md.
+                                            Applies to the interfered run
+                                            only; baselines stay clean)
+             --migration-retries=N         (retry failed migrations up to N
+                                            times with doubling backoff;
+                                            default 0)
+             --lb-fallback                 (keep the last-good assignment
+                                            when a stats window is garbage)
+             --estimator-window=N          (median-of-N outlier clamp on the
+                                            background estimate; default 0
+                                            = the paper's raw estimate)
              --csv                         (emit CSV instead of a table)
   sweep      the Figure-2/4 grid
              --app=..., --cores=4,8,16,32, --balancers=null,ia-refine
@@ -51,7 +66,7 @@ commands:
   apps       list bundled applications
   balancers  list balancer strategies
   help       this text
-)";
+)usage";
 
 ScenarioConfig config_from(Options& options,
                            bool scalar_cores_and_balancer = true) {
@@ -71,6 +86,15 @@ ScenarioConfig config_from(Options& options,
   config.tenants = static_cast<int>(options.get_int("tenants", 0));
   if (config.tenants > 0)
     config.with_background = options.get_bool("with-bg", false);
+  config.faults = options.get_string("faults", "");
+  // Parse eagerly so a typo fails before any simulation runs.
+  if (!config.faults.empty()) FaultPlan::parse(config.faults);
+  config.job.migration_max_retries =
+      static_cast<int>(options.get_int("migration-retries", 0));
+  config.lb_options.robustness.fallback_on_insane_stats =
+      options.get_bool("lb-fallback", false);
+  config.lb_options.robustness.estimator_window =
+      static_cast<int>(options.get_int("estimator-window", 0));
   return config;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/log.h"
 
 namespace cloudlb {
@@ -20,6 +21,18 @@ double finite_or_zero(double v, const char* field, PeId pe) {
   return 0.0;
 }
 
+/// Tolerance for "field exceeds the wall window": absolute floor for tiny
+/// windows plus a relative allowance for clock jitter and jiffy rounding.
+double wall_slack(double wall_sec) { return 1e-9 + 0.05 * wall_sec; }
+
+/// Median of a small sample (by copy; windows are a handful of entries).
+double median_of(std::vector<double> v) {
+  const auto mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  return v[mid];
+}
+
 }  // namespace
 
 double estimate_background_load(const PeSample& pe) {
@@ -27,13 +40,77 @@ double estimate_background_load(const PeSample& pe) {
   const double task = finite_or_zero(pe.task_cpu_sec, "task_cpu_sec", pe.pe);
   const double idle = finite_or_zero(pe.core_idle_sec, "core_idle_sec", pe.pe);
   const double o_p = wall - task - idle;
-  return std::max(o_p, 0.0);
+  // Clamp at the estimate boundary, not just per field: a finite-but-
+  // negative idle or task reading (clock jitter, corrupted counter) makes
+  // the Eq. 2 subtraction exceed the window — yet no co-located VM can
+  // have consumed more than the window itself.
+  return std::clamp(o_p, 0.0, std::max(wall, 0.0));
 }
 
 std::vector<double> estimate_background_load(const LbStats& stats) {
   std::vector<double> out;
   out.reserve(stats.pes.size());
   for (const PeSample& pe : stats.pes) out.push_back(estimate_background_load(pe));
+  return out;
+}
+
+bool pe_sample_sane(const PeSample& pe) {
+  if (!std::isfinite(pe.wall_sec) || !std::isfinite(pe.core_idle_sec) ||
+      !std::isfinite(pe.task_cpu_sec))
+    return false;
+  if (pe.wall_sec < 0.0 || pe.core_idle_sec < 0.0 || pe.task_cpu_sec < 0.0)
+    return false;
+  const double slack = wall_slack(pe.wall_sec);
+  return pe.core_idle_sec <= pe.wall_sec + slack &&
+         pe.task_cpu_sec <= pe.wall_sec + slack;
+}
+
+bool stats_sane(const LbStats& stats) {
+  return std::all_of(stats.pes.begin(), stats.pes.end(), pe_sample_sane);
+}
+
+WindowedBackgroundEstimator::WindowedBackgroundEstimator(int window,
+                                                         double clamp_factor)
+    : window_{window}, clamp_factor_{clamp_factor} {
+  CLB_CHECK_MSG(window >= 3, "outlier window needs at least 3 samples");
+  CLB_CHECK(clamp_factor >= 1.0);
+}
+
+std::vector<double> WindowedBackgroundEstimator::estimate(
+    const LbStats& stats) {
+  if (history_.size() != stats.pes.size()) {
+    history_.assign(stats.pes.size(), {});
+    next_.assign(stats.pes.size(), 0);
+  }
+  std::vector<double> out;
+  out.reserve(stats.pes.size());
+  for (std::size_t p = 0; p < stats.pes.size(); ++p) {
+    const double raw = estimate_background_load(stats.pes[p]);
+    double value = raw;
+    auto& ring = history_[p];
+    if (ring.size() >= 3) {
+      // The slack term keeps the ceiling open when the median is zero (a
+      // previously quiet core), so genuine new interference ramps in at a
+      // bounded rate per window instead of being suppressed forever.
+      const double ceiling =
+          clamp_factor_ * median_of(ring) +
+          0.05 * std::max(stats.pes[p].wall_sec, 0.0);
+      if (raw > ceiling) {
+        value = ceiling;
+        ++clamped_;
+        CLB_DEBUG("windowed estimator: PE " << stats.pes[p].pe
+                                            << " O_p clamped " << raw
+                                            << " -> " << value);
+      }
+    }
+    if (ring.size() < static_cast<std::size_t>(window_)) {
+      ring.push_back(raw);
+    } else {
+      ring[next_[p]] = raw;
+      next_[p] = (next_[p] + 1) % static_cast<std::size_t>(window_);
+    }
+    out.push_back(value);
+  }
   return out;
 }
 

@@ -19,10 +19,54 @@ namespace cloudlb {
 ///
 /// The estimate also absorbs runtime overheads (message handling,
 /// migration pack/unpack) exactly as the paper's implementation does; it is
-/// clamped at zero since measurement jitter can drive it slightly negative.
+/// clamped into [0, T_lb] at the estimate boundary: measurement jitter can
+/// drive the Eq. 2 subtraction slightly negative, and a corrupted counter
+/// (e.g. a finite-but-negative idle reading) would otherwise explode it
+/// past the window length and poison T_avg for every PE.
 std::vector<double> estimate_background_load(const LbStats& stats);
 
 /// Single-PE version of Eq. 2 (exposed for tests and tooling).
 double estimate_background_load(const PeSample& pe);
+
+/// Whether one PE sample is physically plausible: every field finite and
+/// non-negative, and neither idle nor task time exceeding the wall-clock
+/// window (beyond a small jitter tolerance). Corrupted host counters and
+/// failed /proc/stat-style reads fail this test.
+bool pe_sample_sane(const PeSample& pe);
+
+/// True when every PE sample of the snapshot is sane — the gate
+/// InterferenceAwareRefineLb's garbage fallback keys on.
+bool stats_sane(const LbStats& stats);
+
+/// Eq. 2 with windowed outlier rejection (a median-of-window clamp).
+///
+/// Keeps the last `window` raw estimates per PE and caps each new one at
+///
+///     clamp_factor · median(window) + slack · T_lb
+///
+/// so a one-window measurement glitch (dropped sample, corrupted counter,
+/// interference alias) cannot command a migration storm, while a genuine
+/// sustained rise feeds the window, shifts the median, and passes through
+/// within ~window/2 LB steps. Raw values enter the history (never the
+/// clamped ones) so the clamp cannot latch itself shut. Non-finite raw
+/// estimates cannot occur (the boundary clamp rejects them) but a PE
+/// count change resets the history.
+class WindowedBackgroundEstimator {
+ public:
+  WindowedBackgroundEstimator(int window, double clamp_factor);
+
+  /// Per-PE clamped estimates; same shape as estimate_background_load.
+  std::vector<double> estimate(const LbStats& stats);
+
+  /// Estimates capped by the clamp so far (diagnostics/tests).
+  int clamped_count() const { return clamped_; }
+
+ private:
+  int window_;
+  double clamp_factor_;
+  std::vector<std::vector<double>> history_;  ///< per PE, ring of raws
+  std::vector<std::size_t> next_;             ///< per-PE ring cursor
+  int clamped_ = 0;
+};
 
 }  // namespace cloudlb

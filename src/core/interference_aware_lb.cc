@@ -1,12 +1,33 @@
 #include "core/interference_aware_lb.h"
 
-#include "core/background_estimator.h"
 #include "lb/refinement.h"
+#include "util/log.h"
 
 namespace cloudlb {
 
+InterferenceAwareRefineLb::InterferenceAwareRefineLb(LbOptions options)
+    : options_{options} {
+  if (options_.robustness.estimator_window > 0) {
+    windowed_ = std::make_unique<WindowedBackgroundEstimator>(
+        options_.robustness.estimator_window,
+        options_.robustness.estimator_clamp_factor);
+  }
+}
+
 std::vector<PeId> InterferenceAwareRefineLb::assign(const LbStats& stats) {
-  const std::vector<double> background = estimate_background_load(stats);
+  if (options_.robustness.fallback_on_insane_stats && !stats_sane(stats)) {
+    // Garbage in, nothing out: the current assignment is the last one a
+    // sane window produced, and holding it costs at most one stale window
+    // — migrating on corrupted counters can cost the whole run.
+    ++garbage_fallbacks_;
+    CLB_WARN("ia-refine: insane stats snapshot; keeping the last-good "
+             "assignment (fallback #"
+             << garbage_fallbacks_ << ")");
+    return stats.current_assignment();
+  }
+  const std::vector<double> background =
+      windowed_ != nullptr ? windowed_->estimate(stats)
+                           : estimate_background_load(stats);
   RefinementResult result =
       refine_assignment(stats, background, make_refinement_options(options_));
   total_migrations_ += result.migrations;

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <memory>
+
+#include "core/background_estimator.h"
 #include "lb/framework.h"
 
 namespace cloudlb {
@@ -14,10 +17,15 @@ namespace cloudlb {
 /// of T_avg (Eq. 3) while migrating as few chares as possible — objects
 /// move *away from* cores busy serving co-located VMs and return once the
 /// interference disappears.
+///
+/// Degradation (all off by default, see LbRobustnessOptions): when the
+/// window's measurements are garbage — corrupted counters, failed reads —
+/// the balancer can fall back to the current assignment (the last one a
+/// good window produced) rather than migrate on noise, and the background
+/// estimate can pass through a median-of-window outlier clamp.
 class InterferenceAwareRefineLb final : public LoadBalancer {
  public:
-  explicit InterferenceAwareRefineLb(LbOptions options = {})
-      : options_{options} {}
+  explicit InterferenceAwareRefineLb(LbOptions options = {});
 
   std::string name() const override { return "ia-refine"; }
   std::vector<PeId> assign(const LbStats& stats) override;
@@ -25,9 +33,14 @@ class InterferenceAwareRefineLb final : public LoadBalancer {
   /// Total chares moved across all assign() calls (diagnostics).
   int total_migrations() const { return total_migrations_; }
 
+  /// LB steps skipped because the stats failed the sanity test.
+  int garbage_fallbacks() const { return garbage_fallbacks_; }
+
  private:
   LbOptions options_;
+  std::unique_ptr<WindowedBackgroundEstimator> windowed_;
   int total_migrations_ = 0;
+  int garbage_fallbacks_ = 0;
 };
 
 }  // namespace cloudlb

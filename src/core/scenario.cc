@@ -4,6 +4,7 @@
 
 #include "apps/wave2d.h"
 #include "core/balancer_factory.h"
+#include "faults/fault_injector.h"
 #include "lb/null_lb.h"
 #include "sim/simulator.h"
 #include "util/check.h"
@@ -81,9 +82,23 @@ RunResult run_scenario_with(const ScenarioConfig& config,
   std::iota(app_cores.begin(), app_cores.end(), 0);
   VirtualMachine app_vm{machine, "app", app_cores};
 
+  // The fault injector (if any) outlives the jobs that hold a pointer to
+  // it. An empty spec never constructs one, so faultless runs take no
+  // fault branch anywhere.
+  std::unique_ptr<FaultInjector> faults;
+  if (!config.faults.empty()) {
+    faults = std::make_unique<FaultInjector>(FaultPlan::parse(config.faults));
+    // A live fault plan may perturb timestamps; degrade clock-invariant
+    // violations to counted recoveries instead of aborting the run. An
+    // inert plan keeps the strict policy (and the bit-identical run).
+    if (!faults->inert())
+      sim.set_clock_fault_policy(Simulator::ClockFaultPolicy::kRecover);
+  }
+
   JobConfig app_job_config = config.job;
   app_job_config.name = config.app.name;
   app_job_config.lb_period = config.lb_period;
+  if (faults != nullptr) app_job_config.faults = faults.get();
   RuntimeJob app_job{sim, app_vm, app_job_config, std::move(balancer)};
   populate_app(app_job, config.app);
   if (tracer != nullptr) app_job.set_observer(tracer);
@@ -109,6 +124,8 @@ RunResult run_scenario_with(const ScenarioConfig& config,
     tenants = std::make_unique<TenantField>(sim, machine, tc);
     tenants->start();
   }
+
+  if (faults != nullptr) faults->install_interference(sim, machine);
 
   PowerMeter meter{sim, machine, config.power};
   meter.start();
@@ -155,6 +172,7 @@ PenaltyResult run_penalty_experiment(const ScenarioConfig& config) {
   ScenarioConfig solo = config;
   solo.with_background = false;
   solo.tenants = 0;
+  solo.faults.clear();  // the normalization run stays a clean reference
   out.base = run_scenario(solo);
 
   // "Combined" = the configured interference sources (the 2-core BG job

@@ -47,6 +47,13 @@ struct ScenarioConfig {
   int tenants = 0;
   TenantFieldConfig tenant_config;
 
+  /// Fault-injection spec (see docs/fault-injection.md), e.g.
+  /// "spike(core=2,start=0.5,duration=1);drop(prob=0.1);seed(value=42)".
+  /// Empty — the default — injects nothing and leaves the run bit-identical
+  /// to a faultless build. Penalty experiments keep their base/solo runs
+  /// clean so faults only perturb the combined run.
+  std::string faults;
+
   PowerModelConfig power;
 };
 

@@ -1,0 +1,243 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "machine/machine.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudlb {
+
+namespace {
+
+bool inert(const SpikeFaultSpec& f) {
+  return f.duty <= 0.0 || f.duration <= SimTime::zero();
+}
+bool inert(const SquareWaveFaultSpec& f) {
+  return f.duty <= 0.0 || f.on <= SimTime::zero();
+}
+bool inert(const ParetoFaultSpec& f) {
+  return f.duty <= 0.0 || f.cores <= 0 || f.min_on <= SimTime::zero();
+}
+bool inert(const DropSampleFaultSpec& f) { return f.prob <= 0.0; }
+bool inert(const StaleSampleFaultSpec& f) { return f.prob <= 0.0; }
+bool inert(const CorruptEstimatorFaultSpec& f) { return f.prob <= 0.0; }
+bool inert(const ClockJitterFaultSpec& f) { return f.sigma_sec <= 0.0; }
+bool inert(const MigrationFaultSpec& f) { return f.prob <= 0.0; }
+
+template <typename T>
+void prune(std::vector<T>& models) {
+  std::erase_if(models, [](const T& f) { return inert(f); });
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_{std::move(plan)} {
+  // Prune zero-intensity models up front: what remains is exactly the set
+  // of models that can perturb the run, so inert() == "bit-identical".
+  prune(plan_.spikes);
+  prune(plan_.squares);
+  prune(plan_.paretos);
+  prune(plan_.drops);
+  prune(plan_.stales);
+  prune(plan_.corruptions);
+  prune(plan_.jitters);
+  prune(plan_.migration_faults);
+
+  Rng master{plan_.seed};
+  stats_rng_ = master.split();
+  migration_rng_ = master.split();
+  interference_rng_ = master.split();
+}
+
+bool FaultInjector::inert() const { return plan_.empty(); }
+
+void FaultInjector::install_interference(Simulator& sim, Machine& machine) {
+  CLB_CHECK_MSG(!installed_, "install_interference called twice");
+  installed_ = true;
+  for (const SpikeFaultSpec& f : plan_.spikes) install_spike(sim, machine, f);
+  for (const SquareWaveFaultSpec& f : plan_.squares)
+    install_square(sim, machine, f);
+  for (const ParetoFaultSpec& f : plan_.paretos)
+    install_pareto(sim, machine, f);
+}
+
+void FaultInjector::install_spike(Simulator& sim, Machine& machine,
+                                  const SpikeFaultSpec& f) {
+  CLB_CHECK_MSG(f.core >= 0, "spike fault: negative core id");
+  const CoreId core = f.core % machine.num_cores();
+  SyntheticInterferer::Config hc;
+  hc.duty_cycle = f.duty;
+  hc.weight = f.weight;
+  hogs_.push_back(std::make_unique<SyntheticInterferer>(
+      sim, machine, std::vector<CoreId>{core}, hc));
+  ++counters_.interferers;
+  SyntheticInterferer* hog = hogs_.back().get();
+  sim.schedule_at(f.start, [hog] { hog->start(); });
+  sim.schedule_at(f.start + f.duration, [hog] { hog->stop(); });
+}
+
+void FaultInjector::install_square(Simulator& sim, Machine& machine,
+                                   const SquareWaveFaultSpec& f) {
+  CLB_CHECK_MSG(f.core >= 0, "square fault: negative core id");
+  SquareWaveFaultSpec local = f;
+  local.core = f.core % machine.num_cores();
+  SyntheticInterferer::Config hc;
+  hc.duty_cycle = f.duty;
+  hc.weight = f.weight;
+  hogs_.push_back(std::make_unique<SyntheticInterferer>(
+      sim, machine, std::vector<CoreId>{local.core}, hc));
+  ++counters_.interferers;
+  pulse_square(sim, hogs_.back().get(), local, local.start);
+}
+
+void FaultInjector::pulse_square(Simulator& sim, SyntheticInterferer* hog,
+                                 SquareWaveFaultSpec f, SimTime t0) {
+  // One pulse per period, forever: the wave outlives the jobs and the
+  // scenario drive loop simply stops stepping once they finish.
+  sim.schedule_at(t0, [this, &sim, hog, f, t0] {
+    hog->start();
+    sim.schedule_at(t0 + f.on, [hog] { hog->stop(); });
+    pulse_square(sim, hog, f, t0 + f.period);
+  });
+}
+
+void FaultInjector::install_pareto(Simulator& sim, Machine& machine,
+                                   const ParetoFaultSpec& f) {
+  for (int i = 0; i < f.cores; ++i) {
+    const CoreId core = static_cast<CoreId>(
+        interference_rng_.uniform_int(0, machine.num_cores() - 1));
+    SyntheticInterferer::Config hc;
+    hc.duty_cycle = f.duty;
+    hc.weight = f.weight;
+    hogs_.push_back(std::make_unique<SyntheticInterferer>(
+        sim, machine, std::vector<CoreId>{core}, hc));
+    ++counters_.interferers;
+    episode_rngs_.push_back(std::make_unique<Rng>(interference_rng_.split()));
+    pulse_pareto(sim, hogs_.back().get(), f, episode_rngs_.back().get());
+  }
+}
+
+void FaultInjector::pulse_pareto(Simulator& sim, SyntheticInterferer* hog,
+                                 const ParetoFaultSpec& f, Rng* rng) {
+  // Quiet for an exponential draw, then busy for a Pareto(alpha, min_on)
+  // draw — the inverse-CDF transform x_m · (1 − u)^(−1/α) has no finite
+  // variance for α <= 2, so occasional episodes are pathologically long.
+  const SimTime off = SimTime::from_seconds(rng->exponential(f.mean_off_sec));
+  const double u = rng->next_double();
+  const SimTime on = f.min_on * std::pow(1.0 - u, -1.0 / f.alpha);
+  sim.schedule_after(off, [this, &sim, hog, f, rng, on] {
+    hog->start();
+    sim.schedule_after(on, [this, &sim, hog, f, rng] {
+      hog->stop();
+      pulse_pareto(sim, hog, f, rng);
+    });
+  });
+}
+
+void FaultInjector::corrupt_pe(PeSample& pe,
+                               const CorruptEstimatorFaultSpec& f) {
+  CorruptMode mode = f.mode;
+  if (mode == CorruptMode::kMixed) {
+    switch (stats_rng_.uniform_int(0, 2)) {
+      case 0: mode = CorruptMode::kNegative; break;
+      case 1: mode = CorruptMode::kNan; break;
+      default: mode = CorruptMode::kOverflow; break;
+    }
+  }
+  // All three corrupt the host idle counter — the reading the paper takes
+  // from /proc/stat, and the one a real deployment trusts least.
+  switch (mode) {
+    case CorruptMode::kNegative:
+      // Idle inflated past the window: Eq. 2 goes finite-but-negative.
+      pe.core_idle_sec = 2.0 * std::max(pe.wall_sec, 1.0);
+      break;
+    case CorruptMode::kNan:
+      pe.core_idle_sec = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case CorruptMode::kOverflow:
+      // Idle underflows to a huge negative value: Eq. 2 explodes upward.
+      pe.core_idle_sec = -1e300;
+      break;
+    case CorruptMode::kMixed:
+      break;  // unreachable
+  }
+  ++counters_.pes_corrupted;
+}
+
+void FaultInjector::perturb_stats(LbStats& stats) {
+  // Snapshot the true per-chare CPU before any model touches it: the
+  // stale model replays *true* previous-window values (a DB row that
+  // missed one update), not previously-corrupted ones.
+  std::vector<double> true_cpu;
+  true_cpu.reserve(stats.chares.size());
+  for (const ChareSample& ch : stats.chares) true_cpu.push_back(ch.cpu_sec);
+
+  for (const ClockJitterFaultSpec& f : plan_.jitters) {
+    for (PeSample& pe : stats.pes) {
+      pe.wall_sec =
+          std::max(0.0, pe.wall_sec + stats_rng_.normal(0.0, f.sigma_sec));
+      pe.core_idle_sec = std::max(
+          0.0, pe.core_idle_sec + stats_rng_.normal(0.0, f.sigma_sec));
+      ++counters_.pes_jittered;
+    }
+  }
+
+  bool chares_touched = false;
+  for (const StaleSampleFaultSpec& f : plan_.stales) {
+    for (ChareSample& ch : stats.chares) {
+      const bool hit = stats_rng_.next_double() < f.prob;
+      if (!hit || prev_chare_cpu_.empty()) continue;
+      const auto c = static_cast<std::size_t>(ch.chare);
+      if (c >= prev_chare_cpu_.size()) continue;
+      ch.cpu_sec = prev_chare_cpu_[c];
+      chares_touched = true;
+      ++counters_.samples_staled;
+    }
+  }
+  for (const DropSampleFaultSpec& f : plan_.drops) {
+    for (ChareSample& ch : stats.chares) {
+      if (stats_rng_.next_double() >= f.prob) continue;
+      ch.cpu_sec = 0.0;
+      chares_touched = true;
+      ++counters_.samples_dropped;
+    }
+  }
+  if (chares_touched) {
+    // The per-PE task sums come from the same database as the per-chare
+    // rows, so a lost or stale row distorts both consistently.
+    for (PeSample& pe : stats.pes) pe.task_cpu_sec = 0.0;
+    for (const ChareSample& ch : stats.chares)
+      stats.pes[static_cast<std::size_t>(ch.pe)].task_cpu_sec += ch.cpu_sec;
+  }
+
+  for (const CorruptEstimatorFaultSpec& f : plan_.corruptions) {
+    for (PeSample& pe : stats.pes) {
+      if (stats_rng_.next_double() < f.prob) corrupt_pe(pe, f);
+    }
+  }
+
+  prev_chare_cpu_ = std::move(true_cpu);
+}
+
+MigrationFault FaultInjector::on_migration(const MigrationAttempt& attempt) {
+  (void)attempt;
+  MigrationFault verdict = MigrationFault::kNone;
+  for (const MigrationFaultSpec& f : plan_.migration_faults) {
+    // Fixed two draws per model per attempt, so one model's verdict never
+    // shifts another model's stream.
+    const bool fail = migration_rng_.next_double() < f.prob;
+    const bool partial = migration_rng_.next_double() < f.partial;
+    if (fail && verdict == MigrationFault::kNone) {
+      verdict = partial ? MigrationFault::kFailAtDest
+                        : MigrationFault::kFailAtSource;
+      ++counters_.migration_faults;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace cloudlb

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "faults/fault_spec.h"
+#include "runtime/fault_hooks.h"
+#include "util/rng.h"
+#include "vm/interferer.h"
+
+namespace cloudlb {
+
+/// Deterministically-seeded composition of fault models, wired into a
+/// scenario through the two runtime hooks (FaultHooks) plus an explicit
+/// interference installer. One injector serves one simulated world; build
+/// a fresh one per run (the parallel-grid rule: one cell, one world).
+///
+/// Every model draws from its own Rng stream split off the plan seed at
+/// construction, so adding or re-ordering models in a spec never perturbs
+/// the draws of the others, and a given (plan, scenario) pair reproduces
+/// the exact same fault schedule on every run and thread count.
+///
+/// Zero-intensity models are pruned at construction: an injector built
+/// from an all-zero plan schedules no events, never touches a stats
+/// snapshot, and fails no migrations — a scenario wrapped with it is
+/// bit-identical to an unwrapped one (pinned by determinism_test.cc).
+class FaultInjector final : public FaultHooks {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// True when every model was pruned (nothing can ever perturb anything).
+  bool inert() const;
+
+  /// The plan after parsing (pruning happens at use, not here).
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Creates and schedules the plan's interference sources (spikes,
+  /// square waves, Pareto bursts) against `machine`. Call once, before
+  /// the jobs start; the injector owns the hog VMs for the run's lifetime.
+  void install_interference(Simulator& sim, Machine& machine);
+
+  // --- FaultHooks ---
+  void perturb_stats(LbStats& stats) override;
+  MigrationFault on_migration(const MigrationAttempt& attempt) override;
+
+  /// Everything the injector actually did (tests, degradation reports).
+  struct Counters {
+    int samples_dropped = 0;
+    int samples_staled = 0;
+    int pes_corrupted = 0;
+    int pes_jittered = 0;
+    int migration_faults = 0;
+    int interferers = 0;  ///< hog VMs installed
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void install_spike(Simulator& sim, Machine& machine,
+                     const SpikeFaultSpec& f);
+  void install_square(Simulator& sim, Machine& machine,
+                      const SquareWaveFaultSpec& f);
+  void install_pareto(Simulator& sim, Machine& machine,
+                      const ParetoFaultSpec& f);
+  void pulse_square(Simulator& sim, SyntheticInterferer* hog,
+                    SquareWaveFaultSpec f, SimTime t0);
+  void pulse_pareto(Simulator& sim, SyntheticInterferer* hog,
+                    const ParetoFaultSpec& f, Rng* rng);
+  void corrupt_pe(PeSample& pe, const CorruptEstimatorFaultSpec& f);
+
+  FaultPlan plan_;
+  Rng stats_rng_;
+  Rng migration_rng_;
+  Rng interference_rng_;
+  /// Per-Pareto-hog episode streams (index-aligned with its hogs).
+  std::vector<std::unique_ptr<Rng>> episode_rngs_;
+  std::vector<std::unique_ptr<SyntheticInterferer>> hogs_;
+  std::vector<double> prev_chare_cpu_;  ///< last window's true per-chare CPU
+  bool installed_ = false;
+  Counters counters_;
+};
+
+}  // namespace cloudlb

@@ -1,0 +1,199 @@
+#include "faults/fault_spec.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace cloudlb {
+
+namespace {
+
+/// One parsed `name(k=v,...)` clause. Tracks which keys were consumed so
+/// a typo'd key is an error, not a silently-inert fault.
+class Clause {
+ public:
+  Clause(std::string name, std::map<std::string, std::string> kv)
+      : name_{std::move(name)}, kv_{std::move(kv)} {}
+
+  const std::string& name() const { return name_; }
+
+  double number(const std::string& key, double fallback) {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    used_.insert(key);
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    CLB_CHECK_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
+                  "fault spec: " << name_ << "." << key << "="
+                                 << it->second << " is not a number");
+    return v;
+  }
+
+  SimTime seconds(const std::string& key, SimTime fallback) {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    return SimTime::from_seconds(number(key, 0.0));
+  }
+
+  std::string text(const std::string& key, const std::string& fallback) {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    used_.insert(key);
+    return it->second;
+  }
+
+  void check_all_used() const {
+    for (const auto& [key, value] : kv_) {
+      CLB_CHECK_MSG(used_.count(key) != 0, "fault spec: model '"
+                                               << name_
+                                               << "' has no key named '"
+                                               << key << "'");
+    }
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> kv_;
+  std::set<std::string> used_;
+};
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+Clause parse_clause(const std::string& raw) {
+  const std::string clause = trimmed(raw);
+  const auto open = clause.find('(');
+  if (open == std::string::npos) {
+    CLB_CHECK_MSG(!clause.empty(), "fault spec: empty model clause");
+    return Clause{clause, {}};
+  }
+  CLB_CHECK_MSG(clause.back() == ')',
+                "fault spec: missing ')' in '" << clause << "'");
+  const std::string name = trimmed(clause.substr(0, open));
+  CLB_CHECK_MSG(!name.empty(), "fault spec: model with no name in '"
+                                   << clause << "'");
+  std::map<std::string, std::string> kv;
+  const std::string body = clause.substr(open + 1,
+                                         clause.size() - open - 2);
+  std::size_t pos = 0;
+  while (pos <= body.size() && !trimmed(body).empty()) {
+    const auto comma = body.find(',', pos);
+    const std::string pair =
+        trimmed(body.substr(pos, comma == std::string::npos
+                                     ? std::string::npos
+                                     : comma - pos));
+    const auto eq = pair.find('=');
+    CLB_CHECK_MSG(eq != std::string::npos && eq > 0 && eq + 1 < pair.size(),
+                  "fault spec: expected key=value, got '" << pair << "' in '"
+                                                          << clause << "'");
+    const std::string key = trimmed(pair.substr(0, eq));
+    CLB_CHECK_MSG(kv.emplace(key, trimmed(pair.substr(eq + 1))).second,
+                  "fault spec: duplicate key '" << key << "' in '" << clause
+                                                << "'");
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return Clause{name, std::move(kv)};
+}
+
+CorruptMode parse_corrupt_mode(const std::string& mode) {
+  if (mode == "negative") return CorruptMode::kNegative;
+  if (mode == "nan") return CorruptMode::kNan;
+  if (mode == "overflow") return CorruptMode::kOverflow;
+  if (mode == "mixed") return CorruptMode::kMixed;
+  CLB_CHECK_MSG(false, "fault spec: unknown corrupt mode '" << mode << "'");
+  return CorruptMode::kMixed;  // unreachable
+}
+
+double probability(Clause& c, const std::string& key, double fallback = 0.0) {
+  const double p = c.number(key, fallback);
+  CLB_CHECK_MSG(p >= 0.0 && p <= 1.0, "fault spec: " << c.name() << "."
+                                                     << key << "=" << p
+                                                     << " not in [0, 1]");
+  return p;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto semi = spec.find(';', pos);
+    const std::string raw = spec.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    if (!trimmed(raw).empty()) {
+      Clause c = parse_clause(raw);
+      if (c.name() == "seed") {
+        const double v = c.number("value", 1.0);
+        CLB_CHECK_MSG(v >= 0.0, "fault spec: seed must be non-negative");
+        plan.seed = static_cast<std::uint64_t>(v);
+      } else if (c.name() == "spike") {
+        SpikeFaultSpec f;
+        f.core = static_cast<int>(c.number("core", 0.0));
+        f.start = c.seconds("start", f.start);
+        f.duration = c.seconds("duration", f.duration);
+        f.duty = probability(c, "duty", 1.0);
+        f.weight = c.number("weight", 1.0);
+        plan.spikes.push_back(f);
+      } else if (c.name() == "square") {
+        SquareWaveFaultSpec f;
+        f.core = static_cast<int>(c.number("core", 0.0));
+        f.start = c.seconds("start", f.start);
+        f.period = c.seconds("period", f.period);
+        f.on = c.seconds("on", f.on);
+        f.duty = probability(c, "duty", 1.0);
+        f.weight = c.number("weight", 1.0);
+        CLB_CHECK_MSG(f.on <= f.period,
+                      "fault spec: square on-time exceeds its period");
+        plan.squares.push_back(f);
+      } else if (c.name() == "pareto") {
+        ParetoFaultSpec f;
+        f.cores = static_cast<int>(c.number("cores", 1.0));
+        f.alpha = c.number("alpha", 1.5);
+        f.min_on = c.seconds("min_on", f.min_on);
+        f.mean_off_sec = c.number("mean_off", 1.0);
+        f.duty = probability(c, "duty", 1.0);
+        f.weight = c.number("weight", 1.0);
+        CLB_CHECK_MSG(f.cores >= 0, "fault spec: pareto cores < 0");
+        CLB_CHECK_MSG(f.alpha > 0.0, "fault spec: pareto alpha must be > 0");
+        plan.paretos.push_back(f);
+      } else if (c.name() == "drop") {
+        plan.drops.push_back(DropSampleFaultSpec{probability(c, "prob")});
+      } else if (c.name() == "stale") {
+        plan.stales.push_back(StaleSampleFaultSpec{probability(c, "prob")});
+      } else if (c.name() == "corrupt") {
+        CorruptEstimatorFaultSpec f;
+        f.prob = probability(c, "prob");
+        f.mode = parse_corrupt_mode(c.text("mode", "mixed"));
+        plan.corruptions.push_back(f);
+      } else if (c.name() == "jitter") {
+        ClockJitterFaultSpec f;
+        f.sigma_sec = c.number("sigma", 0.0);
+        CLB_CHECK_MSG(f.sigma_sec >= 0.0, "fault spec: jitter sigma < 0");
+        plan.jitters.push_back(f);
+      } else if (c.name() == "failmig") {
+        MigrationFaultSpec f;
+        f.prob = probability(c, "prob");
+        f.partial = probability(c, "partial", 0.5);
+        plan.migration_faults.push_back(f);
+      } else {
+        CLB_CHECK_MSG(false,
+                      "fault spec: unknown model '" << c.name() << "'");
+      }
+      c.check_all_used();
+    }
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  return plan;
+}
+
+}  // namespace cloudlb

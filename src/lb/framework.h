@@ -60,6 +60,25 @@ class LoadBalancer {
   virtual std::vector<PeId> assign(const LbStats& stats) = 0;
 };
 
+/// Degradation behaviour under hostile measurements (see
+/// docs/fault-injection.md). Everything defaults to off, so faultless
+/// runs are bit-identical to the paper's scheme.
+struct LbRobustnessOptions {
+  /// When the stats snapshot fails the sanity test (non-finite or
+  /// physically impossible PE counters), keep the current assignment —
+  /// the last one a good window produced — instead of balancing on
+  /// garbage.
+  bool fallback_on_insane_stats = false;
+
+  /// Window length of the background estimator's median-of-window outlier
+  /// clamp; 0 disables it (the paper's raw last-window estimate).
+  int estimator_window = 0;
+
+  /// Ceiling multiplier of the outlier clamp: a new estimate may exceed
+  /// the window median by at most this factor (plus a small slack).
+  double estimator_clamp_factor = 4.0;
+};
+
 /// Tuning shared by the refinement-style strategies.
 struct LbOptions {
   /// ε in the paper's Eq. 3, expressed as a fraction of T_avg: a PE is
@@ -80,6 +99,8 @@ struct LbOptions {
   /// default matches the library's default migration model (~1 ns/B pack,
   /// ~1 ns/B unpack, ~1 GB/s network).
   double migration_sec_per_byte_hint = 3e-9;
+
+  LbRobustnessOptions robustness;
 };
 
 }  // namespace cloudlb

@@ -237,7 +237,11 @@ LbStats RuntimeJob::collect_stats() const {
 }
 
 void RuntimeJob::run_lb_step() {
-  const LbStats stats = collect_stats();
+  LbStats stats = collect_stats();
+  // Faults enter between measurement and decision: the balancer sees what
+  // a real LB daemon would read from a degraded host, while the runtime's
+  // own bookkeeping stays truthful.
+  if (config_.faults != nullptr) config_.faults->perturb_stats(stats);
   std::vector<PeId> new_assignment = balancer_->assign(stats);
   CLB_CHECK_MSG(new_assignment.size() == chares_.size(),
                 "balancer returned a mapping of the wrong size");
@@ -285,7 +289,22 @@ void RuntimeJob::migrate_chare(ChareId chare, PeId from, PeId to) {
       chares_[static_cast<std::size_t>(chare)]->footprint_bytes();
   counters_.migrated_bytes += static_cast<std::int64_t>(bytes);
   if (observer_ != nullptr) observer_->on_migration(*this, chare, from, to);
+  attempt_migration(chare, from, to, /*attempt=*/0);
+}
 
+void RuntimeJob::attempt_migration(ChareId chare, PeId from, PeId to,
+                                   int attempt) {
+  // The fault verdict for this attempt is drawn up front: it decides
+  // where in the pack -> transfer -> unpack pipeline the attempt dies.
+  // Work done before the failure point is genuinely burned — a failed
+  // migration still cost its pack CPU, a partial one its transfer too.
+  const MigrationFault fault =
+      config_.faults != nullptr
+          ? config_.faults->on_migration({chare, from, to, attempt})
+          : MigrationFault::kNone;
+
+  const std::size_t bytes =
+      chares_[static_cast<std::size_t>(chare)]->footprint_bytes();
   const SimTime pack =
       SimTime::from_seconds(config_.pack_sec_per_byte *
                             static_cast<double>(bytes));
@@ -295,11 +314,50 @@ void RuntimeJob::migrate_chare(ChareId chare, PeId from, PeId to) {
   const SimTime transfer =
       network_delay(core_of_pe(from), core_of_pe(to), bytes);
 
-  enqueue_service(from, pack, [this, to, unpack, transfer] {
-    sim_.schedule_after(transfer, [this, to, unpack] {
-      enqueue_service(to, unpack, [this] { migration_done(); });
+  enqueue_service(
+      from, pack, [this, chare, from, to, attempt, unpack, transfer, fault] {
+        if (fault == MigrationFault::kFailAtSource) {
+          retry_or_abandon(chare, from, to, attempt);
+          return;
+        }
+        sim_.schedule_after(transfer,
+                            [this, chare, from, to, attempt, unpack, fault] {
+                              if (fault == MigrationFault::kFailAtDest) {
+                                retry_or_abandon(chare, from, to, attempt);
+                                return;
+                              }
+                              enqueue_service(to, unpack,
+                                              [this] { migration_done(); });
+                            });
+      });
+}
+
+void RuntimeJob::retry_or_abandon(ChareId chare, PeId from, PeId to,
+                                  int attempt) {
+  if (attempt < config_.migration_max_retries) {
+    ++counters_.migration_retries;
+    const SimTime backoff =
+        config_.migration_retry_backoff *
+        (std::int64_t{1} << std::min(attempt, 20));
+    CLB_DEBUG(name() << ": migration of chare " << chare << " -> PE " << to
+                     << " failed (attempt " << attempt + 1 << "), retrying in "
+                     << backoff.to_string());
+    sim_.schedule_after(backoff, [this, chare, from, to, attempt] {
+      attempt_migration(chare, from, to, attempt + 1);
     });
-  });
+    return;
+  }
+  // Out of retries: the source copy stays authoritative, so the chare is
+  // simply kept where it was — never lost, never duplicated. Roll the
+  // committed mapping back for this chare before the barrier lifts (no
+  // application messages are in flight at a barrier, so routing stays
+  // consistent).
+  ++counters_.migrations_failed;
+  assignment_[static_cast<std::size_t>(chare)] = from;
+  CLB_WARN(name() << ": migration of chare " << chare << " PE " << from
+                  << " -> " << to << " abandoned after " << attempt + 1
+                  << " attempts; chare stays on PE " << from);
+  migration_done();
 }
 
 void RuntimeJob::enqueue_service(PeId pe, SimTime cpu,

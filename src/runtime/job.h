@@ -8,6 +8,7 @@
 
 #include "lb/framework.h"
 #include "runtime/chare.h"
+#include "runtime/fault_hooks.h"
 #include "runtime/lb_database.h"
 #include "runtime/message.h"
 #include "runtime/network.h"
@@ -47,6 +48,22 @@ struct JobConfig {
   /// /proc/stat, whose jiffies tick every 10 ms — set that here to study
   /// the estimator under realistic quantization.
   SimTime proc_stat_quantum = SimTime::zero();
+
+  /// Fault-injection hooks (non-owning; see src/faults/). Null — the
+  /// default — leaves every fault path untaken and the run bit-identical
+  /// to a build without the subsystem.
+  FaultHooks* faults = nullptr;
+
+  /// How often a failed migration attempt is retried before the chare is
+  /// abandoned in place on its source PE. 0 (the default) abandons on the
+  /// first failure; irrelevant without fault injection, since attempts
+  /// then never fail.
+  int migration_max_retries = 0;
+
+  /// Backoff before the first migration retry; doubles per attempt
+  /// (500 us, 1 ms, 2 ms, ... — bounding the barrier stall a flaky
+  /// migration path can cause to max_retries doublings).
+  SimTime migration_retry_backoff = SimTime::micros(500);
 };
 
 /// A parallel job under the message-driven runtime: a set of chares mapped
@@ -112,8 +129,10 @@ class RuntimeJob {
     std::int64_t tasks_executed = 0;
     std::int64_t messages_sent = 0;
     int lb_steps = 0;
-    int migrations = 0;
+    int migrations = 0;  ///< migrations decided by the balancer
     std::int64_t migrated_bytes = 0;
+    int migration_retries = 0;   ///< failed attempts that were retried
+    int migrations_failed = 0;   ///< abandoned after exhausting retries
   };
   const Counters& counters() const { return counters_; }
 
@@ -157,6 +176,8 @@ class RuntimeJob {
   void run_lb_step();
   void begin_migrations(const std::vector<PeId>& new_assignment);
   void migrate_chare(ChareId chare, PeId from, PeId to);
+  void attempt_migration(ChareId chare, PeId from, PeId to, int attempt);
+  void retry_or_abandon(ChareId chare, PeId from, PeId to, int attempt);
   void migration_done();
   void resume_all();
   LbStats collect_stats() const;

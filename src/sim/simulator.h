@@ -46,6 +46,36 @@ class EventHandle {
 /// schedule→fire cycle at evaluation-grid queue sizes.
 class Simulator {
  public:
+  /// What to do when the clock-consistency invariant is violated — an
+  /// event due to fire with a timestamp behind now(), or run_until()
+  /// finding live work at or before its target after draining. Impossible
+  /// in normal operation; reachable when fault injection intentionally
+  /// perturbs timestamps (fault_advance_clock), or on an engine bug.
+  enum class ClockFaultPolicy {
+    kStrict,   ///< CLB_CHECK: throw CheckFailure (the default; on in every
+               ///< build type, so engine bugs can never fire events late
+               ///< silently in release builds)
+    kRecover,  ///< execute the late event at the current clock (time never
+               ///< regresses), count it in clock_recoveries(), continue
+  };
+
+  void set_clock_fault_policy(ClockFaultPolicy policy) {
+    clock_policy_ = policy;
+  }
+  ClockFaultPolicy clock_fault_policy() const { return clock_policy_; }
+
+  /// Late events executed under ClockFaultPolicy::kRecover.
+  std::uint64_t clock_recoveries() const { return clock_recoveries_; }
+
+  /// Fault-injection hook: forcibly advances the clock to max(now(), t)
+  /// WITHOUT executing the events in between, leaving them pending in the
+  /// past — the perturbed-timestamp state the kRecover policy exists for.
+  /// Pair with kRecover (under kStrict the next step() over a bypassed
+  /// event throws). Never called by the engine itself.
+  void fault_advance_clock(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
   /// Bytes of capture state a callback may carry and still be stored
   /// inline (allocation-free). Sized for the fattest runtime closure:
   /// message delivery captures {this, Message} = 56 bytes (Message is 48:
@@ -110,7 +140,21 @@ class Simulator {
       // slot vector, so the callable must not run from arena storage.
       Callback cb = std::move(slots_[entry.slot].cb);
       release_slot(entry.slot);
-      now_ = entry.time;
+      if (entry.time < now_) {
+        // A live event behind the clock: only possible when timestamps
+        // were perturbed (fault_advance_clock) or the engine is broken.
+        // Strict mode fails loudly in every build type; recover mode runs
+        // the event late, at the current clock, so time never regresses.
+        if (clock_policy_ == ClockFaultPolicy::kStrict) {
+          CLB_CHECK_MSG(entry.time >= now_,
+                        "event due at " << entry.time.to_string()
+                                        << " fired behind the clock ("
+                                        << now_.to_string() << ")");
+        }
+        ++clock_recoveries_;
+      } else {
+        now_ = entry.time;
+      }
       ++executed_;
       if (trace_) trace_(entry.time, entry.seq);
       cb();
@@ -240,6 +284,8 @@ class Simulator {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  ClockFaultPolicy clock_policy_ = ClockFaultPolicy::kStrict;
+  std::uint64_t clock_recoveries_ = 0;
   std::vector<QueueEntry> queue_;
   std::size_t stale_ = 0;  ///< cancelled entries still sitting in queue_
   std::vector<Slot> slots_;

@@ -13,9 +13,12 @@
 
 #include <cstdint>
 
+#include <string>
+
 #include "apps/jacobi2d.h"
 #include "apps/wave2d.h"
 #include "core/balancer_factory.h"
+#include "faults/fault_injector.h"
 #include "lb/null_lb.h"
 #include "machine/machine.h"
 #include "runtime/job.h"
@@ -43,7 +46,11 @@ class TraceHash {
 /// The paper's core setting, shrunk to test size: Jacobi2D on 4 cores
 /// under ia-refine, a 2-core Wave2D background job interfering on cores
 /// 2-3. Exercises messaging, barriers, LB migration, and timer churn.
-std::uint64_t traced_scenario_digest() {
+///
+/// A non-empty `fault_spec` wires a FaultInjector (plus migration retries)
+/// into the app job — the differential-degradation pin: a spec whose every
+/// model is at zero intensity must leave this digest untouched.
+std::uint64_t traced_scenario_digest(const std::string& fault_spec = {}) {
   Simulator sim;
   TraceHash hash;
   sim.set_trace_hook([&hash](SimTime time, std::uint64_t seq) {
@@ -56,10 +63,18 @@ std::uint64_t traced_scenario_digest() {
   mc.cores_per_node = 4;
   Machine machine{sim, mc};
 
+  std::unique_ptr<FaultInjector> faults;
+  if (!fault_spec.empty())
+    faults = std::make_unique<FaultInjector>(FaultPlan::parse(fault_spec));
+
   VirtualMachine app_vm{machine, "jacobi2d", {0, 1, 2, 3}};
   JobConfig app_config;
   app_config.name = "jacobi2d";
   app_config.lb_period = 3;
+  if (faults != nullptr) {
+    app_config.faults = faults.get();
+    app_config.migration_max_retries = 3;
+  }
   RuntimeJob app{sim, app_vm, app_config, make_balancer("ia-refine")};
   Jacobi2dConfig jc;
   jc.layout.grid_x = 64;
@@ -82,11 +97,22 @@ std::uint64_t traced_scenario_digest() {
   wc.layout.iterations = 30;
   populate_wave2d(bg, wc);
 
+  if (faults != nullptr) faults->install_interference(sim, machine);
+
   app.start();
   bg.start();
   while (!app.finished()) sim.step();
   return hash.digest();
 }
+
+/// One clause of every fault model, all at zero intensity. The injector
+/// must prune them all and behave as if it did not exist.
+constexpr const char* kZeroIntensitySpec =
+    "spike(core=1,start=0.1,duration=0);"
+    "square(core=0,start=0.2,period=1,on=0);"
+    "pareto(cores=0);"
+    "drop(prob=0);stale(prob=0);corrupt(prob=0);"
+    "jitter(sigma=0);failmig(prob=0);seed(value=42)";
 
 // Pinned digest of the scenario above. Recompute by running this test and
 // reading the "actual" value — but first read the header comment.
@@ -98,6 +124,25 @@ TEST(DeterminismTest, TraceIsReproducibleWithinProcess) {
 
 TEST(DeterminismTest, TraceMatchesGoldenDigest) {
   EXPECT_EQ(traced_scenario_digest(), kGoldenTraceDigest);
+}
+
+// Differential degradation: wrapping the scenario with a zero-intensity
+// fault plan (every model present, every intensity zero, plus migration
+// retries armed) must produce a byte-identical execution trace. If this
+// fails, some fault path leaks into faultless runs — an RNG draw, a
+// scheduled event, a perturbed stat.
+TEST(DeterminismTest, ZeroIntensityFaultWrapIsByteIdentical) {
+  FaultInjector probe{FaultPlan::parse(kZeroIntensitySpec)};
+  ASSERT_TRUE(probe.inert());
+  EXPECT_EQ(traced_scenario_digest(kZeroIntensitySpec), kGoldenTraceDigest);
+}
+
+// And the converse: a live fault plan must actually perturb the trace —
+// otherwise the injector is wired to nothing.
+TEST(DeterminismTest, LiveFaultPlanPerturbsTheTrace) {
+  EXPECT_NE(traced_scenario_digest(
+                "spike(core=2,start=0.01,duration=0.5);seed(value=42)"),
+            kGoldenTraceDigest);
 }
 
 }  // namespace
