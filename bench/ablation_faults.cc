@@ -16,7 +16,6 @@
 // exceed vanilla's at the high end even as its migration bill stays flat.
 
 #include <iostream>
-#include <memory>
 #include <sstream>
 
 #include "bench_common.h"
@@ -57,17 +56,17 @@ FaultRun run_once(double intensity, bool hardened) {
     config.lb_options.robustness.estimator_window = 5;
   }
 
-  auto balancer =
-      std::make_unique<InterferenceAwareRefineLb>(config.lb_options);
-  const InterferenceAwareRefineLb* probe = balancer.get();
-  const RunResult r = run_scenario_with(config, std::move(balancer));
+  // Borrowing overload: the balancer outlives the run, so its fallback
+  // counter is still readable after the job tears down.
+  InterferenceAwareRefineLb balancer{config.lb_options};
+  const RunResult r = run_scenario_with(config, balancer);
 
   FaultRun out;
   out.elapsed_sec = r.app_elapsed.to_seconds();
   out.migrations = r.app_counters.migrations;
   out.retries = r.app_counters.migration_retries;
   out.failed = r.app_counters.migrations_failed;
-  out.fallbacks = probe->garbage_fallbacks();
+  out.fallbacks = balancer.garbage_fallbacks();
   return out;
 }
 

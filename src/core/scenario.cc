@@ -43,6 +43,20 @@ JobConfig background_job_config(const ScenarioConfig& config) {
   return jc;
 }
 
+/// Adapter behind the borrowing run_scenario_with overload: the job owns
+/// this shim while the caller keeps the real strategy (and its counters).
+class BorrowedBalancer final : public LoadBalancer {
+ public:
+  explicit BorrowedBalancer(LoadBalancer& inner) : inner_{inner} {}
+  std::string name() const override { return inner_.name(); }
+  std::vector<PeId> assign(const LbStats& stats) override {
+    return inner_.assign(stats);
+  }
+
+ private:
+  LoadBalancer& inner_;
+};
+
 void drive(Simulator& sim, RuntimeJob& primary, RuntimeJob* secondary,
            PowerMeter* meter) {
   while (!primary.finished() ||
@@ -149,6 +163,13 @@ RunResult run_scenario_with(const ScenarioConfig& config,
   result.app_counters = app_job.counters();
   result.lb_migrations = app_job.counters().migrations;
   return result;
+}
+
+RunResult run_scenario_with(const ScenarioConfig& config,
+                            LoadBalancer& balancer, TimelineTracer* tracer) {
+  return run_scenario_with(config,
+                           std::make_unique<BorrowedBalancer>(balancer),
+                           tracer);
 }
 
 SimTime run_background_solo(const ScenarioConfig& config) {

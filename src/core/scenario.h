@@ -79,6 +79,14 @@ RunResult run_scenario_with(const ScenarioConfig& config,
                             std::unique_ptr<LoadBalancer> balancer,
                             TimelineTracer* tracer = nullptr);
 
+/// Same, but borrowing the balancer: the caller keeps ownership (it must
+/// outlive the call) and can query strategy-specific diagnostics — e.g.
+/// InterferenceAwareRefineLb::garbage_fallbacks() — after the run, which
+/// the owning overload destroys with the job before returning.
+RunResult run_scenario_with(const ScenarioConfig& config,
+                            LoadBalancer& balancer,
+                            TimelineTracer* tracer = nullptr);
+
 /// Runs only the scenario's background job on an otherwise empty machine
 /// (the BG baseline the paper's "BG timing penalty" divides by).
 SimTime run_background_solo(const ScenarioConfig& config);

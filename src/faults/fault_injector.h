@@ -31,7 +31,10 @@ class FaultInjector final : public FaultHooks {
   /// True when every model was pruned (nothing can ever perturb anything).
   bool inert() const;
 
-  /// The plan after parsing (pruning happens at use, not here).
+  /// The plan the injector acts on: the parsed plan minus the
+  /// zero-intensity models pruned at construction, so it lists exactly
+  /// the models that can fire. The full parsed plan (sweep zero points
+  /// included) only exists before it is handed to the injector.
   const FaultPlan& plan() const { return plan_; }
 
   /// Creates and schedules the plan's interference sources (spikes,

@@ -142,6 +142,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         f.duration = c.seconds("duration", f.duration);
         f.duty = probability(c, "duty", 1.0);
         f.weight = c.number("weight", 1.0);
+        CLB_CHECK_MSG(f.start >= SimTime::zero(),
+                      "fault spec: spike start < 0");
+        CLB_CHECK_MSG(f.duration >= SimTime::zero(),
+                      "fault spec: spike duration < 0");
         plan.spikes.push_back(f);
       } else if (c.name() == "square") {
         SquareWaveFaultSpec f;
@@ -151,6 +155,12 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         f.on = c.seconds("on", f.on);
         f.duty = probability(c, "duty", 1.0);
         f.weight = c.number("weight", 1.0);
+        CLB_CHECK_MSG(f.start >= SimTime::zero(),
+                      "fault spec: square start < 0");
+        CLB_CHECK_MSG(f.period > SimTime::zero(),
+                      "fault spec: square period must be > 0");
+        CLB_CHECK_MSG(f.on >= SimTime::zero(),
+                      "fault spec: square on-time < 0");
         CLB_CHECK_MSG(f.on <= f.period,
                       "fault spec: square on-time exceeds its period");
         plan.squares.push_back(f);
@@ -164,6 +174,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         f.weight = c.number("weight", 1.0);
         CLB_CHECK_MSG(f.cores >= 0, "fault spec: pareto cores < 0");
         CLB_CHECK_MSG(f.alpha > 0.0, "fault spec: pareto alpha must be > 0");
+        CLB_CHECK_MSG(f.min_on >= SimTime::zero(),
+                      "fault spec: pareto min_on < 0");
+        CLB_CHECK_MSG(f.mean_off_sec > 0.0,
+                      "fault spec: pareto mean_off must be > 0");
         plan.paretos.push_back(f);
       } else if (c.name() == "drop") {
         plan.drops.push_back(DropSampleFaultSpec{probability(c, "prob")});

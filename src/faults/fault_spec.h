@@ -104,8 +104,9 @@ struct MigrationFaultSpec {
 /// e.g. "spike(core=2,start=0.5,duration=1);drop(prob=0.1);seed(value=42)"
 /// Durations are plain seconds. Unknown models or keys throw CheckFailure
 /// (like Options::check_unused, typos must not silently disable a fault).
-/// Zero-intensity models are kept in the plan (so a spec sweep can include
-/// the zero point) but are pruned by the injector.
+/// parse() keeps zero-intensity models (so a spec sweep can include the
+/// zero point); FaultInjector prunes them from its copy at construction,
+/// so the injector's plan() reflects only the models that can fire.
 struct FaultPlan {
   std::vector<SpikeFaultSpec> spikes;
   std::vector<SquareWaveFaultSpec> squares;

@@ -284,6 +284,9 @@ void RuntimeJob::begin_migrations(const std::vector<PeId>& new_assignment) {
 }
 
 void RuntimeJob::migrate_chare(ChareId chare, PeId from, PeId to) {
+  // Counters and the observer record the balancer's decision, not the
+  // outcome: under failmig faults an attempt may die before any state
+  // leaves the PE, yet its bytes stay counted (see Counters docs).
   ++counters_.migrations;
   const std::size_t bytes =
       chares_[static_cast<std::size_t>(chare)]->footprint_bytes();

@@ -130,6 +130,11 @@ class RuntimeJob {
     std::int64_t messages_sent = 0;
     int lb_steps = 0;
     int migrations = 0;  ///< migrations decided by the balancer
+    /// Bytes of those migrations, also counted at decision time: an
+    /// attempt that later fails — even at the source, where nothing left
+    /// the PE — keeps its bytes here. The retry/failure counters below
+    /// say what became of the attempts; this is decided volume, not
+    /// wire traffic.
     std::int64_t migrated_bytes = 0;
     int migration_retries = 0;   ///< failed attempts that were retried
     int migrations_failed = 0;   ///< abandoned after exhausting retries

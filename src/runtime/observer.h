@@ -24,7 +24,8 @@ class ExecutionObserver {
   virtual void on_lb_step(const RuntimeJob& /*job*/, int /*step*/,
                           SimTime /*time*/, int /*migrations*/) {}
 
-  /// One chare migrated between PEs (fires at decision time).
+  /// One chare was told to migrate between PEs. Fires at decision time,
+  /// before the attempt runs — under migration faults it may still fail.
   virtual void on_migration(const RuntimeJob& /*job*/, ChareId /*chare*/,
                             PeId /*from*/, PeId /*to*/) {}
 

@@ -421,6 +421,23 @@ TEST(ScenarioTest, DeterministicAcrossRuns) {
   EXPECT_EQ(a.lb_migrations, b.lb_migrations);
 }
 
+// The borrowing overload must be bit-identical to the owning one, and —
+// its reason to exist — leave the caller's strategy object alive so its
+// diagnostics stay readable after the job tears down (the owning overload
+// destroys the balancer with the job before returning).
+TEST(ScenarioTest, BorrowedBalancerMatchesOwnedAndOutlivesRun) {
+  const ScenarioConfig config = small_config("ia-refine");
+  const RunResult owned = run_scenario(config);
+
+  InterferenceAwareRefineLb lb{config.lb_options};
+  const RunResult borrowed = run_scenario_with(config, lb);
+
+  EXPECT_EQ(owned.app_elapsed, borrowed.app_elapsed);
+  EXPECT_EQ(owned.lb_migrations, borrowed.lb_migrations);
+  EXPECT_EQ(lb.total_migrations(), borrowed.lb_migrations);
+  EXPECT_EQ(lb.garbage_fallbacks(), 0);
+}
+
 TEST(ScenarioTest, PenaltyExperimentInternallyConsistent) {
   const PenaltyResult r = run_penalty_experiment(small_config("null"));
   EXPECT_NEAR(r.app_penalty_pct,

@@ -114,6 +114,24 @@ TEST(FaultSpecTest, MalformedClausesThrow) {
   EXPECT_THROW(FaultPlan::parse("pareto(alpha=0)"), CheckFailure);
 }
 
+// A typo must fail at parse time — before any simulation runs — not abort
+// mid-run inside an Rng precondition. Zero-intensity values (duty=0,
+// duration=0, on=0) stay legal sweep points; impossible ones throw here.
+TEST(FaultSpecTest, NonInertGarbageTimingThrowsAtParse) {
+  EXPECT_THROW(FaultPlan::parse("pareto(mean_off=0)"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("pareto(mean_off=-1)"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("pareto(min_on=-0.1)"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("spike(start=-1)"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("spike(duration=-1)"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("square(start=-1)"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("square(period=0,on=0)"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("square(period=-1,on=0)"), CheckFailure);
+  // The legal zero points still parse.
+  EXPECT_EQ(FaultPlan::parse("spike(duration=0)").spikes.size(), 1u);
+  EXPECT_EQ(FaultPlan::parse("square(on=0)").squares.size(), 1u);
+  EXPECT_EQ(FaultPlan::parse("pareto(duty=0)").paretos.size(), 1u);
+}
+
 // ------------------------------------------------------- injector basics
 
 LbStats two_pe_stats() {
