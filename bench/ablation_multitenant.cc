@@ -29,7 +29,7 @@ struct TenantRun {
 
 TenantRun run_once(const std::string& balancer, int tenants) {
   Simulator sim;
-  Machine machine{sim, MachineConfig{.nodes = 4, .cores_per_node = 4}};
+  Machine machine{sim, MachineConfig{.nodes = 4, .cores_per_node = 4, .core_speed_overrides = {}}};
   std::vector<CoreId> cores(16);
   std::iota(cores.begin(), cores.end(), 0);
   VirtualMachine vm{machine, "wave2d", cores};

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   (void)parse_jobs(argc, argv);
 
   Simulator sim;
-  Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 4}};
+  Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 4, .core_speed_overrides = {}}};
 
   VirtualMachine app_vm{machine, "wave2d", {0, 1, 2, 3}};
   JobConfig app_config;

@@ -68,7 +68,7 @@ void rank_main(Rank& self) {
 
 double run_with(const std::string& balancer, int* migrations) {
   Simulator sim;
-  Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 4}};
+  Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 4, .core_speed_overrides = {}}};
   VirtualMachine vm{machine, "ampi", {0, 1, 2, 3}};
   JobConfig config;
   config.name = "ampi";

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   Simulator sim;
   Machine machine{sim, MachineConfig{.nodes = (cores + 3) / 4,
-                                     .cores_per_node = 4}};
+                                     .cores_per_node = 4, .core_speed_overrides = {}}};
   std::vector<CoreId> core_ids(static_cast<std::size_t>(cores));
   std::iota(core_ids.begin(), core_ids.end(), 0);
   VirtualMachine vm{machine, "wave2d", core_ids};

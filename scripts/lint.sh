@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the cloudlb determinism linter (tools/lint/cloudlb_lint.py) over the
+# real tree: src/, tests/, bench/, tools/. Exits nonzero on any finding.
+#
+#   scripts/lint.sh                 lint the whole tree
+#   scripts/lint.sh src/sim/*.cc    lint specific files
+#   scripts/lint.sh --selftest tests/lint/fixtures
+#                                   check the fixture expectations
+#
+# Also available as the CMake `lint` target and `ctest -L lint`.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+exec python3 "${root}/tools/lint/cloudlb_lint.py" --root "${root}" "$@"

@@ -8,6 +8,7 @@
 #include "lb/null_lb.h"
 #include "sim/simulator.h"
 #include "util/check.h"
+#include "util/validate.h"
 #include "vm/virtual_machine.h"
 
 namespace cloudlb {
@@ -88,6 +89,10 @@ RunResult run_scenario_with(const ScenarioConfig& config,
   CLB_CHECK(config.app_cores >= 1);
   CLB_CHECK(!config.with_background || config.bg_cores <= config.app_cores);
   CLB_CHECK(balancer != nullptr);
+
+  // config.validate widens the process setting for this run only; it
+  // never narrows it, so a CLOUDLB_VALIDATE build stays validated.
+  ValidationScope validation{config.validate || validation_enabled()};
 
   Simulator sim;
   Machine machine{sim, machine_for(config, config.app_cores)};

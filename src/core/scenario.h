@@ -54,6 +54,12 @@ struct ScenarioConfig {
   /// clean so faults only perturb the combined run.
   std::string faults;
 
+  /// Enables deep invariant validation (util/validate.h) for the duration
+  /// of this run: heap/arena audits, per-LB-step assignment audits, Eq. 1
+  /// conservation, monotone trace checks. Validators only observe, so a
+  /// validated run is bit-identical to an unvalidated one — just slower.
+  bool validate = false;
+
   PowerModelConfig power;
 };
 

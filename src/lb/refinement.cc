@@ -1,6 +1,7 @@
 #include "lb/refinement.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <set>
@@ -8,6 +9,7 @@
 
 #include "lb/refinement_internal.h"
 #include "util/check.h"
+#include "util/validate.h"
 
 namespace cloudlb {
 
@@ -58,6 +60,45 @@ void finalize(const Problem& p, RefinementResult* result) {
     if (std::abs(p.load[i] - p.t_avg) > p.epsilon + 1e-12)
       result->fully_balanced = false;
   }
+}
+
+void validate_refinement(const LbStats& stats,
+                         const std::vector<double>& external_load,
+                         const Problem& p, const RefinementResult& result) {
+  CLB_CHECK_MSG(result.assignment.size() == stats.chares.size(),
+                "refinement returned " << result.assignment.size()
+                                       << " assignments for "
+                                       << stats.chares.size() << " chares");
+  std::vector<double> recomputed(p.num_pes, 0.0);
+  for (std::size_t i = 0; i < p.num_pes; ++i)
+    recomputed[i] = std::max(external_load[i], 0.0);
+  for (std::size_t c = 0; c < result.assignment.size(); ++c) {
+    const PeId pe = result.assignment[c];
+    CLB_CHECK_MSG(pe >= 0 && static_cast<std::size_t>(pe) < p.num_pes,
+                  "refinement assigned chare " << c << " to invalid PE "
+                                               << pe);
+    recomputed[static_cast<std::size_t>(pe)] += stats.chares[c].cpu_sec;
+  }
+
+  // The incremental load vector (maintained by ± task cost per move) may
+  // drift from an exact recomputation by a few ULPs per migration; the
+  // tolerance scales with the problem's magnitude.
+  const double scale = std::max(1.0, p.t_avg * static_cast<double>(p.num_pes));
+  const double tol = 1e-9 * scale;
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.num_pes; ++i) {
+    total += p.load[i];
+    CLB_CHECK_MSG(std::abs(p.load[i] - recomputed[i]) <= tol,
+                  "PE " << i << " load " << p.load[i]
+                        << " disagrees with recomputation " << recomputed[i]);
+  }
+  // Eq. 1: refinement moves load between PEs but never creates or
+  // destroys it, so the grand total must still be P · T_avg.
+  CLB_CHECK_MSG(
+      std::abs(total - p.t_avg * static_cast<double>(p.num_pes)) <= tol,
+      "Eq. 1 conservation violated: total load "
+          << total << " != P*T_avg "
+          << p.t_avg * static_cast<double>(p.num_pes));
 }
 
 }  // namespace refinement_detail
@@ -190,6 +231,8 @@ RefinementResult refine_assignment(const LbStats& stats,
   }
 
   refinement_detail::finalize(p, &result);
+  if (validation_enabled())
+    refinement_detail::validate_refinement(stats, external_load, p, result);
   return result;
 }
 

@@ -46,4 +46,15 @@ inline bool fits(const Problem& p, double c, double receiver_load) {
 /// Fills `fully_balanced` and `max_load` from the final load vector.
 void finalize(const Problem& p, RefinementResult* result);
 
+/// Debug validator (validation_enabled() gates the engine's automatic
+/// call): audits a finished refinement pass against the problem it was
+/// built from. Checks Eq. 1 conservation — Σ load must still equal
+/// P · T_avg within FP tolerance, since refinement only *moves* load —
+/// plus assignment shape (dense, every PE in range) and agreement between
+/// the incrementally-maintained load vector and a recomputation from the
+/// final assignment. Throws CheckFailure on violation.
+void validate_refinement(const LbStats& stats,
+                         const std::vector<double>& external_load,
+                         const Problem& p, const RefinementResult& result);
+
 }  // namespace cloudlb::refinement_detail

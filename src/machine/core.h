@@ -2,8 +2,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -103,7 +103,11 @@ class Core {
   CoreId id_;
   double speed_;
   std::vector<ContextInfo> contexts_;
-  std::unordered_map<ContextId, Request> active_;
+  /// Ordered by ContextId so every iteration below (FP share sums, the
+  /// completion scan) visits contexts in one platform-independent order —
+  /// an unordered container here would make the trace digest depend on the
+  /// standard library's hashing.
+  std::map<ContextId, Request> active_;
   SimTime last_update_ = SimTime::zero();
   double busy_sec_ = 0.0;
   EventHandle completion_event_;

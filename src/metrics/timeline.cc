@@ -7,18 +7,44 @@
 #include "runtime/job.h"
 #include "util/check.h"
 #include "util/table.h"
+#include "util/validate.h"
 
 namespace cloudlb {
 
 void TimelineTracer::on_task_executed(const RuntimeJob& job, PeId pe,
                                       CoreId core, ChareId chare, int tag,
                                       SimTime start, SimTime end) {
+  if (validation_enabled()) {
+    CLB_CHECK_MSG(end >= start, "task interval ends ("
+                                    << end.to_string()
+                                    << ") before it starts ("
+                                    << start.to_string() << ")");
+    CLB_CHECK(core >= 0 && pe >= 0 && chare >= 0);
+    // Observer callbacks arrive in simulation order: a task can never be
+    // reported as finishing before one already recorded ended its report.
+    CLB_CHECK_MSG(intervals_.empty() || end >= intervals_.back().end,
+                  "trace not monotone: task completion at "
+                      << end.to_string() << " reported after "
+                      << intervals_.back().end.to_string());
+  }
   intervals_.push_back(
       TaskInterval{job.name(), core, pe, chare, tag, start, end});
 }
 
 void TimelineTracer::on_lb_step(const RuntimeJob& job, int step, SimTime time,
                                 int migrations) {
+  if (validation_enabled()) {
+    CLB_CHECK(step >= 1 && migrations >= 0);
+    for (auto it = lb_marks_.rbegin(); it != lb_marks_.rend(); ++it) {
+      if (it->job != job.name()) continue;
+      CLB_CHECK_MSG(step == it->step + 1 && time >= it->time,
+                    "LB marks not monotone for job '"
+                        << job.name() << "': step " << step << " at "
+                        << time.to_string() << " follows step " << it->step
+                        << " at " << it->time.to_string());
+      break;
+    }
+  }
   lb_marks_.push_back(LbMark{job.name(), step, time, migrations});
 }
 

@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/log.h"
+#include "util/validate.h"
 
 namespace cloudlb {
 
@@ -238,6 +239,10 @@ LbStats RuntimeJob::collect_stats() const {
 
 void RuntimeJob::run_lb_step() {
   LbStats stats = collect_stats();
+  // The runtime's own measurement must be sane before faults get to
+  // perturb it — a violation here is an accounting bug, not an injected
+  // one.
+  if (validation_enabled()) stats.validate();
   // Faults enter between measurement and decision: the balancer sees what
   // a real LB daemon would read from a degraded host, while the runtime's
   // own bookkeeping stays truthful.
@@ -393,7 +398,70 @@ void RuntimeJob::migration_done() {
   if (--migrations_in_flight_ == 0) resume_all();
 }
 
+void RuntimeJob::validate_invariants() const {
+  CLB_CHECK_MSG(assignment_.size() == chares_.size(),
+                "assignment holds " << assignment_.size() << " entries for "
+                                    << chares_.size() << " chares");
+  CLB_CHECK(chare_done_.size() == chares_.size());
+  CLB_CHECK(pes_.size() == static_cast<std::size_t>(vm_.num_vcpus()));
+
+  // Identity audit: chare i must be exactly the object registered as id i
+  // and owned by this job — a swapped, lost or duplicated chare shows up
+  // here even though the dense mapping vector cannot express it directly.
+  std::size_t done = 0;
+  for (std::size_t c = 0; c < chares_.size(); ++c) {
+    CLB_CHECK_MSG(chares_[c] != nullptr, "chare " << c << " is null");
+    CLB_CHECK_MSG(chares_[c]->id_ == static_cast<ChareId>(c),
+                  "chare at index " << c << " carries id "
+                                    << chares_[c]->id_);
+    CLB_CHECK_MSG(chares_[c]->job_ == this,
+                  "chare " << c << " is owned by another job");
+    CLB_CHECK_MSG(assignment_[c] >= 0 && static_cast<std::size_t>(
+                                             assignment_[c]) < pes_.size(),
+                  "chare " << c << " mapped to invalid PE "
+                           << assignment_[c]);
+    if (chare_done_[c]) ++done;
+  }
+  CLB_CHECK_MSG(done == finished_chares_,
+                "finished-chare counter " << finished_chares_
+                                          << " disagrees with " << done
+                                          << " done flags");
+
+  // Queued messages must target chares currently mapped to their queue's
+  // PE: migrations commit only at barriers, when no application messages
+  // are in flight, so a misrouted queue means the mapping and the queues
+  // were mutated out of step.
+  for (std::size_t p = 0; p < pes_.size(); ++p) {
+    for (const Message& m : pes_[p].queue) {
+      CLB_CHECK(m.dest >= 0 &&
+                static_cast<std::size_t>(m.dest) < chares_.size());
+      CLB_CHECK_MSG(
+          assignment_[static_cast<std::size_t>(m.dest)] ==
+              static_cast<PeId>(p),
+          "message for chare " << m.dest << " queued on PE " << p
+                               << " but the chare is mapped to PE "
+                               << assignment_[static_cast<std::size_t>(
+                                      m.dest)]);
+    }
+  }
+
+  // Barrier state machine: outside a barrier no migration may be in
+  // flight and no runtime service may be queued or active.
+  if (!lb_in_progress_) {
+    CLB_CHECK(migrations_in_flight_ == 0);
+    for (const Pe& pe : pes_) {
+      CLB_CHECK(pe.services.empty());
+      CLB_CHECK(!pe.service_active);
+    }
+  }
+}
+
 void RuntimeJob::resume_all() {
+  if (validation_enabled()) {
+    // The LB step is complete: decision made, migrations done or rolled
+    // back. Audit the whole job before the barrier lifts.
+    validate_invariants();
+  }
   reset_lb_window();
   lb_in_progress_ = false;
   for (std::size_t c = 0; c < chares_.size(); ++c) {

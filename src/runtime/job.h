@@ -153,7 +153,17 @@ class RuntimeJob {
   void chare_finished(ChareId chare);
   void report_iteration(ChareId chare, int iteration);
 
+  /// Deep structural audit of the job (validation_enabled() gates the
+  /// automatic call after every LB step; calling it directly is always
+  /// allowed): the chare -> PE mapping is dense, in range, and agrees
+  /// with every chare's identity (no chare lost, duplicated, or misowned),
+  /// per-PE message queues route consistently, and the barrier/migration
+  /// state machine is quiescent. Throws CheckFailure on violation.
+  void validate_invariants() const;
+
  private:
+  friend struct RuntimeJobTestAccess;  ///< corruption seams for validator tests
+
   /// Runtime-internal CPU work (migration pack/unpack) serialized per PE.
   struct ServiceItem {
     SimTime cpu;

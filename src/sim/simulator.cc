@@ -15,11 +15,67 @@ void Simulator::compact_queue() {
   if (queue_.size() > 1)
     for (std::size_t i = (queue_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
   stale_ = 0;
+  if (validation_enabled()) validate_integrity();
+}
+
+void Simulator::validate_integrity() const {
+  // Heap property: no parent orders after any of its four children.
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const std::size_t parent = (i - 1) >> 2;
+    CLB_CHECK_MSG(!(queue_[parent] > queue_[i]),
+                  "heap property violated at entry " << i << " (parent "
+                                                     << parent << ")");
+  }
+
+  // Free-list shape: every link in range, no cycles, callbacks cleared.
+  std::vector<char> on_free_list(slots_.size(), 0);
+  std::size_t free_count = 0;
+  for (std::uint32_t s = free_head_; s != kNoSlot; s = slots_[s].next_free) {
+    CLB_CHECK_MSG(s < slots_.size(), "free-list link out of range: " << s);
+    CLB_CHECK_MSG(!on_free_list[s], "free-list cycle through slot " << s);
+    CLB_CHECK_MSG(slots_[s].cb == nullptr,
+                  "free slot " << s << " still holds a callback");
+    on_free_list[s] = 1;
+    ++free_count;
+  }
+  CLB_CHECK_MSG(free_count + live_ == slots_.size(),
+                "arena accounting broken: " << free_count << " free + "
+                                            << live_ << " live != "
+                                            << slots_.size() << " slots");
+
+  // Generation consistency: an entry whose generation matches its slot is
+  // the slot's one live occupancy — the slot must be off the free list,
+  // hold a callback, and be referenced by exactly one such entry. Every
+  // other entry is stale, and stale_ must account for all of them.
+  std::vector<char> seen_live(slots_.size(), 0);
+  std::size_t live_entries = 0;
+  for (const QueueEntry& e : queue_) {
+    CLB_CHECK_MSG(e.slot < slots_.size(),
+                  "queue entry references slot " << e.slot
+                                                 << " out of range");
+    if (slots_[e.slot].gen != e.gen) continue;  // stale, skipped lazily
+    CLB_CHECK_MSG(!on_free_list[e.slot],
+                  "live queue entry references freed slot " << e.slot);
+    CLB_CHECK_MSG(slots_[e.slot].cb != nullptr,
+                  "live queue entry references empty slot " << e.slot);
+    CLB_CHECK_MSG(!seen_live[e.slot],
+                  "slot " << e.slot << " referenced by two live entries");
+    seen_live[e.slot] = 1;
+    ++live_entries;
+  }
+  CLB_CHECK_MSG(live_entries == live_,
+                "live-entry count " << live_entries
+                                    << " disagrees with live_ " << live_);
+  CLB_CHECK_MSG(queue_.size() - live_entries == stale_,
+                "stale accounting broken: " << queue_.size() - live_entries
+                                            << " stale entries, counter "
+                                            << stale_);
 }
 
 void Simulator::run() {
   while (step()) {
   }
+  if (validation_enabled()) validate_integrity();
 }
 
 void Simulator::run_until(SimTime t) {
@@ -60,6 +116,7 @@ void Simulator::run_until(SimTime t) {
     step();
   }
   now_ = t;
+  if (validation_enabled()) validate_integrity();
 }
 
 }  // namespace cloudlb

@@ -7,6 +7,7 @@
 #include "util/check.h"
 #include "util/sim_time.h"
 #include "util/small_function.h"
+#include "util/validate.h"
 
 namespace cloudlb {
 
@@ -156,6 +157,21 @@ class Simulator {
         now_ = entry.time;
       }
       ++executed_;
+      if (validation_enabled()) {
+        // The heap contract: events fire in strictly increasing
+        // (time, seq) order — the determinism fingerprint every golden
+        // digest depends on. Holds for any clock policy, since faults
+        // perturb the clock, never the queue order.
+        CLB_CHECK_MSG(
+            last_fired_time_ < entry.time ||
+                (last_fired_time_ == entry.time && last_fired_seq_ < entry.seq),
+            "trace sequence not monotone: ("
+                << entry.time.to_string() << ", seq " << entry.seq
+                << ") fired after (" << last_fired_time_.to_string()
+                << ", seq " << last_fired_seq_ << ")");
+        last_fired_time_ = entry.time;
+        last_fired_seq_ = entry.seq;
+      }
       if (trace_) trace_(entry.time, entry.seq);
       cb();
       return true;
@@ -192,7 +208,17 @@ class Simulator {
   using TraceHook = std::function<void(SimTime, std::uint64_t)>;
   void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
 
+  /// Deep structural audit of the engine (validation_enabled() gates the
+  /// automatic call sites; calling it directly is always allowed): 4-ary
+  /// heap property over the pending queue, slot-arena free-list shape
+  /// (in-range, acyclic, callbacks cleared), generation consistency
+  /// between queue entries and slots, and the live/stale accounting.
+  /// Throws CheckFailure on the first violated invariant.
+  void validate_integrity() const;
+
  private:
+  friend struct SimulatorTestAccess;  ///< corruption seams for validator tests
+
   struct QueueEntry {
     SimTime time;
     std::uint64_t seq;
@@ -283,6 +309,8 @@ class Simulator {
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
+  SimTime last_fired_time_ = SimTime::min_value();
+  std::uint64_t last_fired_seq_ = 0;
   std::uint64_t executed_ = 0;
   ClockFaultPolicy clock_policy_ = ClockFaultPolicy::kStrict;
   std::uint64_t clock_recoveries_ = 0;

@@ -45,7 +45,8 @@ void Histogram::print(std::ostream& os, const std::string& unit,
     const auto n = counts_[static_cast<std::size_t>(b)];
     const int bar =
         peak == 0 ? 0
-                  : static_cast<int>(static_cast<double>(n) * width / peak);
+                  : static_cast<int>(static_cast<double>(n) * width /
+                                     static_cast<double>(peak));
     os << '[' << Table::num(bucket_lo(b), 3) << ", "
        << Table::num(bucket_lo(b + 1), 3) << ')' << unit << "  " << n << "  "
        << std::string(static_cast<std::size_t>(bar), '#') << '\n';

@@ -23,6 +23,9 @@ class SimTime {
   static constexpr SimTime max() {
     return SimTime{std::numeric_limits<std::int64_t>::max()};
   }
+  static constexpr SimTime min_value() {
+    return SimTime{std::numeric_limits<std::int64_t>::min()};
+  }
 
   static constexpr SimTime nanos(std::int64_t ns) { return SimTime{ns}; }
   static constexpr SimTime micros(std::int64_t us) {

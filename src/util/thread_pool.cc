@@ -50,11 +50,10 @@ void parallel_for(std::size_t n, int jobs,
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(body);
+  ThreadPool pool;
+  for (std::size_t w = 1; w < workers; ++w) pool.spawn(body);
   body();
-  for (auto& t : threads) t.join();
+  pool.join_all();
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 

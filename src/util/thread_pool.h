@@ -2,12 +2,52 @@
 
 #include <cstddef>
 #include <functional>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace cloudlb {
 
 /// Number of concurrent hardware threads, at least 1.
 int hardware_jobs();
+
+/// RAII group of worker threads.
+///
+/// Shutdown hardening: the destructor always joins every spawned worker —
+/// including when the scope unwinds because a task threw (CheckFailure
+/// from a CLB_CHECK inside a parallel region) or because spawn() itself
+/// failed partway through launching a fleet. Without this, an exception
+/// between thread creation and the explicit join would destroy a joinable
+/// std::thread and terminate the process.
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool() { join_all(); }
+
+  /// Launches one worker running `body`. Exceptions escaping `body` are
+  /// the caller's contract to prevent (parallel_for routes them through
+  /// its error latch); std::system_error from thread creation propagates
+  /// to the caller, with already-running workers still joined on unwind.
+  template <typename F>
+  void spawn(F&& body) {
+    threads_.emplace_back(std::forward<F>(body));
+  }
+
+  /// Joins every worker spawned so far. Idempotent; also run on
+  /// destruction.
+  void join_all() noexcept {
+    for (std::thread& t : threads_)
+      if (t.joinable()) t.join();
+    threads_.clear();
+  }
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
 
 /// Runs `fn(i)` for every i in [0, n) across up to `jobs` OS threads
 /// (jobs <= 0 means hardware_jobs(); jobs == 1 runs inline).

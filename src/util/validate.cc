@@ -1,0 +1,39 @@
+#include "util/validate.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace cloudlb {
+
+namespace {
+
+bool initial_state() {
+#ifdef CLOUDLB_VALIDATE
+  bool enabled = true;
+#else
+  bool enabled = false;
+#endif
+  // Environment override so CI tiers can turn validators on without a
+  // separate build: CLOUDLB_VALIDATE=1 enables, =0 disables.
+  if (const char* env = std::getenv("CLOUDLB_VALIDATE"))
+    enabled = std::strcmp(env, "0") != 0;
+  return enabled;
+}
+
+std::atomic<bool>& state() {
+  static std::atomic<bool> enabled{initial_state()};
+  return enabled;
+}
+
+}  // namespace
+
+bool validation_enabled() {
+  return state().load(std::memory_order_relaxed);
+}
+
+bool set_validation_enabled(bool enabled) {
+  return state().exchange(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace cloudlb

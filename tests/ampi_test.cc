@@ -20,7 +20,7 @@ using ampi::Rank;
 struct AmpiRig {
   explicit AmpiRig(int cores, int lb_period = 0,
                    const std::string& balancer = "null")
-      : machine(sim, MachineConfig{.nodes = 2, .cores_per_node = 4}) {
+      : machine(sim, MachineConfig{.nodes = 2, .cores_per_node = 4, .core_speed_overrides = {}}) {
     std::vector<CoreId> ids(static_cast<std::size_t>(cores));
     std::iota(ids.begin(), ids.end(), 0);
     vm = std::make_unique<VirtualMachine>(machine, "ampi", ids);

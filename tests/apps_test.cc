@@ -36,7 +36,7 @@ StencilLayout small_layout(int iterations = 12) {
 struct AppRig {
   explicit AppRig(int cores, int lb_period = 0,
                   std::unique_ptr<LoadBalancer> lb = nullptr)
-      : machine(sim, MachineConfig{.nodes = 2, .cores_per_node = 4}) {
+      : machine(sim, MachineConfig{.nodes = 2, .cores_per_node = 4, .core_speed_overrides = {}}) {
     std::vector<CoreId> ids(static_cast<std::size_t>(cores));
     std::iota(ids.begin(), ids.end(), 0);
     vm = std::make_unique<VirtualMachine>(machine, "app", ids);

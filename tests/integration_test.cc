@@ -180,7 +180,7 @@ TEST(DynamicInterferenceTest, BalancerTracksMovingInterferer) {
   // Interference hops between cores mid-run; the LB must chase it.
   auto run_with = [&](const std::string& balancer) {
     Simulator sim;
-    Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 4}};
+    Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 4, .core_speed_overrides = {}}};
     VirtualMachine vm{machine, "app", {0, 1, 2, 3}};
     JobConfig jc;
     jc.name = "wave2d";

@@ -385,7 +385,7 @@ TEST(RefineLbTest, FixesInternalImbalance) {
 // ---------------------------------------------------------------- RandomLb
 
 TEST(RandomLbTest, ProducesValidPes) {
-  RandomLb lb{LbOptions{.epsilon_fraction = 0.05, .seed = 42}};
+  RandomLb lb{LbOptions{.epsilon_fraction = 0.05, .seed = 42, .robustness = {}}};
   const LbStats stats =
       make_stats(3, std::vector<double>(30, 1.0), std::vector<PeId>(30, 0));
   const auto result = lb.assign(stats);
@@ -398,8 +398,8 @@ TEST(RandomLbTest, ProducesValidPes) {
 TEST(RandomLbTest, SeedDeterminism) {
   const LbStats stats =
       make_stats(4, std::vector<double>(16, 1.0), std::vector<PeId>(16, 0));
-  RandomLb a{LbOptions{.epsilon_fraction = 0.05, .seed = 9}};
-  RandomLb b{LbOptions{.epsilon_fraction = 0.05, .seed = 9}};
+  RandomLb a{LbOptions{.epsilon_fraction = 0.05, .seed = 9, .robustness = {}}};
+  RandomLb b{LbOptions{.epsilon_fraction = 0.05, .seed = 9, .robustness = {}}};
   EXPECT_EQ(a.assign(stats), b.assign(stats));
 }
 

@@ -1,0 +1,37 @@
+// Lint fixture: hash-order iteration and naked ownership. See
+// bad_determinism.cc for how the EXPECT-LINT protocol works.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cloudlb_lint_fixture {
+
+double sum_shares(const std::unordered_map<int, double>& shares) {
+  double total = 0.0;
+  for (const auto& [pe, load] : shares) {          // EXPECT-LINT(unordered-iter)
+    total += static_cast<double>(pe) * load;
+  }
+  return total;
+}
+
+struct Registry {
+  std::unordered_set<int> live_pes_;
+
+  int count_live() const {
+    int n = 0;
+    for (int pe : live_pes_) {                     // EXPECT-LINT(unordered-iter)
+      n += pe >= 0 ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+int* naked_ownership() {
+  int* block = new int[8];                         // EXPECT-LINT(naked-new)
+  delete[] block;                                  // EXPECT-LINT(naked-new)
+  int* one = new int{7};                           // EXPECT-LINT(naked-new)
+  delete one;                                      // EXPECT-LINT(naked-new)
+  return nullptr;
+}
+
+}  // namespace cloudlb_lint_fixture

@@ -1,0 +1,40 @@
+// Lint fixture: deliberately nondeterministic code. Every annotated line
+// must trip exactly the rule named in its EXPECT-LINT comment; the
+// selftest fails on any missing or extra diagnostic. Never compiled and
+// never linted as part of the real tree (tests/lint/fixtures is excluded
+// from tree walks).
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace cloudlb_lint_fixture {
+
+struct Rng {};
+
+double ambient_time_reads() {
+  auto wall = std::chrono::system_clock::now();    // EXPECT-LINT(wall-clock)
+  auto mono = std::chrono::steady_clock::now();    // EXPECT-LINT(wall-clock)
+  (void)wall;
+  (void)mono;
+  return static_cast<double>(time(nullptr));       // EXPECT-LINT(wall-clock)
+}
+
+int ambient_randomness() {
+  std::random_device entropy;                      // EXPECT-LINT(ambient-rng)
+  std::mt19937 gen;                                // EXPECT-LINT(ambient-rng)
+  Rng local;                                       // EXPECT-LINT(ambient-rng)
+  (void)gen;
+  (void)local;
+  std::srand(entropy());                           // EXPECT-LINT(ambient-rng)
+  return std::rand();                              // EXPECT-LINT(ambient-rng)
+}
+
+double narrowed_load_accounting(double t_avg) {
+  float share = 0.5F;                              // EXPECT-LINT(float-load)
+  assert(t_avg >= 0.0);                            // EXPECT-LINT(assert)
+  return t_avg * static_cast<double>(share);
+}
+
+}  // namespace cloudlb_lint_fixture

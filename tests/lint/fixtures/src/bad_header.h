@@ -1,0 +1,10 @@
+// Lint fixture: a header that forgets its include guard and leaks a
+// namespace into every includer. The pragma-once diagnostic lands on the
+// first non-blank, non-comment line.
+#include <vector>  // EXPECT-LINT(pragma-once)
+
+using namespace std;  // EXPECT-LINT(using-namespace)
+
+inline int fixture_size(const std::vector<int>& v) {
+  return static_cast<int>(v.size());
+}

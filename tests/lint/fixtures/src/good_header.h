@@ -1,0 +1,10 @@
+#pragma once
+// Lint fixture: a well-formed header. No EXPECT-LINT annotations — the
+// selftest fails if any rule fires here.
+#include <cstdint>
+
+namespace cloudlb_lint_fixture {
+
+inline std::int64_t widen(int x) { return static_cast<std::int64_t>(x); }
+
+}  // namespace cloudlb_lint_fixture

@@ -1,0 +1,47 @@
+// Lint fixture: the legitimate counterparts of every rule. No EXPECT-LINT
+// annotations — the selftest fails if anything below fires.
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace cloudlb_lint_fixture {
+
+struct Rng {
+  explicit Rng(unsigned long long seed) : seed_{seed} {}
+  unsigned long long seed_;
+};
+
+struct Balancer {
+  // Trailing-underscore members are seeded by the constructor, not
+  // default-constructed, so the ambient-rng rule must leave them alone.
+  Rng rng_;
+  std::unordered_map<int, double> cache_;
+
+  explicit Balancer(unsigned long long seed) : rng_{seed} {}
+  Balancer(const Balancer&) = delete;
+  Balancer& operator=(const Balancer&) = delete;
+
+  // Point lookups into an unordered container are deterministic; only
+  // iteration order is hash-dependent.
+  double lookup(int pe) const {
+    auto it = cache_.find(pe);
+    return it == cache_.end() ? 0.0 : it->second;
+  }
+};
+
+double seeded_and_ordered(unsigned long long seed) {
+  Rng rng{seed};
+  std::map<int, double> shares{{0, 0.25}, {1, 0.75}};
+  double total = static_cast<double>(rng.seed_ % 2);
+  for (const auto& [pe, share] : shares) {
+    total += static_cast<double>(pe) * share;
+  }
+  return total;
+}
+
+std::unique_ptr<std::vector<int>> owned() {
+  return std::make_unique<std::vector<int>>(8);
+}
+
+}  // namespace cloudlb_lint_fixture

@@ -1,0 +1,24 @@
+// Lint fixture: every line below would fire a rule, and every one is
+// silenced by a same-line NOLINT-CLOUDLB naming that rule. No EXPECT-LINT
+// annotations — the selftest fails if suppression ever stops working.
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace cloudlb_lint_fixture {
+
+inline unsigned reseed_from_os() {
+  std::random_device entropy;  // NOLINT-CLOUDLB(ambient-rng): fixture exercising suppression
+  return entropy();
+}
+
+inline double multi_rule(const std::unordered_map<int, float>& m) {  // NOLINT-CLOUDLB(float-load)
+  double total = 0.0;
+  for (const auto& [k, v] : m) {  // NOLINT-CLOUDLB(unordered-iter,float-load)
+    total += static_cast<double>(k) + static_cast<double>(v);
+  }
+  total += static_cast<double>(std::rand());  // NOLINT-CLOUDLB(ambient-rng)
+  return total;
+}
+
+}  // namespace cloudlb_lint_fixture

@@ -1,0 +1,8 @@
+// Lint fixture: header hygiene applies in every tree, including tests/.
+namespace cloudlb_lint_fixture {  // EXPECT-LINT(pragma-once)
+
+using namespace std;  // EXPECT-LINT(using-namespace)
+
+inline int answer() { return 42; }
+
+}  // namespace cloudlb_lint_fixture

@@ -1,0 +1,22 @@
+// Lint fixture: code under tests/ where the src-only rules (wall-clock,
+// naked-new, assert, float-load) must NOT fire. Tests may time things,
+// stub allocators, and use plain assert; only the cross-tree rules
+// (ambient-rng, unordered-iter, header hygiene) follow them here. No
+// EXPECT-LINT annotations — the selftest fails if any rule fires.
+#include <cassert>
+#include <chrono>
+
+namespace cloudlb_lint_fixture {
+
+inline double measure_once() {
+  const auto start = std::chrono::steady_clock::now();
+  int* scratch = new int[4];
+  float narrow = 1.0F;
+  assert(scratch != nullptr);
+  delete[] scratch;
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() +
+         static_cast<double>(narrow);
+}
+
+}  // namespace cloudlb_lint_fixture

@@ -192,7 +192,7 @@ TEST_F(CoreTest, RegisterValidation) {
 
 TEST(MachineTest, TopologyIndexing) {
   Simulator sim;
-  Machine m{sim, MachineConfig{.nodes = 3, .cores_per_node = 4}};
+  Machine m{sim, MachineConfig{.nodes = 3, .cores_per_node = 4, .core_speed_overrides = {}}};
   EXPECT_EQ(m.num_cores(), 12);
   EXPECT_EQ(m.node_of(0), 0);
   EXPECT_EQ(m.node_of(3), 0);
@@ -205,7 +205,7 @@ TEST(MachineTest, TopologyIndexing) {
 
 TEST(MachineTest, BoundsChecked) {
   Simulator sim;
-  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 2}};
+  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 2, .core_speed_overrides = {}}};
   EXPECT_THROW(m.core(2), CheckFailure);
   EXPECT_THROW(m.core(-1), CheckFailure);
   EXPECT_THROW(m.node_of(99), CheckFailure);
@@ -213,7 +213,7 @@ TEST(MachineTest, BoundsChecked) {
 
 TEST(MachineTest, PerCoreSpeedOverrides) {
   Simulator sim;
-  MachineConfig config{.nodes = 1, .cores_per_node = 4};
+  MachineConfig config{.nodes = 1, .cores_per_node = 4, .core_speed_overrides = {}};
   config.core_speed_overrides = {{1, 0.5}, {3, 2.0}};
   Machine m{sim, config};
   EXPECT_DOUBLE_EQ(m.core(0).speed(), 1.0);
@@ -224,14 +224,14 @@ TEST(MachineTest, PerCoreSpeedOverrides) {
 
 TEST(MachineTest, NonPositiveSpeedOverrideRejected) {
   Simulator sim;
-  MachineConfig config{.nodes = 1, .cores_per_node = 2};
+  MachineConfig config{.nodes = 1, .cores_per_node = 2, .core_speed_overrides = {}};
   config.core_speed_overrides = {{0, 0.0}};
   EXPECT_THROW(Machine(sim, config), CheckFailure);
 }
 
 TEST(MachineTest, InvalidConfigRejected) {
   Simulator sim;
-  EXPECT_THROW(Machine(sim, MachineConfig{.nodes = 0, .cores_per_node = 4}),
+  EXPECT_THROW(Machine(sim, MachineConfig{.nodes = 0, .cores_per_node = 4, .core_speed_overrides = {}}),
                CheckFailure);
 }
 
@@ -239,7 +239,7 @@ TEST(MachineTest, InvalidConfigRejected) {
 
 TEST(PowerMeterTest, IdleMachineDrawsBasePower) {
   Simulator sim;
-  Machine m{sim, MachineConfig{.nodes = 2, .cores_per_node = 4}};
+  Machine m{sim, MachineConfig{.nodes = 2, .cores_per_node = 4, .core_speed_overrides = {}}};
   PowerMeter meter{sim, m};
   meter.start();
   sim.run_until(SimTime::seconds(10));
@@ -250,7 +250,7 @@ TEST(PowerMeterTest, IdleMachineDrawsBasePower) {
 
 TEST(PowerMeterTest, BusyCoreAddsDynamicPower) {
   Simulator sim;
-  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 4}};
+  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 4, .core_speed_overrides = {}}};
   const ContextId ctx = m.core(0).register_context("hog");
   PowerMeter meter{sim, m};
   meter.start();
@@ -264,7 +264,7 @@ TEST(PowerMeterTest, BusyCoreAddsDynamicPower) {
 TEST(PowerMeterTest, FullyLoadedQuadCoreNodeHitsPeak) {
   // The paper's testbed: 40 W base, 170 W flat out.
   Simulator sim;
-  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 4}};
+  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 4, .core_speed_overrides = {}}};
   for (CoreId c = 0; c < 4; ++c) {
     const ContextId ctx = m.core(c).register_context("hog");
     m.core(c).demand(ctx, SimTime::seconds(5), [] {});
@@ -278,7 +278,7 @@ TEST(PowerMeterTest, FullyLoadedQuadCoreNodeHitsPeak) {
 
 TEST(PowerMeterTest, SamplesAtOneHertz) {
   Simulator sim;
-  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 1}};
+  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 1, .core_speed_overrides = {}}};
   PowerMeter meter{sim, m};
   meter.start();
   sim.run_until(SimTime::from_seconds(5.5));
@@ -290,7 +290,7 @@ TEST(PowerMeterTest, SamplesAtOneHertz) {
 
 TEST(PowerMeterTest, SampledSeriesMatchesExactAverage) {
   Simulator sim;
-  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 2}};
+  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 2, .core_speed_overrides = {}}};
   const ContextId ctx = m.core(0).register_context("hog");
   // Busy 3 s of a 6 s window → utilization 0.5 on one of two cores.
   m.core(0).demand(ctx, SimTime::seconds(3), [] {});
@@ -307,7 +307,7 @@ TEST(PowerMeterTest, SampledSeriesMatchesExactAverage) {
 
 TEST(PowerMeterTest, StopFreezesWindow) {
   Simulator sim;
-  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 1}};
+  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 1, .core_speed_overrides = {}}};
   PowerMeter meter{sim, m};
   meter.start();
   sim.run_until(SimTime::seconds(2));
@@ -320,7 +320,7 @@ TEST(PowerMeterTest, StopFreezesWindow) {
 
 TEST(PowerMeterTest, DoubleStartRejected) {
   Simulator sim;
-  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 1}};
+  Machine m{sim, MachineConfig{.nodes = 1, .cores_per_node = 1, .core_speed_overrides = {}}};
   PowerMeter meter{sim, m};
   meter.start();
   EXPECT_THROW(meter.start(), CheckFailure);

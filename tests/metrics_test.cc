@@ -37,7 +37,7 @@ class TickChare final : public Chare {
 };
 
 struct TraceRig {
-  TraceRig() : machine(sim, MachineConfig{.nodes = 1, .cores_per_node = 4}) {}
+  TraceRig() : machine(sim, MachineConfig{.nodes = 1, .cores_per_node = 4, .core_speed_overrides = {}}) {}
 
   RuntimeJob& make_job(const std::string& name, std::vector<CoreId> cores) {
     vms.push_back(std::make_unique<VirtualMachine>(machine, name, cores));

@@ -297,7 +297,7 @@ TEST_P(StencilGeometryTest, JacobiMatchesReferenceBitwise) {
   config.layout.sec_per_point = 1e-7;
 
   Simulator sim;
-  Machine machine{sim, MachineConfig{.nodes = 2, .cores_per_node = 4}};
+  Machine machine{sim, MachineConfig{.nodes = 2, .cores_per_node = 4, .core_speed_overrides = {}}};
   std::vector<CoreId> ids(static_cast<std::size_t>(g.cores));
   std::iota(ids.begin(), ids.end(), 0);
   VirtualMachine vm{machine, "app", ids};
@@ -335,8 +335,8 @@ INSTANTIATE_TEST_SUITE_P(
                       StencilGeometry{8, 64, 1, 8, 4},    // 1D column
                       StencilGeometry{40, 40, 8, 8, 8},   // chare == 5x5
                       StencilGeometry{23, 17, 7, 5, 6}),  // primes
-    [](const auto& info) {
-      const StencilGeometry& g = info.param;
+    [](const auto& test_info) {
+      const StencilGeometry& g = test_info.param;
       return std::to_string(g.grid_x) + "x" + std::to_string(g.grid_y) +
              "_b" + std::to_string(g.blocks_x) + "x" +
              std::to_string(g.blocks_y) + "_p" + std::to_string(g.cores);
@@ -353,7 +353,7 @@ TEST_P(StencilGeometryTest, WaveMatchesReferenceBitwise) {
   config.layout.sec_per_point = 1e-7;
 
   Simulator sim;
-  Machine machine{sim, MachineConfig{.nodes = 2, .cores_per_node = 4}};
+  Machine machine{sim, MachineConfig{.nodes = 2, .cores_per_node = 4, .core_speed_overrides = {}}};
   std::vector<CoreId> ids(static_cast<std::size_t>(g.cores));
   std::iota(ids.begin(), ids.end(), 0);
   VirtualMachine vm{machine, "app", ids};
@@ -398,7 +398,7 @@ TEST_P(AmpiPropertyTest, AllreduceCorrectForRandomWorlds) {
   }
 
   Simulator sim;
-  Machine machine{sim, MachineConfig{.nodes = 2, .cores_per_node = 4}};
+  Machine machine{sim, MachineConfig{.nodes = 2, .cores_per_node = 4, .core_speed_overrides = {}}};
   std::vector<CoreId> ids(static_cast<std::size_t>(cores));
   std::iota(ids.begin(), ids.end(), 0);
   VirtualMachine vm{machine, "ampi", ids};

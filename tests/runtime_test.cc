@@ -133,9 +133,9 @@ class CountingObserver final : public ExecutionObserver {
     ++tasks;
     last_task_end = end;
   }
-  void on_lb_step(const RuntimeJob&, int, SimTime, int migrations) override {
+  void on_lb_step(const RuntimeJob&, int, SimTime, int step_migrations) override {
     ++lb_steps;
-    total_migrations += migrations;
+    total_migrations += step_migrations;
   }
   void on_migration(const RuntimeJob&, ChareId, PeId, PeId) override {
     ++migrations;
@@ -157,7 +157,7 @@ struct Rig {
   explicit Rig(int cores, JobConfig config = JobConfig{},
                std::unique_ptr<LoadBalancer> lb = nullptr,
                MachineConfig mc = MachineConfig{.nodes = 2,
-                                                .cores_per_node = 4})
+                                                .cores_per_node = 4, .core_speed_overrides = {}})
       : machine(sim, mc) {
     std::vector<CoreId> ids(static_cast<std::size_t>(cores));
     std::iota(ids.begin(), ids.end(), 0);
@@ -275,9 +275,9 @@ TEST(RuntimeJobTest, InterNodeLatencyVisible) {
     return rig.job->elapsed();
   };
   const SimTime same_node =
-      run_with(MachineConfig{.nodes = 1, .cores_per_node = 2});
+      run_with(MachineConfig{.nodes = 1, .cores_per_node = 2, .core_speed_overrides = {}});
   const SimTime cross_node =
-      run_with(MachineConfig{.nodes = 2, .cores_per_node = 1});
+      run_with(MachineConfig{.nodes = 2, .cores_per_node = 1, .core_speed_overrides = {}});
   EXPECT_GT(cross_node.to_seconds(), same_node.to_seconds() + 0.08);
 }
 
@@ -310,7 +310,7 @@ TEST(RuntimeJobTest, NoChareAdditionAfterStart) {
 
 TEST(RuntimeJobTest, NullBalancerRejected) {
   Simulator sim;
-  Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 1}};
+  Machine machine{sim, MachineConfig{.nodes = 1, .cores_per_node = 1, .core_speed_overrides = {}}};
   VirtualMachine vm{machine, "app", {0}};
   EXPECT_THROW(RuntimeJob(sim, vm, JobConfig{}, nullptr), CheckFailure);
 }
@@ -511,7 +511,7 @@ TEST(RuntimeJobTest, NicContentionSerializesSimultaneousSends) {
     config.network.inter_node_bandwidth = 1e6;  // slow: 1 MB/s
     // PEs 0,1 on node 0; PEs 2,3 on node 1 (cores_per_node = 2 here).
     Rig rig{4, config, nullptr,
-            MachineConfig{.nodes = 2, .cores_per_node = 2}};
+            MachineConfig{.nodes = 2, .cores_per_node = 2, .core_speed_overrides = {}}};
 
     /// Sender fires one 100 kB message at a cross-node receiver on start.
     class BlastChare final : public Chare {
@@ -562,7 +562,7 @@ TEST(RuntimeJobTest, NicContentionPreservesIntraNodeTraffic) {
   without.network.model_nic_contention = false;
   auto elapsed = [&](JobConfig config) {
     Rig rig{2, config, nullptr,
-            MachineConfig{.nodes = 1, .cores_per_node = 2}};
+            MachineConfig{.nodes = 1, .cores_per_node = 2, .core_speed_overrides = {}}};
     rig.job->add_chare(std::make_unique<PingPongChare>(1, 20, true));
     rig.job->add_chare(std::make_unique<PingPongChare>(0, 20, false));
     rig.job->start();

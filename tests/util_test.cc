@@ -441,6 +441,63 @@ TEST(ThreadPoolTest, PropagatesFirstException) {
                std::runtime_error);
 }
 
+TEST(ThreadPoolTest, CheckFailureDuringParallelForJoinsCleanly) {
+  // Shutdown-hardening regression (run under TSan in CI): a CLB_CHECK
+  // tripping mid-task must unwind through the RAII pool — every worker
+  // joined, the first failure rethrown, no thread left to call
+  // std::terminate. Repeated so TSan sees many interleavings.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> visited{0};
+    EXPECT_THROW(parallel_for(512, 8,
+                              [&](std::size_t i) {
+                                visited.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                                CLB_CHECK_MSG(i != 129, "injected failure");
+                              },
+                              /*chunk=*/1),
+                 CheckFailure);
+    // The failing index ran, and the early-exit latch kept the pool from
+    // visiting everything after the failure was recorded.
+    EXPECT_GE(visited.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelMapFromTwoCallers) {
+  // Two overlapping parallel_map invocations (the ParallelGrid pattern:
+  // nested parallelism across scenario fans) must not share any state —
+  // each call owns its threads, cursor, and error latch. TSan verifies
+  // the absence of data races between the two pools.
+  ThreadPool outer;
+  std::vector<int> a, b;
+  outer.spawn([&a] {
+    a = parallel_map<int>(999, 4,
+                          [](std::size_t i) { return static_cast<int>(i); });
+  });
+  outer.spawn([&b] {
+    b = parallel_map<int>(999, 4,
+                          [](std::size_t i) { return static_cast<int>(i) * 2; });
+  });
+  outer.join_all();
+  ASSERT_EQ(a.size(), 999u);
+  ASSERT_EQ(b.size(), 999u);
+  for (int i = 0; i < 999; ++i) {
+    EXPECT_EQ(a[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(b[static_cast<std::size_t>(i)], i * 2);
+  }
+}
+
+TEST(ThreadPoolTest, PoolDestructorJoinsUnjoinedThreads) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool;
+    for (int i = 0; i < 4; ++i)
+      pool.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(pool.size(), 4u);
+    // No explicit join_all(): the destructor must reap all four.
+  }
+  EXPECT_EQ(ran.load(), 4);
+}
+
 TEST(ThreadPoolTest, NonPositiveJobsUsesHardware) {
   EXPECT_GE(hardware_jobs(), 1);
   const std::vector<int> out =

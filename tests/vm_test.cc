@@ -15,7 +15,7 @@ constexpr double kTol = 1e-6;
 class VmTest : public ::testing::Test {
  protected:
   Simulator sim;
-  Machine machine{sim, MachineConfig{.nodes = 2, .cores_per_node = 4}};
+  Machine machine{sim, MachineConfig{.nodes = 2, .cores_per_node = 4, .core_speed_overrides = {}}};
 };
 
 TEST_F(VmTest, PinsVcpusToRequestedCores) {
@@ -217,7 +217,7 @@ TEST_F(VmTest, TenantFieldConsumptionDeterministic) {
   auto consumed = [&](std::uint64_t seed) {
     Simulator local_sim;
     Machine local_machine{local_sim,
-                          MachineConfig{.nodes = 2, .cores_per_node = 4}};
+                          MachineConfig{.nodes = 2, .cores_per_node = 4, .core_speed_overrides = {}}};
     TenantFieldConfig config;
     config.num_tenants = 4;
     config.seed = seed;

@@ -1,0 +1,422 @@
+#!/usr/bin/env python3
+"""cloudlb determinism linter.
+
+Enforces the project rules that keep every run bit-reproducible and every
+invariant loud (docs/static-analysis.md):
+
+  wall-clock       no ambient time sources in library code
+  ambient-rng      no unseeded / OS-entropy randomness in result paths
+  unordered-iter   no range-for over unordered containers in result paths
+  naked-new        no naked new/delete outside the slot-arena machinery
+  assert           no <cassert> assert() in src/ (CLB_CHECK throws instead)
+  float-load       no `float` in load accounting (Eq. 1-3 are double)
+  pragma-once      headers start with #pragma once
+  using-namespace  no `using namespace` at header scope
+
+Diagnostics are `path:line: [rule] message`, one per finding; the exit
+code is 0 when the tree is clean and 1 otherwise. A finding is suppressed
+by a trailing comment naming its rule:
+
+    std::mt19937 gen;  // NOLINT-CLOUDLB(ambient-rng): fixture for tests
+
+Multiple rules separate with commas: `// NOLINT-CLOUDLB(rule-a,rule-b)`.
+
+Usage:
+    cloudlb_lint.py [--root DIR]          lint DIR's src/tests/bench/tools
+    cloudlb_lint.py [--root DIR] FILE...  lint specific files
+    cloudlb_lint.py --selftest DIR        fixture mode (tests/lint/): every
+                                          `// EXPECT-LINT(rule)` annotation
+                                          must match one diagnostic on its
+                                          line, and vice versa
+    cloudlb_lint.py --list-rules          print the rule table
+
+Run via scripts/lint.sh, the CMake `lint` target, or `ctest -L lint`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Callable, NamedTuple
+
+# Top-level directories walked in tree mode.
+SCAN_DIRS = ("src", "tests", "bench", "tools")
+
+# The linter's own fixture corpus: deliberately bad code, never linted as
+# part of the real tree.
+EXCLUDED = ("tests/lint/fixtures",)
+
+SOURCE_SUFFIXES = (".cc", ".cpp", ".h", ".hpp")
+HEADER_SUFFIXES = (".h", ".hpp")
+
+
+class Diagnostic(NamedTuple):
+    path: pathlib.Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+class Rule(NamedTuple):
+    name: str
+    scopes: tuple[str, ...]  # top-level dirs the rule applies to
+    headers_only: bool
+    description: str
+    check: "Callable[[Rule, pathlib.Path, list[str], list[str]], list[Diagnostic]]"
+    # Per-file allowlist: (glob, reason). Files matching any glob are
+    # exempt; the reason documents why, like an in-tree NOLINT would.
+    allow: tuple[tuple[str, str], ...] = ()
+
+
+def _strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blanks out comments and string/char literal bodies, keeping the
+    line structure so diagnostics still point at real lines. Good enough
+    for a linter: raw strings are treated as plain strings, and trigraph
+    or line-splice edge cases are ignored."""
+    out: list[str] = []
+    in_block = False
+    for line in lines:
+        res: list[str] = []
+        i, n = 0, len(line)
+        quote: str | None = None
+        while i < n:
+            c = line[i]
+            if in_block:
+                if line.startswith("*/", i):
+                    in_block = False
+                    res.append("  ")
+                    i += 2
+                else:
+                    res.append(" ")
+                    i += 1
+            elif quote:
+                if c == "\\" and i + 1 < n:
+                    res.append("  ")
+                    i += 2
+                elif c == quote:
+                    quote = None
+                    res.append(c)
+                    i += 1
+                else:
+                    res.append(" ")
+                    i += 1
+            elif line.startswith("//", i):
+                res.append(" " * (n - i))
+                break
+            elif line.startswith("/*", i):
+                in_block = True
+                res.append("  ")
+                i += 2
+            elif c in "\"'":
+                quote = c
+                res.append(c)
+                i += 1
+            else:
+                res.append(c)
+                i += 1
+        out.append("".join(res))
+    return out
+
+
+def _regex_rule(patterns: list[tuple[str, str]]):
+    """Builds a check that flags every line where a pattern matches the
+    comment/string-stripped code."""
+    compiled = [(re.compile(p), msg) for p, msg in patterns]
+
+    def check(rule: Rule, path: pathlib.Path, raw: list[str],
+              code: list[str]) -> list[Diagnostic]:
+        del raw
+        found = []
+        for lineno, text in enumerate(code, 1):
+            for pat, msg in compiled:
+                if pat.search(text):
+                    found.append(Diagnostic(path, lineno, rule.name, msg))
+        return found
+
+    return check
+
+
+def _check_pragma_once(rule: Rule, path: pathlib.Path, raw: list[str],
+                       code: list[str]) -> list[Diagnostic]:
+    del raw
+    for lineno, text in enumerate(code, 1):
+        stripped = text.strip()
+        if not stripped:
+            continue
+        if re.fullmatch(r"#\s*pragma\s+once", stripped):
+            return []
+        return [Diagnostic(path, lineno, rule.name,
+                           "header must open with #pragma once")]
+    return [Diagnostic(path, 1, rule.name,
+                       "header must open with #pragma once")]
+
+
+def _check_unordered_iter(rule: Rule, path: pathlib.Path, raw: list[str],
+                          code: list[str]) -> list[Diagnostic]:
+    """Flags range-for statements whose range is (or is declared as) an
+    unordered associative container. Identifier tracking is per-file and
+    regex-based: declarations split across lines can escape it, which is
+    the documented precision/complexity trade-off."""
+    del raw
+    decl = re.compile(r"unordered_(?:map|set)\s*<[^;{}]*?>[&\s]+(\w+)\s*[;{=(,)]")
+    names: set[str] = set()
+    for text in code:
+        for m in decl.finditer(text):
+            names.add(m.group(1))
+    range_for = re.compile(r"\bfor\s*\([^;()]*:\s*([^)]+)\)")
+    found = []
+    for lineno, text in enumerate(code, 1):
+        m = range_for.search(text)
+        if not m:
+            continue
+        range_expr = m.group(1).strip()
+        ident = re.fullmatch(r"[\w.\->:]*?(\w+)_?", range_expr)
+        if "unordered_" in range_expr or (
+                ident and (ident.group(0) in names
+                           or range_expr in names)):
+            found.append(Diagnostic(
+                path, lineno, rule.name,
+                f"range-for over unordered container '{range_expr}': "
+                "iteration order is hash-dependent and breaks the "
+                "determinism contract"))
+    return found
+
+
+RULES: list[Rule] = [
+    Rule(
+        name="wall-clock",
+        scopes=("src",),
+        headers_only=False,
+        description="No ambient time sources in library code: results "
+                    "must be a function of simulated time only.",
+        check=_regex_rule([
+            (r"std::chrono::(system|steady|high_resolution)_clock",
+             "wall-clock reads make runs irreproducible; use SimTime"),
+            (r"(?<![\w.])time\s*\(", "time() is ambient state; use SimTime"),
+            (r"\bgettimeofday\s*\(|\bclock_gettime\s*\(",
+             "OS clock reads make runs irreproducible; use SimTime"),
+        ]),
+    ),
+    Rule(
+        name="ambient-rng",
+        scopes=("src", "bench", "tools"),
+        headers_only=False,
+        description="All randomness flows from an explicit seed: no OS "
+                    "entropy, no default-seeded generators in result "
+                    "paths.",
+        check=_regex_rule([
+            (r"std::random_device",
+             "std::random_device is OS entropy; seed an Rng explicitly"),
+            (r"std::rand\b|(?<![\w.])srand\s*\(",
+             "the C PRNG is hidden global state; use util/rng.h"),
+            # Locals only: a trailing-underscore identifier is a class
+            # member (seeded by its constructor), and `T name();` is a
+            # function declaration, so both stay exempt.
+            (r"std::mt19937(?:_64)?\s+\w+\b(?<!_)\s*(?:;|\{\s*\})",
+             "unseeded std::mt19937 uses a fixed default seed silently; "
+             "use an explicitly seeded Rng"),
+            (r"\bRng\s+\w+\b(?<!_)\s*(?:;|\{\s*\})",
+             "default-seeded Rng: pass the scenario seed explicitly"),
+        ]),
+    ),
+    Rule(
+        name="unordered-iter",
+        scopes=("src", "bench", "tools"),
+        headers_only=False,
+        description="No range-for over unordered containers in result- or "
+                    "trace-affecting paths: hash order is not part of the "
+                    "determinism contract.",
+        check=_check_unordered_iter,
+    ),
+    Rule(
+        name="naked-new",
+        scopes=("src",),
+        headers_only=False,
+        description="No naked new/delete outside the slot-arena machinery; "
+                    "ownership lives in containers and smart pointers.",
+        check=_regex_rule([
+            (r"(?<!::)\bnew\b(?!\s*\()(?!\s*$)",
+             "naked new: use make_unique/containers (placement ::new is "
+             "reserved for the arena machinery)"),
+            # `= delete;` (deleted functions) and `operator delete` are
+            # exempt; both naked `delete p` and `delete[] p` are not.
+            (r"(?<!operator )\bdelete\b(?!\s*;)",
+             "naked delete: ownership must live in a container or smart "
+             "pointer"),
+        ]),
+        allow=(
+            ("src/util/small_function.h",
+             "the SBO callback arena: placement-new into the inline "
+             "buffer plus the audited heap-fallback pair"),
+        ),
+    ),
+    Rule(
+        name="assert",
+        scopes=("src",),
+        headers_only=False,
+        description="assert() compiles away in release builds and aborts "
+                    "in debug ones; library invariants use CLB_CHECK, "
+                    "which always throws CheckFailure.",
+        check=_regex_rule([
+            (r"(?<![\w.])assert\s*\(",
+             "use CLB_CHECK/CLB_CHECK_MSG (util/check.h) instead of "
+             "assert()"),
+        ]),
+    ),
+    Rule(
+        name="float-load",
+        scopes=("src",),
+        headers_only=False,
+        description="Load accounting (Eq. 1-3) is double end to end; a "
+                    "single float narrows T_avg and breaks bitwise "
+                    "reproducibility across optimization levels.",
+        check=_regex_rule([
+            (r"\bfloat\b",
+             "use double: Eq. 1-3 load accounting must not narrow"),
+        ]),
+    ),
+    Rule(
+        name="pragma-once",
+        scopes=("src", "tests", "bench", "tools"),
+        headers_only=True,
+        description="Headers open with #pragma once.",
+        check=_check_pragma_once,
+    ),
+    Rule(
+        name="using-namespace",
+        scopes=("src", "tests", "bench", "tools"),
+        headers_only=True,
+        description="`using namespace` in a header leaks into every "
+                    "includer.",
+        check=_regex_rule([
+            (r"^\s*using\s+namespace\b",
+             "no using-namespace at header scope"),
+        ]),
+    ),
+]
+
+NOLINT = re.compile(r"//\s*NOLINT-CLOUDLB\(([^)]*)\)")
+EXPECT = re.compile(r"//\s*EXPECT-LINT\(([^)]*)\)")
+
+
+def _suppressed_rules(line: str) -> set[str]:
+    rules: set[str] = set()
+    for m in NOLINT.finditer(line):
+        rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def lint_file(path: pathlib.Path, rel: pathlib.PurePath) -> list[Diagnostic]:
+    """Lints one file; `rel` (relative to the scanned root) decides which
+    rule scopes apply."""
+    try:
+        raw = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as err:
+        return [Diagnostic(path, 1, "io", f"unreadable: {err}")]
+    code = _strip_comments_and_strings(raw)
+    scope = rel.parts[0] if rel.parts else ""
+    is_header = path.suffix in HEADER_SUFFIXES
+
+    found: list[Diagnostic] = []
+    for rule in RULES:
+        if scope not in rule.scopes:
+            continue
+        if rule.headers_only and not is_header:
+            continue
+        if any(rel.match(glob) or str(rel) == glob for glob, _ in rule.allow):
+            continue
+        found.extend(rule.check(rule, path, raw, code))
+
+    return [d for d in found
+            if d.line > len(raw)
+            or d.rule not in _suppressed_rules(raw[d.line - 1])]
+
+
+def iter_tree(root: pathlib.Path):
+    for top in SCAN_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root)
+            if any(str(rel).startswith(ex) for ex in EXCLUDED):
+                continue
+            yield path, rel
+
+
+def lint_tree(root: pathlib.Path) -> list[Diagnostic]:
+    found: list[Diagnostic] = []
+    for path, rel in iter_tree(root):
+        found.extend(lint_file(path, rel))
+    return found
+
+
+def selftest(root: pathlib.Path) -> int:
+    """Fixture mode: diagnostics must match `// EXPECT-LINT(rule)`
+    annotations exactly — same line, same rule, nothing extra. Proves each
+    rule fires where intended and NOLINT-CLOUDLB suppresses it."""
+    failures = 0
+    checked = 0
+    for path, rel in iter_tree(root):
+        raw = path.read_text(encoding="utf-8").splitlines()
+        expected: set[tuple[int, str]] = set()
+        for lineno, line in enumerate(raw, 1):
+            for m in EXPECT.finditer(line):
+                for rule in m.group(1).split(","):
+                    expected.add((lineno, rule.strip()))
+        actual = {(d.line, d.rule) for d in lint_file(path, rel)}
+        checked += 1
+        for line, rule in sorted(expected - actual):
+            print(f"{path}:{line}: FAIL expected [{rule}] diagnostic "
+                  "did not fire")
+            failures += 1
+        for line, rule in sorted(actual - expected):
+            print(f"{path}:{line}: FAIL unexpected [{rule}] diagnostic")
+            failures += 1
+    print(f"selftest: {checked} fixture file(s), {failures} failure(s)")
+    return 1 if failures or not checked else 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2],
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--selftest", type=pathlib.Path, metavar="DIR",
+                        help="run fixture expectations under DIR")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="specific files to lint (default: whole tree)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            where = ", ".join(rule.scopes)
+            kind = "headers" if rule.headers_only else "all sources"
+            print(f"{rule.name:16} [{where}; {kind}]\n    {rule.description}")
+        return 0
+
+    if args.selftest:
+        return selftest(args.selftest.resolve())
+
+    root = args.root.resolve()
+    if args.files:
+        found: list[Diagnostic] = []
+        for f in args.files:
+            path = f.resolve()
+            found.extend(lint_file(path, path.relative_to(root)))
+    else:
+        found = lint_tree(root)
+
+    for d in sorted(found, key=lambda d: (str(d.path), d.line, d.rule)):
+        print(f"{d.path}:{d.line}: [{d.rule}] {d.message}")
+    print(f"cloudlb-lint: {len(found)} finding(s)", file=sys.stderr)
+    return 1 if found else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
