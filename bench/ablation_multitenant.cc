@@ -15,6 +15,7 @@
 #include "core/balancer_factory.h"
 #include "machine/machine.h"
 #include "sim/simulator.h"
+#include "util/check.h"
 #include "vm/tenant.h"
 #include "vm/virtual_machine.h"
 
@@ -50,7 +51,7 @@ TenantRun run_once(const std::string& balancer, int tenants) {
 
   job.start();
   if (tenants > 0) field.start();
-  while (!job.finished()) sim.step();
+  while (!job.finished()) CLB_CHECK(sim.step());
   field.stop();
   return TenantRun{job.elapsed().to_seconds(), job.counters().migrations};
 }

@@ -15,6 +15,7 @@
 #include "machine/machine.h"
 #include "metrics/timeline.h"
 #include "sim/simulator.h"
+#include "util/check.h"
 #include "vm/virtual_machine.h"
 
 int main(int argc, char** argv) {
@@ -60,10 +61,10 @@ int main(int argc, char** argv) {
   // iteration_times()[0] is stamped when the last chare finishes
   // iteration 0 (it stays zero while the slot merely exists).
   while (app.iteration_times().empty() || app.iteration_times()[0].is_zero())
-    sim.step();
+    CLB_CHECK(sim.step());
   const SimTime first_iteration = sim.now();
   bg.start();
-  while (!app.finished()) sim.step();
+  while (!app.finished()) CLB_CHECK(sim.step());
 
   std::cout << "Figure 1: background task on core 3 disturbing a 4-core "
                "Wave2D run (noLB)\n\n";

@@ -18,6 +18,7 @@
 #include "machine/machine.h"
 #include "metrics/timeline.h"
 #include "sim/simulator.h"
+#include "util/check.h"
 #include "vm/virtual_machine.h"
 
 namespace {
@@ -77,7 +78,7 @@ int main(int argc, char** argv) {
   app.start();
   bg1.start();
   sim.schedule_at(SimTime::from_seconds(4.0), [&] { bg3.start(); });
-  while (!app.finished() || !bg3.finished()) sim.step();
+  while (!app.finished() || !bg3.finished()) CLB_CHECK(sim.step());
 
   std::cout << "Figure 3: balancer chasing interference that moves from "
                "core 1 to core 3\n\n";

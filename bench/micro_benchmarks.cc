@@ -43,7 +43,8 @@ void BM_SimulatorCancelHeavy(benchmark::State& state) {
     for (int i = 0; i < 10'000; ++i)
       handles.push_back(
           sim.schedule_at(SimTime::nanos(i), [] {}));
-    for (std::size_t i = 0; i < handles.size(); i += 2) sim.cancel(handles[i]);
+    for (std::size_t i = 0; i < handles.size(); i += 2)
+      benchmark::DoNotOptimize(sim.cancel(handles[i]));
     sim.run();
   }
   state.SetItemsProcessed(state.iterations() * 10'000);
@@ -83,7 +84,8 @@ void BM_EventEngineSteadyState(benchmark::State& state) {
   Wheel w;
   for (int i = 0; i < timers; ++i) w.arm(i);
   for (auto _ : state) {
-    for (int i = 0; i < kEngineBatch; ++i) w.sim.step();
+    for (int i = 0; i < kEngineBatch; ++i)
+      benchmark::DoNotOptimize(w.sim.step());
   }
   state.SetItemsProcessed(state.iterations() * kEngineBatch);
 }
@@ -109,7 +111,8 @@ void BM_EventEngineSteadyStateFatCapture(benchmark::State& state) {
   Wheel w;
   for (int i = 0; i < 64; ++i) w.arm(i);
   for (auto _ : state) {
-    for (int i = 0; i < kEngineBatch; ++i) w.sim.step();
+    for (int i = 0; i < kEngineBatch; ++i)
+      benchmark::DoNotOptimize(w.sim.step());
   }
   benchmark::DoNotOptimize(w.sink);
   state.SetItemsProcessed(state.iterations() * kEngineBatch);
@@ -122,7 +125,7 @@ void BM_EventEngineScheduleCancelChurn(benchmark::State& state) {
   EventHandle armed;
   for (auto _ : state) {
     for (int i = 0; i < kEngineBatch; ++i) {
-      if (armed.valid()) sim.cancel(armed);
+      if (armed.valid()) benchmark::DoNotOptimize(sim.cancel(armed));
       armed = sim.schedule_after(SimTime::seconds(3600) +
                                      SimTime::nanos(mix_delay(delays)),
                                  [] {});
@@ -144,12 +147,12 @@ void BM_EventEngineTimerWheelRearm(benchmark::State& state) {
   for (auto _ : state) {
     for (int i = 0; i < kEngineBatch; ++i) {
       auto& h = timeout[static_cast<std::size_t>(next)];
-      if (h.valid()) sim.cancel(h);
+      if (h.valid()) benchmark::DoNotOptimize(sim.cancel(h));
       h = sim.schedule_after(SimTime::millis(10), [] {});
       if (++next == kTimers) {
         next = 0;
         sim.schedule_after(SimTime::nanos(mix_delay(delays)), [] {});
-        sim.step();
+        benchmark::DoNotOptimize(sim.step());
       }
     }
   }

@@ -15,6 +15,7 @@
 #include "machine/machine.h"
 #include "runtime/ampi.h"
 #include "sim/simulator.h"
+#include "util/check.h"
 #include "util/table.h"
 #include "vm/interferer.h"
 #include "vm/virtual_machine.h"
@@ -81,7 +82,7 @@ double run_with(const std::string& balancer, int* migrations) {
   sim.schedule_at(SimTime::from_seconds(0.3), [&] { hog.start(); });
 
   job.start();
-  while (!job.finished()) sim.step();
+  while (!job.finished()) CLB_CHECK(sim.step());
   hog.stop();
   *migrations = job.counters().migrations;
   return job.elapsed().to_seconds();

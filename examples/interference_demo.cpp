@@ -18,6 +18,7 @@
 #include "machine/machine.h"
 #include "metrics/timeline.h"
 #include "sim/simulator.h"
+#include "util/check.h"
 #include "util/table.h"
 #include "vm/interferer.h"
 #include "vm/virtual_machine.h"
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
   sim.schedule_at(SimTime::from_seconds(6.5), [&] { hog_b.stop(); });
 
   job.start();
-  while (!job.finished()) sim.step();
+  while (!job.finished()) CLB_CHECK(sim.step());
 
   std::cout << "Wave2D on " << cores << " cores, balancer '" << balancer
             << "'\ninterference: core 0 during [0.5s, 3.0s), core "

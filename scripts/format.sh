@@ -24,6 +24,7 @@ mapfile -t files < <(
   find "${root}/src" "${root}/tests" "${root}/bench" "${root}/examples" \
        "${root}/tools" \
        -path "${root}/tests/lint/fixtures" -prune -o \
+       -path "${root}/tests/analyzer/fixtures" -prune -o \
        -type f \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) -print |
     sort)
 

@@ -91,8 +91,18 @@ void Jacobi2dChare::apply_update(
 void populate_jacobi2d(RuntimeJob& job, const Jacobi2dConfig& config) {
   config.layout.validate();
   for (int by = 0; by < config.layout.blocks_y; ++by)
-    for (int bx = 0; bx < config.layout.blocks_x; ++bx)
-      job.add_chare(std::make_unique<Jacobi2dChare>(config, bx, by));
+    for (int bx = 0; bx < config.layout.blocks_x; ++bx) {
+      // Ghost exchange routes by the computed block id `by*blocks_x + bx`
+      // (stencil_base.cc), which only matches what add_chare hands back
+      // when the job starts empty; a pre-seeded job would cross-deliver
+      // every ghost message, so fail loudly instead.
+      const ChareId id =
+          job.add_chare(std::make_unique<Jacobi2dChare>(config, bx, by));
+      CLB_CHECK_MSG(
+          id == static_cast<ChareId>(by * config.layout.blocks_x + bx),
+          "populate_jacobi2d requires an empty job: block (" << bx << ','
+              << by << ") was assigned chare id " << id);
+    }
 }
 
 std::vector<double> jacobi2d_reference(const Jacobi2dConfig& config) {

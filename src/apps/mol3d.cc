@@ -355,9 +355,18 @@ void populate_mol3d(RuntimeJob& job, const Mol3dConfig& config) {
   std::size_t bin = 0;
   for (int cz = 0; cz < config.cells_z; ++cz)
     for (int cy = 0; cy < config.cells_y; ++cy)
-      for (int cx = 0; cx < config.cells_x; ++cx)
-        job.add_chare(std::make_unique<Mol3dChare>(config, cx, cy, cz,
-                                                   std::move(bins[bin++])));
+      for (int cx = 0; cx < config.cells_x; ++cx) {
+        // Mol3dChare::neighbor routes ghosts by the computed cell id
+        // `(cz*cells_y + cy)*cells_x + cx`; that only matches add_chare's
+        // assignment when the job starts empty.
+        const ChareId id = job.add_chare(std::make_unique<Mol3dChare>(
+            config, cx, cy, cz, std::move(bins[bin++])));
+        CLB_CHECK_MSG(
+            id == static_cast<ChareId>(
+                      (cz * config.cells_y + cy) * config.cells_x + cx),
+            "populate_mol3d requires an empty job: cell (" << cx << ',' << cy
+                << ',' << cz << ") was assigned chare id " << id);
+      }
 }
 
 }  // namespace cloudlb

@@ -88,8 +88,16 @@ void Wave2dChare::apply_update(
 void populate_wave2d(RuntimeJob& job, const Wave2dConfig& config) {
   config.layout.validate();
   for (int by = 0; by < config.layout.blocks_y; ++by)
-    for (int bx = 0; bx < config.layout.blocks_x; ++bx)
-      job.add_chare(std::make_unique<Wave2dChare>(config, bx, by));
+    for (int bx = 0; bx < config.layout.blocks_x; ++bx) {
+      // Ghost exchange routes by `by*blocks_x + bx` (stencil_base.cc); the
+      // assigned ids only line up when the job starts empty.
+      const ChareId id =
+          job.add_chare(std::make_unique<Wave2dChare>(config, bx, by));
+      CLB_CHECK_MSG(
+          id == static_cast<ChareId>(by * config.layout.blocks_x + bx),
+          "populate_wave2d requires an empty job: block (" << bx << ',' << by
+              << ") was assigned chare id " << id);
+    }
 }
 
 std::vector<double> wave2d_reference(const Wave2dConfig& config) {

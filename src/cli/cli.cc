@@ -87,8 +87,10 @@ ScenarioConfig config_from(Options& options,
   if (config.tenants > 0)
     config.with_background = options.get_bool("with-bg", false);
   config.faults = options.get_string("faults", "");
-  // Parse eagerly so a typo fails before any simulation runs.
-  if (!config.faults.empty()) FaultPlan::parse(config.faults);
+  // Parse eagerly so a typo fails before any simulation runs; only the
+  // validation side effect (CheckFailure on malformed specs) is wanted
+  // here — the scenario parses its own copy when it builds the injector.
+  if (!config.faults.empty()) static_cast<void>(FaultPlan::parse(config.faults));
   config.job.migration_max_retries =
       static_cast<int>(options.get_int("migration-retries", 0));
   config.lb_options.robustness.fallback_on_insane_stats =

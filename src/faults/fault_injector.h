@@ -29,13 +29,13 @@ class FaultInjector final : public FaultHooks {
   explicit FaultInjector(FaultPlan plan);
 
   /// True when every model was pruned (nothing can ever perturb anything).
-  bool inert() const;
+  [[nodiscard]] bool inert() const;
 
   /// The plan the injector acts on: the parsed plan minus the
   /// zero-intensity models pruned at construction, so it lists exactly
   /// the models that can fire. The full parsed plan (sweep zero points
   /// included) only exists before it is handed to the injector.
-  const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
   /// Creates and schedules the plan's interference sources (spikes,
   /// square waves, Pareto bursts) against `machine`. Call once, before
@@ -55,7 +55,7 @@ class FaultInjector final : public FaultHooks {
     int migration_faults = 0;
     int interferers = 0;  ///< hog VMs installed
   };
-  const Counters& counters() const { return counters_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
 
  private:
   void install_spike(Simulator& sim, Machine& machine,

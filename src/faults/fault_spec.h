@@ -119,9 +119,9 @@ struct FaultPlan {
   std::uint64_t seed = 1;
 
   /// Parses the grammar above; throws CheckFailure on malformed input.
-  static FaultPlan parse(const std::string& spec);
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
 
-  bool empty() const {
+  [[nodiscard]] bool empty() const {
     return spikes.empty() && squares.empty() && paretos.empty() &&
            drops.empty() && stales.empty() && corruptions.empty() &&
            jitters.empty() && migration_faults.empty();

@@ -91,7 +91,11 @@ void Core::complete_and_reschedule() {
   }
 
   if (completion_event_.valid()) {
-    sim_.cancel(completion_event_);
+    // The completion callback clears the handle before re-entering this
+    // function, so a valid handle here always names a pending event; a
+    // failed cancel would mean the handle went stale (engine bug).
+    CLB_CHECK_MSG(sim_.cancel(completion_event_),
+                  "core completion handle went stale");
     completion_event_ = EventHandle{};
   }
   if (!active_.empty()) {

@@ -45,7 +45,11 @@ void PowerMeter::stop() {
   stop_time_ = sim_.now();
   busy_at_stop_ = total_busy_seconds();
   if (tick_event_.valid()) {
-    sim_.cancel(tick_event_);
+    // While running, the tick chain keeps exactly one pending event; a
+    // valid handle that fails to cancel means the chain double-armed or
+    // fired without re-arming — both accounting bugs worth failing on.
+    CLB_CHECK_MSG(sim_.cancel(tick_event_),
+                  "power-meter tick handle went stale while running");
     tick_event_ = EventHandle{};
   }
 }

@@ -162,8 +162,18 @@ void Rank::deliver_user(int src, int user_tag, std::vector<double> payload) {
 
 void populate_ranks(RuntimeJob& job, int ranks, Rank::Main main) {
   CLB_CHECK(ranks > 0);
-  for (int r = 0; r < ranks; ++r)
-    job.add_chare(std::make_unique<Rank>(r, ranks, main));
+  for (int r = 0; r < ranks; ++r) {
+    // Rank::send routes user messages with `ChareId == rank`, so the ids
+    // add_chare hands back must line up with the rank numbers — which
+    // only holds when the job had no chares before populate_ranks. A job
+    // seeded with other chares first would silently cross-deliver every
+    // AMPI message; fail loudly instead.
+    const ChareId id = job.add_chare(std::make_unique<Rank>(r, ranks, main));
+    CLB_CHECK_MSG(id == static_cast<ChareId>(r),
+                  "populate_ranks requires an empty job: rank "
+                      << r << " was assigned chare id " << id
+                      << " (AMPI routes messages by rank == chare id)");
+  }
 }
 
 }  // namespace cloudlb::ampi

@@ -44,7 +44,8 @@ class FaultHooks {
 
   /// Decides the fate of one migration attempt. Called once per attempt,
   /// in deterministic (decision-order, then retry-order) sequence.
-  virtual MigrationFault on_migration(const MigrationAttempt& attempt) = 0;
+  [[nodiscard]] virtual MigrationFault on_migration(
+      const MigrationAttempt& attempt) = 0;
 };
 
 }  // namespace cloudlb

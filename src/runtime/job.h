@@ -89,36 +89,36 @@ class RuntimeJob {
   /// Registers a chare before start(); returns its id. Chares are assigned
   /// to PEs block-wise initially (chare i -> PE i·P/N), matching an even
   /// static decomposition.
-  ChareId add_chare(std::unique_ptr<Chare> chare);
+  [[nodiscard]] ChareId add_chare(std::unique_ptr<Chare> chare);
 
   /// Starts the job at the current simulation time: anchors measurement
   /// windows and invokes every chare's on_start().
   void start();
 
-  bool started() const { return started_; }
-  bool finished() const { return finished_; }
-  SimTime start_time() const { return start_time_; }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] SimTime start_time() const { return start_time_; }
   /// Valid once finished(): time the last chare called finish().
-  SimTime finish_time() const;
+  [[nodiscard]] SimTime finish_time() const;
   /// Wall-clock makespan (finish − start).
-  SimTime elapsed() const;
+  [[nodiscard]] SimTime elapsed() const;
 
-  const std::string& name() const { return config_.name; }
-  const JobConfig& config() const { return config_; }
-  int num_pes() const { return vm_.num_vcpus(); }
-  std::size_t num_chares() const { return chares_.size(); }
-  int lb_period() const { return config_.lb_period; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] const JobConfig& config() const { return config_; }
+  [[nodiscard]] int num_pes() const { return vm_.num_vcpus(); }
+  [[nodiscard]] std::size_t num_chares() const { return chares_.size(); }
+  [[nodiscard]] int lb_period() const { return config_.lb_period; }
 
   Simulator& sim() { return sim_; }
   VirtualMachine& vm() { return vm_; }
 
-  PeId pe_of(ChareId chare) const;
-  CoreId core_of_pe(PeId pe) const { return vm_.core_of(pe); }
+  [[nodiscard]] PeId pe_of(ChareId chare) const;
+  [[nodiscard]] CoreId core_of_pe(PeId pe) const { return vm_.core_of(pe); }
   Chare& chare(ChareId id);
 
   /// Completion times of fully-finished application iterations
   /// (index = iteration number as reported by chares).
-  const std::vector<SimTime>& iteration_times() const {
+  [[nodiscard]] const std::vector<SimTime>& iteration_times() const {
     return iteration_times_;
   }
 
@@ -139,10 +139,10 @@ class RuntimeJob {
     int migration_retries = 0;   ///< failed attempts that were retried
     int migrations_failed = 0;   ///< abandoned after exhausting retries
   };
-  const Counters& counters() const { return counters_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
 
   /// Total CPU consumed by the job's PEs (from core accounting).
-  SimTime cpu_consumed() const;
+  [[nodiscard]] SimTime cpu_consumed() const;
 
   // --- Chare-facing API (called from Chare protected helpers). ---
 

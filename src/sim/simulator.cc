@@ -99,7 +99,8 @@ void Simulator::run_until(SimTime t) {
       continue;
     }
     if (entry.time > t) break;
-    step();
+    // The head is live and due, so step() must execute it.
+    CLB_CHECK(step());
   }
   // The loop exits only with an empty queue or a live head strictly past
   // `t` — events executed above may have scheduled more work at times
@@ -113,7 +114,7 @@ void Simulator::run_until(SimTime t) {
          queue_.front().time <= t) {
     CLB_CHECK_MSG(clock_policy_ == ClockFaultPolicy::kRecover,
                   "run_until would advance the clock past a pending event");
-    step();
+    CLB_CHECK(step());
   }
   now_ = t;
   if (validation_enabled()) validate_integrity();

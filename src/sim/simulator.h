@@ -19,7 +19,7 @@ namespace cloudlb {
 class EventHandle {
  public:
   EventHandle() = default;
-  bool valid() const { return gen_ != 0; }
+  [[nodiscard]] bool valid() const { return gen_ != 0; }
 
  private:
   friend class Simulator;
@@ -63,10 +63,14 @@ class Simulator {
   void set_clock_fault_policy(ClockFaultPolicy policy) {
     clock_policy_ = policy;
   }
-  ClockFaultPolicy clock_fault_policy() const { return clock_policy_; }
+  [[nodiscard]] ClockFaultPolicy clock_fault_policy() const {
+    return clock_policy_;
+  }
 
   /// Late events executed under ClockFaultPolicy::kRecover.
-  std::uint64_t clock_recoveries() const { return clock_recoveries_; }
+  [[nodiscard]] std::uint64_t clock_recoveries() const {
+    return clock_recoveries_;
+  }
 
   /// Fault-injection hook: forcibly advances the clock to max(now(), t)
   /// WITHOUT executing the events in between, leaving them pending in the
@@ -86,7 +90,7 @@ class Simulator {
   using Callback = SmallFunction<void(), kInlineCallbackBytes>;
 
   /// Current virtual time. Starts at zero.
-  SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `cb` at absolute time `t` (must be >= now()).
   EventHandle schedule_at(SimTime t, Callback cb) {
@@ -112,7 +116,7 @@ class Simulator {
   /// or inert handle is a no-op; returns whether something was cancelled.
   /// Stale handles (their slot was recycled by a later event) are detected
   /// by the generation check and refused.
-  bool cancel(EventHandle h) {
+  [[nodiscard]] bool cancel(EventHandle h) {
     if (!h.valid()) return false;
     if (h.slot_ >= slots_.size() || slots_[h.slot_].gen != h.gen_)
       return false;  // already fired or cancelled; the slot may be reused
@@ -127,7 +131,7 @@ class Simulator {
   }
 
   /// Executes the next pending event. Returns false if none remain.
-  bool step() {
+  [[nodiscard]] bool step() {
     while (!queue_.empty()) {
       const QueueEntry entry = queue_.front();
       pop_entry();
@@ -188,19 +192,19 @@ class Simulator {
   void run_until(SimTime t);
 
   /// Number of events scheduled but not yet fired or cancelled.
-  std::size_t pending() const { return live_; }
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
   /// Heap entries currently held, including stale (cancelled) ones waiting
   /// to be skipped or compacted away. Bounded at < 2·pending() + a small
   /// floor even under adversarial schedule/cancel churn.
-  std::size_t queue_size() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
 
   /// Callback slots allocated (monitoring; slots are recycled, so this
   /// tracks the high-water mark of concurrently pending events).
-  std::size_t slot_count() const { return slots_.size(); }
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
 
   /// Total events executed so far (monitoring / benchmarks).
-  std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
   /// Observes every executed event as (time, sequence number), *before*
   /// its callback runs. Used by determinism tests to fingerprint the

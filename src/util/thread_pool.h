@@ -9,7 +9,7 @@
 namespace cloudlb {
 
 /// Number of concurrent hardware threads, at least 1.
-int hardware_jobs();
+[[nodiscard]] int hardware_jobs();
 
 /// RAII group of worker threads.
 ///
@@ -43,7 +43,7 @@ class ThreadPool {
     threads_.clear();
   }
 
-  std::size_t size() const { return threads_.size(); }
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
 
  private:
   std::vector<std::thread> threads_;
@@ -75,7 +75,7 @@ void parallel_for(std::size_t n, int jobs,
 /// is bit-identical for every `jobs` value. T must be default- and
 /// move-constructible.
 template <typename T>
-std::vector<T> parallel_map(std::size_t n, int jobs,
+[[nodiscard]] std::vector<T> parallel_map(std::size_t n, int jobs,
                             const std::function<T(std::size_t)>& fn) {
   std::vector<T> out(n);
   parallel_for(n, jobs, [&](std::size_t i) { out[i] = fn(i); });

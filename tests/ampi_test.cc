@@ -309,7 +309,7 @@ TEST(AmpiTest, SyncAllowsMigrationUnderInterference) {
     });
     hog.start();
     rig.job->start();
-    while (!rig.job->finished()) rig.sim.step();
+    while (!rig.job->finished()) CLB_CHECK(rig.sim.step());
     hog.stop();
     rig.sim.run();
     return std::pair{rig.job->elapsed().to_seconds(),
@@ -327,6 +327,21 @@ TEST(AmpiTest, PopulateValidatesWorld) {
   EXPECT_THROW(ampi::populate_ranks(*rig.job, 0, [](Rank&) {}),
                CheckFailure);
   EXPECT_THROW(Rank(5, 3, [](Rank&) {}), CheckFailure);
+}
+
+TEST(AmpiTest, PopulateRejectsPreSeededJob) {
+  // Rank::send routes by `ChareId == rank`, so populate_ranks on a job
+  // that already holds a chare would shift every id by one and silently
+  // cross-deliver messages. It must refuse instead.
+  AmpiRig rig{1};
+  static_cast<void>(
+      rig.job->add_chare(std::make_unique<Rank>(0, 1, [](Rank& self) {
+        self.done();
+      })));
+  EXPECT_THROW(ampi::populate_ranks(*rig.job, 2, [](Rank& self) {
+    self.done();
+  }),
+               CheckFailure);
 }
 
 }  // namespace

@@ -1,0 +1,27 @@
+// Fixture: analyzer-ambient-state fires on type-resolved entropy and
+// wall-clock reads (the regex linter sees spellings; this check sees
+// the actual callee, so none of these could hide behind an alias).
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+unsigned entropy() {
+  std::random_device device;  // EXPECT-ANALYZER(ambient-state)
+  return device();
+}
+
+long stamp() {
+  return time(nullptr);  // EXPECT-ANALYZER(ambient-state)
+}
+
+int noise() {
+  return rand();  // EXPECT-ANALYZER(ambient-state)
+}
+
+// Resolved through an alias the regex linter cannot follow.
+using clock_alias = std::chrono::steady_clock;
+clock_alias::time_point tick() {
+  return clock_alias::now();  // EXPECT-ANALYZER(ambient-state)
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: no analyzer-ambient-state findings — simulation-sourced time
+// plus the NOLINT-CLOUDLB escape hatch, which must silence the full
+// check name exactly as the Python linter's syntax does.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+// Suppressed on the offending line: the one sanctioned ambient read.
+unsigned seeded_probe() {
+  std::random_device device;  // NOLINT-CLOUDLB(analyzer-ambient-state): fixture proves suppression works
+  return device();
+}
+
+// Virtual time comes from the simulator, not the host.
+cloudlb::SimTime virtual_now(const cloudlb::Simulator& sim) {
+  return sim.now();
+}
+
+// Naming an ambient API in a string is not calling it.
+const char* help_text() {
+  return "do not use rand() or time(nullptr) in simulation code";
+}
+
+}  // namespace fixture

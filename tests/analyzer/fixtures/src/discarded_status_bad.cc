@@ -1,0 +1,28 @@
+// Fixture: analyzer-discarded-status fires when a status-returning
+// CloudLB API is called in statement position with the result dropped.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+// cancel's bool says whether anything was actually cancelled.
+void drop_cancel(cloudlb::Simulator& sim, cloudlb::EventHandle h) {
+  sim.cancel(h);  // EXPECT-ANALYZER(discarded-status)
+}
+
+// Parsing for the side effect of validation still hands back the plan.
+void drop_parse(const char* spec) {
+  cloudlb::FaultPlan::parse(spec);  // EXPECT-ANALYZER(discarded-status)
+}
+
+// Statement position includes un-braced control-flow bodies.
+void drop_in_if(cloudlb::Simulator& sim, cloudlb::EventHandle h, bool go) {
+  if (go) sim.cancel(h);  // EXPECT-ANALYZER(discarded-status)
+}
+
+// Named status APIs are covered even without [[nodiscard]] spelled at
+// the declaration.
+void drop_migration(int chare) {
+  cloudlb::attempt_migration(chare);  // EXPECT-ANALYZER(discarded-status)
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: discards analyzer-discarded-status must accept — consumed
+// results, conditions, and the blessed explicit static_cast<void>.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+void react();
+
+// The blessed way to say "I mean to drop this".
+void blessed_discard(cloudlb::Simulator& sim, cloudlb::EventHandle h) {
+  static_cast<void>(sim.cancel(h));
+}
+
+// Stored and acted on.
+void consumed(cloudlb::Simulator& sim, cloudlb::EventHandle h) {
+  const bool was_pending = sim.cancel(h);
+  if (was_pending) react();
+}
+
+// Used directly as a condition.
+void in_condition(cloudlb::Simulator& sim, cloudlb::EventHandle h) {
+  if (sim.cancel(h)) react();
+  while (sim.step()) react();
+}
+
+// A void-returning call in statement position is not a status drop.
+void void_call(cloudlb::Simulator& sim) { sim.run(); }
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: analyzer-sim-time fires on SimTime arithmetic that bypasses
+// the strong type's factories — bare floating literals as scale factors
+// and raw nanosecond counts compared against bare literals.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+cloudlb::SimTime scaled(cloudlb::SimTime t) {
+  return t * 1.5;  // EXPECT-ANALYZER(sim-time)
+}
+
+cloudlb::SimTime scaled_left(cloudlb::SimTime t) {
+  return 0.5 * t;  // EXPECT-ANALYZER(sim-time)
+}
+
+bool raw_equal(cloudlb::SimTime t) {
+  return t.ns() == 500;  // EXPECT-ANALYZER(sim-time)
+}
+
+bool raw_less_reversed(cloudlb::SimTime t) {
+  return 100 < t.ns();  // EXPECT-ANALYZER(sim-time)
+}
+
+}  // namespace fixture

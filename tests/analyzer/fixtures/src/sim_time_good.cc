@@ -1,0 +1,25 @@
+// Fixture: SimTime arithmetic analyzer-sim-time must accept — named
+// factors, exact integer scaling, the zero probe, and typed
+// comparisons.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+constexpr double kSlackFactor = 1.5;
+
+// The factor has a name; intent is documented at the definition.
+cloudlb::SimTime named_factor(cloudlb::SimTime t) { return t * kSlackFactor; }
+
+// Integer scaling stays exact in the int64 nanosecond domain.
+cloudlb::SimTime halved(cloudlb::SimTime t) { return t / 2; }
+
+// `.ns() == 0` is the unambiguous emptiness probe.
+bool is_zero(cloudlb::SimTime t) { return t.ns() == 0; }
+
+// Comparing within the strong type needs no raw counts.
+bool at_least_500ns(cloudlb::SimTime t) {
+  return t == cloudlb::SimTime::nanos(500) ||
+         cloudlb::SimTime::nanos(500) < t;
+}
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Fixture: analyzer-unordered-accum fires when a range-for over an
+// unordered container folds values in iteration (hash) order — float
+// accumulators, sequence appends, and the same two patterns one helper
+// call down.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+// Float addition is not associative: the sum depends on hash order.
+double order_dependent_sum(const std::unordered_map<int, double>& load) {
+  double total = 0.0;
+  for (const auto& kv : load) {
+    total += kv.second;  // EXPECT-ANALYZER(unordered-accum)
+  }
+  return total;
+}
+
+// The output vector's order IS the hash order.
+void collect(const std::unordered_set<int>& ids, std::vector<int>& out) {
+  for (int id : ids) {
+    out.push_back(id);  // EXPECT-ANALYZER(unordered-accum)
+  }
+}
+
+// Members outlive the iteration just like outer locals.
+struct Stats {
+  double mean = 0.0;
+  void fold(const std::unordered_map<int, double>& m) {
+    for (const auto& kv : m)
+      mean += kv.second;  // EXPECT-ANALYZER(unordered-accum)
+  }
+};
+
+// One level of helpers is scanned: the accumulation happens through a
+// by-reference parameter inside bump(), flagged at the call site.
+inline void bump(double& acc, double x) { acc += x; }
+
+double helper_sum(const std::unordered_map<int, double>& m) {
+  double acc = 0.0;
+  for (const auto& kv : m)
+    bump(acc, kv.second);  // EXPECT-ANALYZER(unordered-accum)
+  return acc;
+}
+
+}  // namespace fixture

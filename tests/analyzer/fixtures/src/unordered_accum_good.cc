@@ -1,0 +1,37 @@
+// Fixture: patterns analyzer-unordered-accum must NOT flag — the false-
+// positive policy in docs/static-analysis.md, spelled out as code.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+// Integer accumulation commutes exactly: hash order cannot change it.
+int count_entries(const std::unordered_map<int, double>& m) {
+  int n = 0;
+  for (const auto& kv : m) {
+    if (kv.second > 0.0) n += 1;
+  }
+  return n;
+}
+
+// Ordered containers iterate deterministically; only unordered_* ranges
+// are in scope.
+double sum_ordered(const std::map<int, double>& m) {
+  double total = 0.0;
+  for (const auto& kv : m) total += kv.second;
+  return total;
+}
+
+// An accumulator declared inside the body resets every iteration, so
+// iteration order cannot leak through it; and max() is order-
+// independent, written with a plain (non-compound) assignment.
+double largest_magnitude(const std::unordered_map<int, double>& m) {
+  double best = 0.0;
+  for (const auto& kv : m) {
+    double magnitude = 0.0;
+    magnitude += kv.second > 0.0 ? kv.second : -kv.second;
+    if (best < magnitude) best = magnitude;
+  }
+  return best;
+}
+
+}  // namespace fixture

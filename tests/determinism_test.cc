@@ -23,6 +23,7 @@
 #include "machine/machine.h"
 #include "runtime/job.h"
 #include "sim/simulator.h"
+#include "util/check.h"
 #include "vm/virtual_machine.h"
 
 namespace cloudlb {
@@ -101,7 +102,7 @@ std::uint64_t traced_scenario_digest(const std::string& fault_spec = {}) {
 
   app.start();
   bg.start();
-  while (!app.finished()) sim.step();
+  while (!app.finished()) CLB_CHECK(sim.step());
   return hash.digest();
 }
 

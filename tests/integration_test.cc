@@ -4,6 +4,7 @@
 
 #include "core/balancer_factory.h"
 #include "core/scenario.h"
+#include "util/check.h"
 #include "vm/interferer.h"
 
 namespace cloudlb {
@@ -199,7 +200,7 @@ TEST(DynamicInterferenceTest, BalancerTracksMovingInterferer) {
     sim.schedule_at(SimTime::from_seconds(8.0), [&] { hog2.stop(); });
 
     job.start();
-    while (!job.finished()) sim.step();
+    while (!job.finished()) CLB_CHECK(sim.step());
     return std::pair{job.elapsed().to_seconds(), job.counters().migrations};
   };
   const auto [null_time, null_migrations] = run_with("null");

@@ -1,0 +1,39 @@
+// Lint fixture: raw string literals and line continuations. Forbidden
+// tokens inside R"(...)" bodies (including multi-line ones and custom
+// delimiters) and inside backslash-continued // comments are data, not
+// code, and must not fire; real code before or after them still must.
+#include <string>
+
+namespace cloudlb_lint_fixture {
+
+// A raw string whose *body* names every banned construct: no findings.
+inline std::string grammar_help() {
+  return R"(usage: seed with std::random_device or std::rand();
+wall-clock via std::chrono::steady_clock::now() or time(nullptr);
+float loads and assert(x) are likewise only words in this string)";
+}
+
+// Custom delimiter, plus a `)"` decoy inside the body.
+inline std::string tricky_delimiter() {
+  return R"lint(a body with )" inside, and std::rand() too)lint";
+}
+
+// A token merely ending in R does not open a raw string; the literal
+// after it is an ordinary (blanked) string, not a raw-string opener.
+#define SEEDR "seed-"
+inline std::string not_raw = SEEDR"std::rand()";
+
+// Scanning resumes after a one-line raw string: the call outside the
+// literal fires.
+inline int after_raw() {
+  std::string spec = R"(std::rand())";
+  return static_cast<int>(spec.size()) + std::rand();  // EXPECT-LINT(ambient-rng)
+}
+
+// A // comment continued by a trailing backslash swallows the next \
+physical line too: time(nullptr) here is commentary, not a call.
+
+// Escaped quote inside an ordinary string, then real code after it.
+inline const char* kQuote = "say \"std::rand()\" loudly";
+
+}  // namespace cloudlb_lint_fixture

@@ -1,0 +1,34 @@
+// Lint fixture: the stale-nolint meta-rule. A NOLINT-CLOUDLB that
+// suppresses nothing on its line is dead weight (the code it excused was
+// fixed) or a typo (the rule name never existed); both are findings.
+// Suppressions for `analyzer-*` rules belong to tools/analyzer/ and are
+// exempt — the Python linter cannot tell whether they are live.
+#include <cstdlib>
+#include <random>
+
+namespace cloudlb_lint_fixture {
+
+// Consumed suppression: ambient-rng fires here and is silenced — not stale.
+inline unsigned live_suppression() {
+  std::random_device entropy;  // NOLINT-CLOUDLB(ambient-rng): suppression stays live
+  return entropy();
+}
+
+// The rule exists but nothing on this line triggers it any more.
+inline int fixed_long_ago = 42;  // NOLINT-CLOUDLB(ambient-rng) // EXPECT-LINT(stale-nolint)
+
+// A typo'd rule name can never fire: flagged instead of silently ignored.
+inline unsigned typo() {
+  return static_cast<unsigned>(std::rand());  // NOLINT-CLOUDLB(ambient-rgn) // EXPECT-LINT(ambient-rng,stale-nolint)
+}
+
+// One live name plus one stale name on the same line: only the stale one
+// is reported.
+inline unsigned half_stale() {
+  return static_cast<unsigned>(std::rand());  // NOLINT-CLOUDLB(ambient-rng,wall-clock) // EXPECT-LINT(stale-nolint)
+}
+
+// AST-analyzer suppressions are the Clang tool's to account for.
+inline int analyzer_owned = 0;  // NOLINT-CLOUDLB(analyzer-stale-handle): checked by cloudlb-analyzer
+
+}  // namespace cloudlb_lint_fixture

@@ -14,8 +14,8 @@ inline unsigned reseed_from_os() {
 
 inline double multi_rule(const std::unordered_map<int, float>& m) {  // NOLINT-CLOUDLB(float-load)
   double total = 0.0;
-  for (const auto& [k, v] : m) {  // NOLINT-CLOUDLB(unordered-iter,float-load)
-    total += static_cast<double>(k) + static_cast<double>(v);
+  for (const std::pair<const int, float>& kv : m) {  // NOLINT-CLOUDLB(unordered-iter,float-load)
+    total += static_cast<double>(kv.first) + static_cast<double>(kv.second);
   }
   total += static_cast<double>(std::rand());  // NOLINT-CLOUDLB(ambient-rng)
   return total;

@@ -60,7 +60,7 @@ struct TraceRig {
 TEST(TimelineTest, RecordsTaskIntervals) {
   TraceRig rig;
   RuntimeJob& job = rig.make_job("app", {0});
-  job.add_chare(std::make_unique<TickChare>(5, SimTime::millis(10)));
+  static_cast<void>(job.add_chare(std::make_unique<TickChare>(5, SimTime::millis(10))));
   job.start();
   rig.sim.run();
   ASSERT_EQ(rig.tracer.intervals().size(), 5u);
@@ -74,7 +74,7 @@ TEST(TimelineTest, RecordsTaskIntervals) {
 TEST(TimelineTest, BusyFractionMatchesLoad) {
   TraceRig rig;
   RuntimeJob& job = rig.make_job("app", {0});
-  job.add_chare(std::make_unique<TickChare>(10, SimTime::millis(50)));
+  static_cast<void>(job.add_chare(std::make_unique<TickChare>(10, SimTime::millis(50))));
   job.start();
   rig.sim.run();
   const SimTime end = job.finish_time();
@@ -88,8 +88,8 @@ TEST(TimelineTest, TwoJobsOnOneCoreBothVisible) {
   TraceRig rig;
   RuntimeJob& app = rig.make_job("app", {0});
   RuntimeJob& bg = rig.make_job("bg", {0});
-  app.add_chare(std::make_unique<TickChare>(10, SimTime::millis(20)));
-  bg.add_chare(std::make_unique<TickChare>(10, SimTime::millis(20)));
+  static_cast<void>(app.add_chare(std::make_unique<TickChare>(10, SimTime::millis(20))));
+  static_cast<void>(bg.add_chare(std::make_unique<TickChare>(10, SimTime::millis(20))));
   app.start();
   bg.start();
   rig.sim.run();
@@ -107,7 +107,7 @@ TEST(TimelineTest, TwoJobsOnOneCoreBothVisible) {
 TEST(TimelineTest, AsciiRenderShowsBusyAndIdle) {
   TraceRig rig;
   RuntimeJob& job = rig.make_job("app", {0});
-  job.add_chare(std::make_unique<TickChare>(4, SimTime::millis(25)));
+  static_cast<void>(job.add_chare(std::make_unique<TickChare>(4, SimTime::millis(25))));
   job.start();
   rig.sim.run();
   std::ostringstream os;
@@ -133,7 +133,7 @@ TEST(TimelineTest, AsciiRenderArgumentValidation) {
 TEST(TimelineTest, CsvExportWellFormed) {
   TraceRig rig;
   RuntimeJob& job = rig.make_job("app", {0});
-  job.add_chare(std::make_unique<TickChare>(3, SimTime::millis(5)));
+  static_cast<void>(job.add_chare(std::make_unique<TickChare>(3, SimTime::millis(5))));
   job.start();
   rig.sim.run();
   std::ostringstream os;
@@ -149,7 +149,7 @@ TEST(TimelineTest, CsvExportWellFormed) {
 TEST(TimelineTest, ClearResets) {
   TraceRig rig;
   RuntimeJob& job = rig.make_job("app", {0});
-  job.add_chare(std::make_unique<TickChare>(3, SimTime::millis(5)));
+  static_cast<void>(job.add_chare(std::make_unique<TickChare>(3, SimTime::millis(5))));
   job.start();
   rig.sim.run();
   EXPECT_FALSE(rig.tracer.intervals().empty());
@@ -163,7 +163,7 @@ TEST(TimelineTest, ClearResets) {
 TEST(ProfileTest, QuietCoresProfileAsIdle) {
   TraceRig rig;
   RuntimeJob& job = rig.make_job("app", {0});
-  job.add_chare(std::make_unique<TickChare>(4, SimTime::millis(25)));
+  static_cast<void>(job.add_chare(std::make_unique<TickChare>(4, SimTime::millis(25))));
   job.start();
   rig.sim.run();
   const auto profiles = profile_cores(rig.tracer, 4, SimTime::zero(),
@@ -183,8 +183,8 @@ TEST(ProfileTest, ContendedCoreShowsProjectionsArtifact) {
   TraceRig rig;
   RuntimeJob& app = rig.make_job("app", {0});
   RuntimeJob& bg = rig.make_job("bg", {0});
-  app.add_chare(std::make_unique<TickChare>(10, SimTime::millis(20)));
-  bg.add_chare(std::make_unique<TickChare>(10, SimTime::millis(20)));
+  static_cast<void>(app.add_chare(std::make_unique<TickChare>(10, SimTime::millis(20))));
+  static_cast<void>(bg.add_chare(std::make_unique<TickChare>(10, SimTime::millis(20))));
   app.start();
   bg.start();
   rig.sim.run();
@@ -200,8 +200,8 @@ TEST(ProfileTest, TableHasARowPerCoreAndAColumnPerJob) {
   TraceRig rig;
   RuntimeJob& app = rig.make_job("app", {0});
   RuntimeJob& bg = rig.make_job("bg", {1});
-  app.add_chare(std::make_unique<TickChare>(2, SimTime::millis(5)));
-  bg.add_chare(std::make_unique<TickChare>(2, SimTime::millis(5)));
+  static_cast<void>(app.add_chare(std::make_unique<TickChare>(2, SimTime::millis(5))));
+  static_cast<void>(bg.add_chare(std::make_unique<TickChare>(2, SimTime::millis(5))));
   app.start();
   bg.start();
   rig.sim.run();
@@ -235,8 +235,8 @@ TEST(ProfileTest, IterationDurationsFromJob) {
    private:
     int iter_ = 0;
   };
-  job.add_chare(std::make_unique<IterChare>());
-  job.add_chare(std::make_unique<IterChare>());
+  static_cast<void>(job.add_chare(std::make_unique<IterChare>()));
+  static_cast<void>(job.add_chare(std::make_unique<IterChare>()));
   job.start();
   rig.sim.run();
   const SampleSet durations = iteration_durations(job);
@@ -248,9 +248,9 @@ TEST(ProfileTest, TaskDurationHistogramShowsInterferenceTail) {
   TraceRig rig;
   RuntimeJob& app = rig.make_job("app", {0, 1});
   RuntimeJob& bg = rig.make_job("bg", {1});  // interferes with PE1 only
-  app.add_chare(std::make_unique<TickChare>(10, SimTime::millis(10)));
-  app.add_chare(std::make_unique<TickChare>(10, SimTime::millis(10)));
-  bg.add_chare(std::make_unique<TickChare>(40, SimTime::millis(10)));
+  static_cast<void>(app.add_chare(std::make_unique<TickChare>(10, SimTime::millis(10))));
+  static_cast<void>(app.add_chare(std::make_unique<TickChare>(10, SimTime::millis(10))));
+  static_cast<void>(bg.add_chare(std::make_unique<TickChare>(40, SimTime::millis(10))));
   app.start();
   bg.start();
   rig.sim.run();

@@ -208,7 +208,7 @@ TEST(RuntimeJobTest, SingleWorkerRunsToCompletion) {
   Rig rig{1};
   auto owned = std::make_unique<WorkerChare>(10, SimTime::millis(50));
   auto* w = owned.get();
-  rig.job->add_chare(std::move(owned));
+  static_cast<void>(rig.job->add_chare(std::move(owned)));
   rig.job->start();
   rig.sim.run();
   EXPECT_TRUE(rig.job->finished());
@@ -221,7 +221,7 @@ TEST(RuntimeJobTest, SingleWorkerRunsToCompletion) {
 TEST(RuntimeJobTest, BlockInitialMapping) {
   Rig rig{2};
   for (int i = 0; i < 6; ++i)
-    rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1))));
   rig.job->start();
   EXPECT_EQ(rig.job->pe_of(0), 0);
   EXPECT_EQ(rig.job->pe_of(2), 0);
@@ -233,7 +233,7 @@ TEST(RuntimeJobTest, BlockInitialMapping) {
 TEST(RuntimeJobTest, PesExecuteConcurrently) {
   Rig rig{4};
   for (int i = 0; i < 4; ++i)
-    rig.job->add_chare(std::make_unique<WorkerChare>(4, SimTime::millis(100)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(4, SimTime::millis(100))));
   rig.job->start();
   rig.sim.run();
   // Perfectly parallel: 4 iterations × 100 ms each.
@@ -243,7 +243,7 @@ TEST(RuntimeJobTest, PesExecuteConcurrently) {
 TEST(RuntimeJobTest, SamePeSerializesChares) {
   Rig rig{1};
   for (int i = 0; i < 4; ++i)
-    rig.job->add_chare(std::make_unique<WorkerChare>(4, SimTime::millis(100)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(4, SimTime::millis(100))));
   rig.job->start();
   rig.sim.run();
   EXPECT_NEAR(rig.job->elapsed().to_seconds(), 1.6, kTol);
@@ -251,8 +251,8 @@ TEST(RuntimeJobTest, SamePeSerializesChares) {
 
 TEST(RuntimeJobTest, PingPongDelivers) {
   Rig rig{2};
-  rig.job->add_chare(std::make_unique<PingPongChare>(1, 20, true));
-  rig.job->add_chare(std::make_unique<PingPongChare>(0, 20, false));
+  static_cast<void>(rig.job->add_chare(std::make_unique<PingPongChare>(1, 20, true)));
+  static_cast<void>(rig.job->add_chare(std::make_unique<PingPongChare>(0, 20, false)));
   rig.job->start();
   rig.sim.run();
   EXPECT_TRUE(rig.job->finished());
@@ -268,8 +268,8 @@ TEST(RuntimeJobTest, InterNodeLatencyVisible) {
   // Two PEs on one node vs. two PEs across nodes.
   auto run_with = [&](MachineConfig mc) {
     Rig rig{2, config, nullptr, mc};
-    rig.job->add_chare(std::make_unique<PingPongChare>(1, 10, true));
-    rig.job->add_chare(std::make_unique<PingPongChare>(0, 10, false));
+    static_cast<void>(rig.job->add_chare(std::make_unique<PingPongChare>(1, 10, true)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<PingPongChare>(0, 10, false)));
     rig.job->start();
     rig.sim.run();
     return rig.job->elapsed();
@@ -284,7 +284,7 @@ TEST(RuntimeJobTest, InterNodeLatencyVisible) {
 TEST(RuntimeJobTest, CpuConsumedMatchesTaskCost) {
   Rig rig{2};
   for (int i = 0; i < 4; ++i)
-    rig.job->add_chare(std::make_unique<WorkerChare>(5, SimTime::millis(10)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(5, SimTime::millis(10))));
   rig.job->start();
   rig.sim.run();
   EXPECT_NEAR(rig.job->cpu_consumed().to_seconds(), 4 * 5 * 0.010, 1e-3);
@@ -294,16 +294,16 @@ TEST(RuntimeJobTest, CpuConsumedMatchesTaskCost) {
 
 TEST(RuntimeJobTest, RequiresOverdecomposition) {
   Rig rig{4};
-  rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1)));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1))));
   EXPECT_THROW(rig.job->start(), CheckFailure);
 }
 
 TEST(RuntimeJobTest, NoChareAdditionAfterStart) {
   Rig rig{1};
-  rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1)));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1))));
   rig.job->start();
   EXPECT_THROW(
-      rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1))),
+      static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1)))),
       CheckFailure);
   rig.sim.run();
 }
@@ -317,7 +317,7 @@ TEST(RuntimeJobTest, NullBalancerRejected) {
 
 TEST(RuntimeJobTest, DoubleStartRejected) {
   Rig rig{1};
-  rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1)));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1))));
   rig.job->start();
   EXPECT_THROW(rig.job->start(), CheckFailure);
   rig.sim.run();
@@ -325,11 +325,11 @@ TEST(RuntimeJobTest, DoubleStartRejected) {
 
 TEST(RuntimeJobTest, FinishTimeRequiresCompletion) {
   Rig rig{1};
-  rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1)));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1))));
   rig.job->start();
-  EXPECT_THROW(rig.job->finish_time(), CheckFailure);
+  EXPECT_THROW(static_cast<void>(rig.job->finish_time()), CheckFailure);
   rig.sim.run();
-  EXPECT_NO_THROW(rig.job->finish_time());
+  EXPECT_NO_THROW(static_cast<void>(rig.job->finish_time()));
 }
 
 // ------------------------------------------------------- LB barrier + stats
@@ -340,10 +340,10 @@ TEST(RuntimeJobTest, AtSyncTriggersBalancerWithMeasuredStats) {
   std::vector<LbStats> seen;
   Rig rig{2, config, std::make_unique<ProbeLb>(&seen)};
   // Two chares per PE, distinct costs.
-  rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(30)));
-  rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(10)));
-  rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(20)));
-  rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(20)));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(30))));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(10))));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(20))));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(20))));
   rig.job->start();
   rig.sim.run();
 
@@ -369,8 +369,8 @@ TEST(RuntimeJobTest, IdleShowsUpInWindowStats) {
   config.lb_period = 5;
   std::vector<LbStats> seen;
   Rig rig{2, config, std::make_unique<ProbeLb>(&seen)};
-  rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(40)));
-  rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(10)));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(40))));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(10))));
   rig.job->start();
   rig.sim.run();
   ASSERT_EQ(seen.size(), 1u);
@@ -385,8 +385,8 @@ TEST(RuntimeJobTest, BackgroundLoadVisibleViaIdleCounter) {
   std::vector<LbStats> seen;
   Rig rig{2, config, std::make_unique<ProbeLb>(&seen)};
   SyntheticInterferer hog{rig.sim, rig.machine, {1}};
-  rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(20)));
-  rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(20)));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(20))));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(20))));
   hog.start();
   rig.job->start();
   rig.sim.run_until(SimTime::seconds(10));
@@ -418,7 +418,7 @@ TEST(RuntimeJobTest, ForcedMigrationMovesChareAndCharesKeepState) {
   for (int i = 0; i < 4; ++i) {
     auto w = std::make_unique<WorkerChare>(20, SimTime::millis(5));
     workers.push_back(w.get());
-    rig.job->add_chare(std::move(w));
+    static_cast<void>(rig.job->add_chare(std::move(w)));
   }
   rig.job->start();
   rig.sim.run();
@@ -439,10 +439,10 @@ TEST(RuntimeJobTest, MigrationCostsWallTime) {
     config.pack_sec_per_byte = 1e-6;  // exaggerated for visibility
     config.unpack_sec_per_byte = 1e-6;
     Rig rig{2, config, std::make_unique<ForcedMoveLb>(std::vector<PeId>{1, 0})};
-    rig.job->add_chare(
-        std::make_unique<WorkerChare>(4, SimTime::millis(1), bytes));
-    rig.job->add_chare(
-        std::make_unique<WorkerChare>(4, SimTime::millis(1), bytes));
+    static_cast<void>(rig.job->add_chare(
+        std::make_unique<WorkerChare>(4, SimTime::millis(1), bytes)));
+    static_cast<void>(rig.job->add_chare(
+        std::make_unique<WorkerChare>(4, SimTime::millis(1), bytes)));
     rig.job->start();
     rig.sim.run();
     return rig.job->elapsed().to_seconds();
@@ -458,8 +458,8 @@ TEST(RuntimeJobTest, BalancerOutputValidated) {
   JobConfig config;
   config.lb_period = 2;
   Rig rig{2, config, std::make_unique<ForcedMoveLb>(std::vector<PeId>{7, 0})};
-  rig.job->add_chare(std::make_unique<WorkerChare>(4, SimTime::millis(1)));
-  rig.job->add_chare(std::make_unique<WorkerChare>(4, SimTime::millis(1)));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(4, SimTime::millis(1))));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(4, SimTime::millis(1))));
   rig.job->start();
   EXPECT_THROW(rig.sim.run(), CheckFailure);
 }
@@ -473,7 +473,7 @@ TEST(RuntimeJobTest, ObserverSeesEverything) {
   CountingObserver obs;
   rig.job->set_observer(&obs);
   for (int i = 0; i < 4; ++i)
-    rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(2)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(2))));
   rig.job->start();
   rig.sim.run();
 
@@ -490,7 +490,7 @@ TEST(RuntimeJobTest, ObserverSeesEverything) {
 TEST(RuntimeJobTest, IterationTimesMonotone) {
   Rig rig{2};
   for (int i = 0; i < 4; ++i)
-    rig.job->add_chare(std::make_unique<WorkerChare>(8, SimTime::millis(3)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(8, SimTime::millis(3))));
   rig.job->start();
   rig.sim.run();
   const auto& times = rig.job->iteration_times();
@@ -532,18 +532,18 @@ TEST(RuntimeJobTest, NicContentionSerializesSimultaneousSends) {
     };
 
     // Chares 0,1 -> PEs 0,1 (node 0) send; chares 2,3 -> PEs 2,3 receive.
-    rig.job->add_chare(std::make_unique<BlastChare>(2));
-    rig.job->add_chare(std::make_unique<BlastChare>(3));
+    static_cast<void>(rig.job->add_chare(std::make_unique<BlastChare>(2)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<BlastChare>(3)));
     auto r2 = std::make_unique<BlastChare>(-1);
     auto r3 = std::make_unique<BlastChare>(-1);
     auto* p2 = r2.get();
     auto* p3 = r3.get();
-    rig.job->add_chare(std::move(r2));
-    rig.job->add_chare(std::move(r3));
+    static_cast<void>(rig.job->add_chare(std::move(r2)));
+    static_cast<void>(rig.job->add_chare(std::move(r3)));
     rig.job->start();
     // Senders never finish (they get no message) — run until receivers do.
     while (p2->received_at.is_zero() || p3->received_at.is_zero())
-      rig.sim.step();
+      CLB_CHECK(rig.sim.step());
     const SimTime a = std::min(p2->received_at, p3->received_at);
     const SimTime b = std::max(p2->received_at, p3->received_at);
     return (b - a).to_seconds();
@@ -563,8 +563,8 @@ TEST(RuntimeJobTest, NicContentionPreservesIntraNodeTraffic) {
   auto elapsed = [&](JobConfig config) {
     Rig rig{2, config, nullptr,
             MachineConfig{.nodes = 1, .cores_per_node = 2, .core_speed_overrides = {}}};
-    rig.job->add_chare(std::make_unique<PingPongChare>(1, 20, true));
-    rig.job->add_chare(std::make_unique<PingPongChare>(0, 20, false));
+    static_cast<void>(rig.job->add_chare(std::make_unique<PingPongChare>(1, 20, true)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<PingPongChare>(0, 20, false)));
     rig.job->start();
     rig.sim.run();
     return rig.job->elapsed().ns();
@@ -597,8 +597,8 @@ TEST(RuntimeJobTest, ReductionSumsAllChares) {
   Rig rig{2};
   std::vector<double> results;
   for (int i = 0; i < 6; ++i)
-    rig.job->add_chare(std::make_unique<ReducerChare>(
-        static_cast<double>(i), &results, SimTime::millis(1)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<ReducerChare>(
+        static_cast<double>(i), &results, SimTime::millis(1))));
   rig.job->start();
   rig.sim.run();
   ASSERT_EQ(results.size(), 6u);
@@ -610,10 +610,10 @@ TEST(RuntimeJobTest, ReductionWaitsForSlowestContributor) {
   Rig rig{4};
   std::vector<double> results;
   for (int i = 0; i < 3; ++i)
-    rig.job->add_chare(
-        std::make_unique<ReducerChare>(1.0, &results, SimTime::millis(5)));
-  rig.job->add_chare(
-      std::make_unique<ReducerChare>(1.0, &results, SimTime::millis(300)));
+    static_cast<void>(rig.job->add_chare(
+        std::make_unique<ReducerChare>(1.0, &results, SimTime::millis(5))));
+  static_cast<void>(rig.job->add_chare(
+      std::make_unique<ReducerChare>(1.0, &results, SimTime::millis(300))));
   rig.job->start();
   rig.sim.run();
   // The result cannot arrive before the slow chare's 300 ms of work plus
@@ -625,7 +625,7 @@ TEST(RuntimeJobTest, ReductionWaitsForSlowestContributor) {
 TEST(RuntimeJobTest, ReductionResultWithoutOverrideFailsLoudly) {
   Rig rig{1};
   // WorkerChare never overrides on_reduction_result.
-  rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1)));
+  static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(1, SimTime::micros(1))));
   rig.job->start();
   rig.sim.run();
   EXPECT_THROW(rig.job->chare(0).on_reduction_result(0.0), CheckFailure);
@@ -642,8 +642,8 @@ TEST(RuntimeJobTest, QuantizedIdleStaysCloseToExact) {
     config.proc_stat_quantum = quantum;
     std::vector<LbStats> seen;
     Rig rig{2, config, std::make_unique<ProbeLb>(&seen)};
-    rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(43)));
-    rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(7)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(43))));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(10, SimTime::millis(7))));
     rig.job->start();
     rig.sim.run();
     CLB_CHECK(seen.size() == 1);
@@ -670,11 +670,11 @@ TEST(RuntimeJobTest, BalancingStillWorksWithJiffyCounters) {
     Rig rig{2, config, std::move(lb)};
     SyntheticInterferer hog{rig.sim, rig.machine, {0}};
     for (int i = 0; i < 8; ++i)
-      rig.job->add_chare(
-          std::make_unique<WorkerChare>(32, SimTime::millis(20)));
+      static_cast<void>(rig.job->add_chare(
+          std::make_unique<WorkerChare>(32, SimTime::millis(20))));
     hog.start();
     rig.job->start();
-    while (!rig.job->finished()) rig.sim.step();
+    while (!rig.job->finished()) CLB_CHECK(rig.sim.step());
     hog.stop();
     rig.sim.run();
     return rig.job->elapsed().to_seconds();
@@ -695,10 +695,10 @@ TEST(RuntimeJobTest, RefineLbFixesInternalImbalanceEndToEnd) {
     config.lb_period = 4;
     Rig rig{2, config, std::move(lb)};
     for (int i = 0; i < 4; ++i)
-      rig.job->add_chare(
-          std::make_unique<WorkerChare>(40, SimTime::millis(15)));
+      static_cast<void>(rig.job->add_chare(
+          std::make_unique<WorkerChare>(40, SimTime::millis(15))));
     for (int i = 0; i < 4; ++i)
-      rig.job->add_chare(std::make_unique<WorkerChare>(40, SimTime::millis(5)));
+      static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(40, SimTime::millis(5))));
     rig.job->start();
     rig.sim.run();
     return rig.job->elapsed().to_seconds();

@@ -126,14 +126,16 @@ TEST(SimAllocTest, ScheduleCancelChurnIsAllocationFree) {
   probe_arm();
   EventHandle armed;
   for (int i = 0; i < 10'000; ++i) {
-    if (armed.valid()) sim.cancel(armed);
+    // Inside the allocation-probe window: discard instead of asserting
+    // so the check machinery cannot perturb the count being measured.
+    if (armed.valid()) static_cast<void>(sim.cancel(armed));
     armed = sim.schedule_after(SimTime::seconds(100), [] {});
   }
   const std::size_t allocs = probe_disarm();
   // Compaction passes shrink in place (std::erase_if) and the freed slot
   // is recycled immediately, so re-arming a timer never allocates.
   EXPECT_EQ(allocs, 0u);
-  sim.cancel(armed);
+  EXPECT_TRUE(sim.cancel(armed));
   sim.run();
 }
 

@@ -126,7 +126,7 @@ TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
   bool fired = false;
   const EventHandle h = sim.schedule_at(SimTime::millis(1), [&] { fired = true; });
   sim.schedule_at(SimTime::millis(5), [] {});
-  sim.cancel(h);
+  EXPECT_TRUE(sim.cancel(h));
   sim.run_until(SimTime::millis(2));
   EXPECT_FALSE(fired);
   EXPECT_EQ(sim.now(), SimTime::millis(2));
@@ -160,7 +160,7 @@ TEST(SimulatorTest, ExecutedCounterCountsFiredOnly) {
   Simulator sim;
   sim.schedule_at(SimTime::millis(1), [] {});
   const EventHandle h = sim.schedule_at(SimTime::millis(2), [] {});
-  sim.cancel(h);
+  EXPECT_TRUE(sim.cancel(h));
   sim.run();
   EXPECT_EQ(sim.executed(), 1u);
 }
@@ -170,7 +170,7 @@ TEST(SimulatorTest, PendingTracksOutstanding) {
   sim.schedule_at(SimTime::millis(1), [] {});
   const EventHandle h = sim.schedule_at(SimTime::millis(2), [] {});
   EXPECT_EQ(sim.pending(), 2u);
-  sim.cancel(h);
+  EXPECT_TRUE(sim.cancel(h));
   EXPECT_EQ(sim.pending(), 1u);
   sim.run();
   EXPECT_EQ(sim.pending(), 0u);
@@ -208,7 +208,7 @@ TEST(SimulatorTest, CompactionPreservesLiveEventsAndOrder) {
     sim.schedule_at(SimTime::millis(10 * (i + 1)),
                     [&order, i] { order.push_back(i); });
   for (int i = 0; i < 10'000; ++i)
-    sim.cancel(sim.schedule_at(SimTime::seconds(100), [] {}));
+    ASSERT_TRUE(sim.cancel(sim.schedule_at(SimTime::seconds(100), [] {})));
   EXPECT_LE(sim.queue_size(), 1024u);
   sim.run();
   ASSERT_EQ(order.size(), 200u);
@@ -292,7 +292,7 @@ TEST(SimulatorTest, TraceHookSeesExecutedEventsInOrder) {
   sim.schedule_at(SimTime::millis(2), [] {});
   const EventHandle h = sim.schedule_at(SimTime::millis(1), [] {});
   sim.schedule_at(SimTime::millis(1), [] {});
-  sim.cancel(h);  // cancelled events never reach the hook
+  EXPECT_TRUE(sim.cancel(h));  // cancelled events never reach the hook
   sim.run();
   ASSERT_EQ(trace.size(), 2u);
   // Sequence numbers record SCHEDULING order (1-based), so the 1ms

@@ -128,7 +128,8 @@ TEST(SimulatorValidateTest, CleanEngineUnderChurnPasses) {
   std::vector<EventHandle> handles;
   for (int i = 0; i < 200; ++i)
     handles.push_back(sim.schedule_at(SimTime::micros(i + 1), [] {}));
-  for (int i = 0; i < 200; i += 3) sim.cancel(handles[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < 200; i += 3)
+    EXPECT_TRUE(sim.cancel(handles[static_cast<std::size_t>(i)]));
   sim.validate_integrity();
   sim.run_until(SimTime::micros(100));
   sim.validate_integrity();
@@ -190,7 +191,7 @@ TEST(SimulatorValidateTest, NonMonotoneTraceIsCaught) {
   std::swap(queue[0], queue[1]);
   ValidationScope validation{true};
   EXPECT_TRUE(sim.step());
-  EXPECT_THROW(sim.step(), CheckFailure);
+  EXPECT_THROW(static_cast<void>(sim.step()), CheckFailure);
 }
 
 // ---------------------------------------------------- runtime validators
@@ -199,8 +200,8 @@ TEST(RuntimeValidateTest, HealthyJobPassesAfterMigrations) {
   ValidationScope validation{true};  // exercise the automatic call sites too
   Rig rig{4, std::make_unique<GreedyLb>()};
   for (int i = 0; i < 8; ++i)
-    rig.job->add_chare(std::make_unique<WorkerChare>(
-        20, SimTime::micros(100 * (i + 1))));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(
+        20, SimTime::micros(100 * (i + 1)))));
   rig.job->start();
   rig.sim.run();
   EXPECT_TRUE(rig.job->finished());
@@ -211,7 +212,7 @@ TEST(RuntimeValidateTest, HealthyJobPassesAfterMigrations) {
 TEST(RuntimeValidateTest, OutOfRangeAssignmentIsCaught) {
   Rig rig{2};
   for (int i = 0; i < 4; ++i)
-    rig.job->add_chare(std::make_unique<WorkerChare>(2, SimTime::micros(10)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(2, SimTime::micros(10))));
   rig.job->start();
   rig.sim.run();
   rig.job->validate_invariants();
@@ -222,7 +223,7 @@ TEST(RuntimeValidateTest, OutOfRangeAssignmentIsCaught) {
 TEST(RuntimeValidateTest, DoneCountDriftIsCaught) {
   Rig rig{2};
   for (int i = 0; i < 4; ++i)
-    rig.job->add_chare(std::make_unique<WorkerChare>(2, SimTime::micros(10)));
+    static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(2, SimTime::micros(10))));
   rig.job->start();
   rig.sim.run();
   auto done = RuntimeJobTestAccess::chare_done(*rig.job);
@@ -298,8 +299,8 @@ TEST(ValidationDeterminismTest, ValidatedRunIsBitIdentical) {
     ValidationScope validation{validated};
     Rig rig{4, std::make_unique<GreedyLb>()};
     for (int i = 0; i < 8; ++i)
-      rig.job->add_chare(std::make_unique<WorkerChare>(
-          20, SimTime::micros(100 * (i + 1))));
+      static_cast<void>(rig.job->add_chare(std::make_unique<WorkerChare>(
+          20, SimTime::micros(100 * (i + 1)))));
     Trace trace;
     rig.sim.set_trace_hook([&trace](SimTime t, std::uint64_t seq) {
       trace.emplace_back(t, seq);

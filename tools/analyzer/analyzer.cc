@@ -1,0 +1,72 @@
+#include "analyzer.h"
+
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+// True when `line_text` carries a NOLINT-CLOUDLB(...) whose name list
+// contains `check` — the same comma-separated syntax the Python linter
+// parses, so one suppression comment serves both tools.
+bool line_suppresses(llvm::StringRef line_text, llvm::StringRef check) {
+  static constexpr llvm::StringLiteral kMarker{"NOLINT-CLOUDLB("};
+  const std::size_t at = line_text.find(kMarker);
+  if (at == llvm::StringRef::npos) return false;
+  llvm::StringRef names = line_text.substr(at + kMarker.size());
+  const std::size_t close = names.find(')');
+  if (close == llvm::StringRef::npos) return false;
+  names = names.substr(0, close);
+  llvm::SmallVector<llvm::StringRef, 4> parts;
+  names.split(parts, ',');
+  for (llvm::StringRef part : parts)
+    if (part.trim() == check) return true;
+  return false;
+}
+
+// The raw text of `line` (1-based) in the file that owns `fid`.
+llvm::StringRef line_text(const clang::SourceManager& sm, clang::FileID fid,
+                          unsigned line) {
+  bool invalid = false;
+  const llvm::StringRef buffer = sm.getBufferData(fid, &invalid);
+  if (invalid) return {};
+  std::size_t begin = 0;
+  for (unsigned i = 1; i < line; ++i) {
+    begin = buffer.find('\n', begin);
+    if (begin == llvm::StringRef::npos) return {};
+    ++begin;
+  }
+  const std::size_t end = buffer.find('\n', begin);
+  return buffer.slice(begin,
+                      end == llvm::StringRef::npos ? buffer.size() : end);
+}
+
+}  // namespace
+
+void AnalyzerContext::report(const clang::ASTContext& ast,
+                             clang::SourceLocation loc,
+                             llvm::StringRef check, llvm::StringRef message) {
+  const clang::SourceManager& sm = ast.getSourceManager();
+  if (loc.isInvalid()) return;
+  // Findings inside macro bodies anchor at the expansion point so the
+  // reported line is one the user can edit (and suppress).
+  loc = sm.getFileLoc(loc);
+  if (sm.isInSystemHeader(loc)) return;
+  const clang::PresumedLoc pl = sm.getPresumedLoc(loc);
+  if (pl.isInvalid()) return;
+  if (line_suppresses(line_text(sm, sm.getFileID(loc), pl.getLine()), check))
+    return;
+  findings_.insert(Finding{pl.getFilename(), pl.getLine(), pl.getColumn(),
+                           check.str(), message.str()});
+}
+
+std::size_t AnalyzerContext::flush(llvm::raw_ostream& os) const {
+  for (const Finding& f : findings_)
+    os << f.file << ':' << f.line << ':' << f.col << ": warning: "
+       << f.message << " [" << f.check << "]\n";
+  return findings_.size();
+}
+
+}  // namespace cloudlb_analyzer

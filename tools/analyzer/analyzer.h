@@ -1,0 +1,85 @@
+// cloudlb-analyzer — flow-aware determinism and handle-safety checks.
+//
+// A Clang LibTooling binary that runs over the exported compile database
+// (build/compile_commands.json) and reports CloudLB-specific defect
+// patterns the regex linter (tools/lint/) cannot see because they need
+// types, overload resolution, or statement ordering:
+//
+//   analyzer-stale-handle      EventHandle used after Simulator::cancel
+//                              without reassignment
+//   analyzer-unordered-accum   range-for over std::unordered_{map,set}
+//                              feeding a float accumulator or appending
+//                              to a result container (hash-order output)
+//   analyzer-discarded-status  ignored results of status-returning APIs
+//   analyzer-sim-time          SimTime arithmetic against bare numeric
+//                              literals that bypasses the sim_time.h
+//                              factories
+//   analyzer-ambient-state     std::random_device / wall-clock calls,
+//                              type-checked (no false hits in strings)
+//
+// Suppression: `// NOLINT-CLOUDLB(analyzer-<check>)` on the offending
+// line, the same syntax the Python linter uses (which in turn treats
+// `analyzer-*` names as owned by this tool and never reports them as
+// stale). Output format is one finding per line:
+//
+//   path:line:col: warning: <message> [analyzer-<check>]
+//
+// Exit codes: 0 clean, 1 findings, 2 tool/compile error.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace cloudlb_analyzer {
+
+struct Finding {
+  std::string file;
+  unsigned line = 0;
+  unsigned col = 0;
+  std::string check;    // full name, e.g. "analyzer-stale-handle"
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (col != o.col) return col < o.col;
+    if (check != o.check) return check < o.check;
+    return message < o.message;
+  }
+};
+
+// Shared sink for every check. Findings are deduplicated (headers are
+// revisited once per including TU) and sorted before printing.
+class AnalyzerContext {
+ public:
+  // Record a finding at `loc` unless the location is invalid, sits in a
+  // system header, or its line carries a NOLINT-CLOUDLB(<check>)
+  // suppression. Macro locations resolve to their expansion point.
+  void report(const clang::ASTContext& ast, clang::SourceLocation loc,
+              llvm::StringRef check, llvm::StringRef message);
+
+  // Print all findings to `os`; returns how many there were.
+  std::size_t flush(llvm::raw_ostream& os) const;
+
+ private:
+  std::set<Finding> findings_;
+};
+
+// Each check registers its matchers against the shared finder; `ctx`
+// must outlive the finder.
+void register_ambient_state(clang::ast_matchers::MatchFinder& finder,
+                            AnalyzerContext& ctx);
+void register_discarded_status(clang::ast_matchers::MatchFinder& finder,
+                               AnalyzerContext& ctx);
+void register_sim_time(clang::ast_matchers::MatchFinder& finder,
+                       AnalyzerContext& ctx);
+void register_unordered_accum(clang::ast_matchers::MatchFinder& finder,
+                              AnalyzerContext& ctx);
+void register_stale_handle(clang::ast_matchers::MatchFinder& finder,
+                           AnalyzerContext& ctx);
+
+}  // namespace cloudlb_analyzer

@@ -1,0 +1,73 @@
+// analyzer-ambient-state: type-checked detection of entropy and
+// wall-clock sources that make a simulation run irreproducible. The
+// regex linter catches the spelled-out forms; this check resolves the
+// actual callee, so aliased or using-declared calls are caught and
+// mentions inside strings or comments are not.
+#include "analyzer.h"
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+using namespace clang::ast_matchers;
+
+constexpr char kCheck[] = "analyzer-ambient-state";
+
+class AmbientCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit AmbientCallback(AnalyzerContext& ctx) : ctx_{ctx} {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    if (const auto* construct =
+            result.Nodes.getNodeAs<clang::CXXConstructExpr>("rng"))
+      ctx_.report(*result.Context, construct->getBeginLoc(), kCheck,
+                  "std::random_device draws ambient entropy; seed a "
+                  "deterministic engine (util/rng.h) from the scenario "
+                  "config instead");
+    if (const auto* call = result.Nodes.getNodeAs<clang::CallExpr>("clock"))
+      ctx_.report(*result.Context, call->getBeginLoc(), kCheck,
+                  "wall-clock/ambient call leaks host state into the "
+                  "simulation; use Simulator::now() for time and seeded "
+                  "RNG for randomness");
+  }
+
+ private:
+  AnalyzerContext& ctx_;
+};
+
+}  // namespace
+
+void register_ambient_state(MatchFinder& finder, AnalyzerContext& ctx) {
+  // MatchFinder keeps a non-owning pointer; the callback lives for the
+  // duration of the process, as in every check in this tool.
+  auto* callback = new AmbientCallback{ctx};
+
+  finder.addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(
+                           ofClass(hasName("::std::random_device")))))
+          .bind("rng"),
+      callback);
+
+  // C-library entropy/clock entry points, resolved through the callee
+  // declaration (typedefs and `using` do not hide them).
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::time", "::gettimeofday", "::clock_gettime", "::clock",
+                   "::rand", "::srand", "::random", "::srandom", "::rand_r",
+                   "::getentropy"))))
+          .bind("clock"),
+      callback);
+
+  // std::chrono clock reads (high_resolution_clock is an alias of one of
+  // these in both mainstream standard libraries).
+  finder.addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("::std::chrono::system_clock",
+                                      "::std::chrono::steady_clock",
+                                      "::std::chrono::high_resolution_clock")))))
+          .bind("clock"),
+      callback);
+}
+
+}  // namespace cloudlb_analyzer

@@ -1,0 +1,100 @@
+// analyzer-discarded-status: a status-returning CloudLB API called in
+// statement position with the result thrown away. Complements compiler
+// -Wunused-result in two ways: it also covers a named list of APIs that
+// may lack [[nodiscard]] in older checkouts or third-party forks, and it
+// reports in the analyzer's unified format with NOLINT-CLOUDLB
+// suppression. An explicit cast (static_cast<void>) is the blessed way
+// to discard on purpose and is never flagged.
+#include "analyzer.h"
+
+#include "clang/AST/ParentMapContext.h"
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+using namespace clang::ast_matchers;
+
+constexpr char kCheck[] = "analyzer-discarded-status";
+
+// Walks up through value-preserving wrappers; true when the expression's
+// value reaches statement position unused.
+bool is_discarded(const clang::Expr* e, clang::ASTContext& ast) {
+  const clang::Stmt* cur = e;
+  for (;;) {
+    const auto parents = ast.getParents(*cur);
+    if (parents.size() != 1) return false;
+    const clang::Stmt* parent = parents[0].get<clang::Stmt>();
+    if (parent == nullptr) return false;  // decl initializer etc. — used
+    if (llvm::isa<clang::ExplicitCastExpr>(parent))
+      return false;  // includes static_cast<void>: an intentional discard
+    if (llvm::isa<clang::ImplicitCastExpr>(parent) ||
+        llvm::isa<clang::ParenExpr>(parent) ||
+        llvm::isa<clang::ExprWithCleanups>(parent) ||
+        llvm::isa<clang::ConstantExpr>(parent)) {
+      cur = parent;
+      continue;
+    }
+    if (llvm::isa<clang::CompoundStmt>(parent)) return true;
+    if (const auto* s = llvm::dyn_cast<clang::IfStmt>(parent))
+      return cur == s->getThen() || cur == s->getElse();
+    if (const auto* s = llvm::dyn_cast<clang::WhileStmt>(parent))
+      return cur == s->getBody();
+    if (const auto* s = llvm::dyn_cast<clang::DoStmt>(parent))
+      return cur == s->getBody();
+    if (const auto* s = llvm::dyn_cast<clang::ForStmt>(parent))
+      return cur == s->getBody() || cur == s->getInc() || cur == s->getInit();
+    if (const auto* s = llvm::dyn_cast<clang::CXXForRangeStmt>(parent))
+      return cur == s->getBody();
+    if (const auto* s = llvm::dyn_cast<clang::SwitchCase>(parent))
+      return cur == s->getSubStmt();
+    if (const auto* s = llvm::dyn_cast<clang::LabelStmt>(parent))
+      return cur == s->getSubStmt();
+    if (const auto* s = llvm::dyn_cast<clang::BinaryOperator>(parent))
+      return s->getOpcode() == clang::BO_Comma && cur == s->getLHS();
+    return false;
+  }
+}
+
+class DiscardCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit DiscardCallback(AnalyzerContext& ctx) : ctx_{ctx} {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* call = result.Nodes.getNodeAs<clang::CallExpr>("call");
+    if (call == nullptr || !is_discarded(call, *result.Context)) return;
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    const std::string name =
+        callee != nullptr ? callee->getQualifiedNameAsString() : "call";
+    ctx_.report(*result.Context, call->getBeginLoc(), kCheck,
+                "result of '" + name +
+                    "' is discarded; act on the status or make the "
+                    "discard explicit with static_cast<void>(...)");
+  }
+
+ private:
+  AnalyzerContext& ctx_;
+};
+
+}  // namespace
+
+void register_discarded_status(MatchFinder& finder, AnalyzerContext& ctx) {
+  auto* callback = new DiscardCallback{ctx};
+  // Anything annotated [[nodiscard]] plus the named status APIs, so the
+  // check still bites on checkouts where the annotations are missing.
+  finder.addMatcher(
+      callExpr(callee(functionDecl(
+                   unless(returns(voidType())),
+                   anyOf(hasAttr(clang::attr::WarnUnusedResult),
+                         hasAnyName("::cloudlb::Simulator::cancel",
+                                    "::cloudlb::Simulator::step",
+                                    "::cloudlb::FaultPlan::parse",
+                                    "::cloudlb::RuntimeJob::add_chare",
+                                    "::cloudlb::parallel_map",
+                                    "attempt_migration",
+                                    "retry_or_abandon")))))
+          .bind("call"),
+      callback);
+}
+
+}  // namespace cloudlb_analyzer

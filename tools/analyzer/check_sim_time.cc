@@ -1,0 +1,78 @@
+// analyzer-sim-time: SimTime is the strong type that keeps virtual time
+// exact (int64 nanoseconds, constexpr factories). Two idioms quietly
+// bypass that discipline and are flagged here:
+//
+//   t * 1.5            a bare floating literal scales a duration through
+//                      the double round-trip; name the factor or build
+//                      the duration with a SimTime factory
+//   t.ns() == 500      comparing the raw nanosecond count against a bare
+//                      nonzero literal; compare SimTime values instead
+//                      (SimTime::nanos(500) == t). Zero is exempt: the
+//                      `.ns() == 0` emptiness probe is unambiguous.
+#include "analyzer.h"
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+using namespace clang::ast_matchers;
+
+constexpr char kCheck[] = "analyzer-sim-time";
+
+class SimTimeCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit SimTimeCallback(AnalyzerContext& ctx) : ctx_{ctx} {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    if (const auto* scale =
+            result.Nodes.getNodeAs<clang::CXXOperatorCallExpr>("scale"))
+      ctx_.report(*result.Context, scale->getBeginLoc(), kCheck,
+                  "bare floating literal scales a SimTime; hoist the "
+                  "factor into a named constant or construct the duration "
+                  "with a SimTime factory (from_seconds/millis/nanos)");
+    if (const auto* cmp =
+            result.Nodes.getNodeAs<clang::BinaryOperator>("rawcmp"))
+      ctx_.report(*result.Context, cmp->getBeginLoc(), kCheck,
+                  "raw .ns() count compared against a bare literal; "
+                  "compare SimTime values directly, e.g. "
+                  "t == SimTime::nanos(N)");
+  }
+
+ private:
+  AnalyzerContext& ctx_;
+};
+
+}  // namespace
+
+void register_sim_time(MatchFinder& finder, AnalyzerContext& ctx) {
+  auto* callback = new SimTimeCallback{ctx};
+
+  const auto sim_time_type = hasType(hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(cxxRecordDecl(hasName("::cloudlb::SimTime"))))));
+  const auto float_literal = ignoringParenImpCasts(
+      anyOf(floatLiteral(),
+            unaryOperator(hasOperatorName("-"),
+                          hasUnaryOperand(
+                              ignoringParenImpCasts(floatLiteral())))));
+
+  // t * 1.5 / 1.5 * t — the result is a SimTime, one operand is a bare
+  // floating literal. Named constants and variables are fine.
+  finder.addMatcher(cxxOperatorCallExpr(hasAnyOperatorName("*", "/"),
+                                        sim_time_type,
+                                        hasEitherOperand(float_literal))
+                        .bind("scale"),
+                    callback);
+
+  // t.ns() <op> <nonzero integer literal> in either operand order.
+  const auto raw_ns = ignoringParenImpCasts(cxxMemberCallExpr(callee(
+      cxxMethodDecl(hasName("ns"), ofClass(hasName("::cloudlb::SimTime"))))));
+  const auto nonzero_literal =
+      ignoringParenImpCasts(integerLiteral(unless(equals(0))));
+  finder.addMatcher(
+      binaryOperator(isComparisonOperator(),
+                     hasOperands(raw_ns, nonzero_literal))
+          .bind("rawcmp"),
+      callback);
+}
+
+}  // namespace cloudlb_analyzer

@@ -1,0 +1,187 @@
+// analyzer-stale-handle: an EventHandle names a {slot, generation} pair
+// inside the event engine; Simulator::cancel retires the generation, so
+// the handle is dead the moment cancel returns. Reading it afterwards
+// (valid(), another cancel, passing it on) acts on a slot that may have
+// been recycled for an unrelated event — the classic source of
+// "cancelled the wrong timer" heisenbugs.
+//
+// The check walks each function body in source order, per handle
+// variable (locals and members): after a cancel(h), any use of h before
+// a reassignment is flagged. Uses inside the cancel call itself (e.g.
+// CLB_CHECK(sim.cancel(h))) are part of the cancel and exempt. Lambda
+// bodies are opaque: they run at a different time, so no ordering fact
+// about the enclosing body applies to them.
+#include "analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/SourceManager.h"
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+using namespace clang::ast_matchers;
+
+constexpr char kCheck[] = "analyzer-stale-handle";
+
+bool is_event_handle(clang::QualType type) {
+  type = type.getNonReferenceType().getCanonicalType();
+  const auto* record = type->getAsCXXRecordDecl();
+  return record != nullptr && record->getName() == "EventHandle";
+}
+
+// The variable or field an lvalue expression names, when it is a plain
+// EventHandle; nullptr for anything fancier (array elements, calls).
+const clang::Decl* handle_target(const clang::Expr* expr) {
+  expr = expr->IgnoreParenImpCasts();
+  if (const auto* ref = llvm::dyn_cast<clang::DeclRefExpr>(expr))
+    return is_event_handle(ref->getType()) ? ref->getDecl() : nullptr;
+  if (const auto* member = llvm::dyn_cast<clang::MemberExpr>(expr))
+    return is_event_handle(member->getType()) ? member->getMemberDecl()
+                                              : nullptr;
+  return nullptr;
+}
+
+struct Event {
+  enum Kind { kAssign = 0, kUse = 1, kCancel = 2 };  // tie-break order
+  unsigned offset;
+  Kind kind;
+  const clang::Decl* handle;
+  clang::SourceLocation loc;
+  unsigned cancel_end = 0;  // one past the cancel call, for kCancel
+};
+
+class HandleEventCollector
+    : public clang::RecursiveASTVisitor<HandleEventCollector> {
+ public:
+  explicit HandleEventCollector(const clang::SourceManager& sm) : sm_{sm} {}
+
+  std::vector<Event> events;
+
+  // Lambda bodies execute later (or never); their uses carry no ordering
+  // relation to the enclosing statements.
+  bool TraverseLambdaExpr(clang::LambdaExpr*) { return true; }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* call) {
+    const clang::CXXMethodDecl* method = call->getMethodDecl();
+    if (method == nullptr || method->getName() != "cancel" ||
+        call->getNumArgs() < 1)
+      return true;
+    const clang::CXXRecordDecl* cls = method->getParent();
+    if (cls == nullptr || cls->getName() != "Simulator") return true;
+    const clang::Decl* handle = handle_target(call->getArg(0));
+    if (handle == nullptr) return true;
+    add(Event::kCancel, call->getBeginLoc(), handle,
+        offset_of(call->getEndLoc()) + 1);
+    return true;
+  }
+
+  // Plain assignment through the implicit operator= of the handle
+  // struct surfaces as an operator call; `h = ...` revives the handle.
+  bool VisitCXXOperatorCallExpr(clang::CXXOperatorCallExpr* call) {
+    if (call->getOperator() != clang::OO_Equal || call->getNumArgs() < 1)
+      return true;
+    if (const clang::Decl* handle = handle_target(call->getArg(0)))
+      add(Event::kAssign, call->getArg(0)->getBeginLoc(), handle);
+    return true;
+  }
+
+  bool VisitBinaryOperator(clang::BinaryOperator* op) {
+    if (!op->isAssignmentOp()) return true;
+    if (const clang::Decl* handle = handle_target(op->getLHS()))
+      add(Event::kAssign, op->getLHS()->getBeginLoc(), handle);
+    return true;
+  }
+
+  bool VisitDeclRefExpr(clang::DeclRefExpr* ref) {
+    if (is_event_handle(ref->getType()))
+      add(Event::kUse, ref->getLocation(), ref->getDecl());
+    return true;
+  }
+
+  bool VisitMemberExpr(clang::MemberExpr* member) {
+    if (is_event_handle(member->getType()))
+      add(Event::kUse, member->getMemberLoc(), member->getMemberDecl());
+    return true;
+  }
+
+ private:
+  unsigned offset_of(clang::SourceLocation loc) const {
+    return sm_.getFileOffset(sm_.getFileLoc(loc));
+  }
+
+  void add(Event::Kind kind, clang::SourceLocation loc,
+           const clang::Decl* handle, unsigned cancel_end = 0) {
+    events.push_back(
+        Event{offset_of(loc), kind, handle, loc, cancel_end});
+  }
+
+  const clang::SourceManager& sm_;
+};
+
+class StaleHandleCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit StaleHandleCallback(AnalyzerContext& ctx) : ctx_{ctx} {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* fn = result.Nodes.getNodeAs<clang::FunctionDecl>("fn");
+    if (fn == nullptr || !fn->doesThisDeclarationHaveABody()) return;
+    HandleEventCollector collector{result.Context->getSourceManager()};
+    collector.TraverseStmt(fn->getBody());
+    std::stable_sort(collector.events.begin(), collector.events.end(),
+                     [](const Event& a, const Event& b) {
+                       if (a.offset != b.offset) return a.offset < b.offset;
+                       return a.kind < b.kind;
+                     });
+    // handle -> end offset of the cancel that retired it
+    std::map<const clang::Decl*, unsigned> cancelled;
+    for (const Event& e : collector.events) {
+      switch (e.kind) {
+        case Event::kCancel: {
+          // A second cancel of an already-retired handle is itself a
+          // stale use (its argument read is exempt as part of the call,
+          // so catch it here).
+          const auto it = cancelled.find(e.handle);
+          if (it != cancelled.end() && e.offset >= it->second)
+            ctx_.report(*result.Context, e.loc, kCheck,
+                        "EventHandle is cancelled again after "
+                        "Simulator::cancel already retired it; reassign "
+                        "the handle between cancels");
+          cancelled[e.handle] = e.cancel_end;
+          break;
+        }
+        case Event::kAssign:
+          cancelled.erase(e.handle);
+          break;
+        case Event::kUse: {
+          const auto it = cancelled.find(e.handle);
+          if (it == cancelled.end() || e.offset < it->second) break;
+          ctx_.report(*result.Context, e.loc, kCheck,
+                      "EventHandle is read after Simulator::cancel "
+                      "retired it; reassign the handle (e.g. "
+                      "EventHandle{} or a new schedule) before reuse");
+          cancelled.erase(it);  // one report per stale window
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  AnalyzerContext& ctx_;
+};
+
+}  // namespace
+
+void register_stale_handle(MatchFinder& finder, AnalyzerContext& ctx) {
+  auto* callback = new StaleHandleCallback{ctx};
+  finder.addMatcher(
+      functionDecl(isDefinition(), hasBody(compoundStmt())).bind("fn"),
+      callback);
+}
+
+}  // namespace cloudlb_analyzer

@@ -1,0 +1,175 @@
+// analyzer-unordered-accum: a range-for over std::unordered_{map,set}
+// whose body folds values in iteration order. Hash order is libc++-vs-
+// libstdc++ (and pointer-salt) dependent, so two defect shapes break
+// bit-reproducibility:
+//
+//   * a floating accumulator updated per element (float addition is not
+//     associative — the sum depends on visit order), and
+//   * results appended to a sequence container (the output order IS the
+//     hash order).
+//
+// Integer accumulation is order-independent and allowed, as is any
+// accumulator declared inside the loop body (reset every iteration).
+// One level of helper calls is scanned: a body that calls a function
+// whose visible definition does the accumulation through a by-reference
+// parameter or a member is flagged at the call site.
+#include "analyzer.h"
+
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/SourceManager.h"
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+using namespace clang::ast_matchers;
+
+constexpr char kCheck[] = "analyzer-unordered-accum";
+
+bool is_unordered_container(clang::QualType type) {
+  type = type.getNonReferenceType().getCanonicalType();
+  const auto* record = type->getAsCXXRecordDecl();
+  if (record == nullptr) return false;
+  const llvm::StringRef name = record->getName();
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+bool is_floating(clang::QualType type) {
+  return type.getNonReferenceType()->isFloatingType();
+}
+
+// Does `decl` live inside the source range [begin, end) of the loop
+// body? Locals of the loop restart every iteration, so order cannot
+// leak through them.
+bool declared_within(const clang::Decl* decl, const clang::SourceManager& sm,
+                     clang::SourceLocation begin, clang::SourceLocation end) {
+  if (decl == nullptr) return false;
+  const clang::SourceLocation loc = sm.getFileLoc(decl->getLocation());
+  return sm.getFileID(loc) == sm.getFileID(begin) &&
+         sm.getFileOffset(loc) >= sm.getFileOffset(begin) &&
+         sm.getFileOffset(loc) < sm.getFileOffset(end);
+}
+
+// Scans one statement tree for order-dependent accumulation. With
+// `helper_depth` > 0, calls into functions with visible bodies are
+// scanned too (against their params/members only).
+class AccumScanner : public clang::RecursiveASTVisitor<AccumScanner> {
+ public:
+  AccumScanner(clang::ASTContext& ast, clang::SourceLocation body_begin,
+               clang::SourceLocation body_end, int helper_depth)
+      : ast_{ast},
+        body_begin_{body_begin},
+        body_end_{body_end},
+        helper_depth_{helper_depth} {}
+
+  // First offending site (invalid when clean) and its message.
+  clang::SourceLocation hit_loc;
+  std::string hit_message;
+
+  bool VisitBinaryOperator(clang::BinaryOperator* op) {
+    if (!op->isCompoundAssignmentOp()) return true;
+    const clang::Expr* lhs = op->getLHS()->IgnoreParenImpCasts();
+    if (!is_floating(lhs->getType())) return true;
+    if (target_is_loop_local(lhs)) return true;
+    record(op->getBeginLoc(),
+           "floating-point accumulator updated in unordered (hash) "
+           "iteration order; float addition is not associative — iterate "
+           "a sorted view or accumulate into an exact/integer form");
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* call) {
+    const clang::CXXMethodDecl* method = call->getMethodDecl();
+    if (method == nullptr) return true;
+    const llvm::StringRef name = method->getName();
+    if (name != "push_back" && name != "emplace_back") return true;
+    const clang::Expr* object =
+        call->getImplicitObjectArgument()->IgnoreParenImpCasts();
+    if (target_is_loop_local(object)) return true;
+    record(call->getBeginLoc(),
+           "results appended to a sequence container in unordered (hash) "
+           "iteration order; collect then sort, or iterate a sorted view");
+    return true;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    if (helper_depth_ <= 0) return true;
+    if (llvm::isa<clang::CXXMemberCallExpr>(call)) return true;
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) return true;
+    const clang::FunctionDecl* def = nullptr;
+    if (!callee->hasBody(def) || def->getBody() == nullptr) return true;
+    // Scan the helper against its own params/members: passing loop state
+    // by reference and accumulating inside is the same defect one frame
+    // down. Loop-local exemption does not apply there (locations lie in
+    // a different function), so use an empty range.
+    AccumScanner inner{ast_, clang::SourceLocation{},
+                       clang::SourceLocation{}, helper_depth_ - 1};
+    inner.TraverseStmt(def->getBody());
+    if (inner.hit_loc.isValid())
+      record(call->getBeginLoc(),
+             "call to '" + callee->getNameAsString() +
+                 "' accumulates order-dependent state (see its "
+                 "definition) while iterating an unordered container");
+    return true;
+  }
+
+ private:
+  void record(clang::SourceLocation loc, std::string message) {
+    if (hit_loc.isInvalid()) {
+      hit_loc = loc;
+      hit_message = std::move(message);
+    }
+  }
+
+  // The written-to entity, when it is a plain variable declared inside
+  // the loop body (then order cannot escape one iteration).
+  bool target_is_loop_local(const clang::Expr* target) const {
+    if (body_begin_.isInvalid()) return false;
+    if (const auto* ref = llvm::dyn_cast<clang::DeclRefExpr>(target))
+      return declared_within(ref->getDecl(), ast_.getSourceManager(),
+                             body_begin_, body_end_);
+    return false;  // members and everything else outlive the iteration
+  }
+
+  clang::ASTContext& ast_;
+  clang::SourceLocation body_begin_;
+  clang::SourceLocation body_end_;
+  int helper_depth_;
+};
+
+class UnorderedForCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit UnorderedForCallback(AnalyzerContext& ctx) : ctx_{ctx} {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* loop =
+        result.Nodes.getNodeAs<clang::CXXForRangeStmt>("loop");
+    if (loop == nullptr || loop->getBody() == nullptr) return;
+    const clang::Expr* range = loop->getRangeInit();
+    if (range == nullptr || !is_unordered_container(range->getType()))
+      return;
+    const clang::SourceManager& sm = result.Context->getSourceManager();
+    AccumScanner scanner{*result.Context,
+                         sm.getFileLoc(loop->getBody()->getBeginLoc()),
+                         sm.getFileLoc(loop->getBody()->getEndLoc()),
+                         /*helper_depth=*/1};
+    scanner.TraverseStmt(const_cast<clang::Stmt*>(loop->getBody()));
+    if (scanner.hit_loc.isValid())
+      ctx_.report(*result.Context, scanner.hit_loc, kCheck,
+                  scanner.hit_message);
+  }
+
+ private:
+  AnalyzerContext& ctx_;
+};
+
+}  // namespace
+
+void register_unordered_accum(MatchFinder& finder, AnalyzerContext& ctx) {
+  auto* callback = new UnorderedForCallback{ctx};
+  finder.addMatcher(cxxForRangeStmt().bind("loop"), callback);
+}
+
+}  // namespace cloudlb_analyzer

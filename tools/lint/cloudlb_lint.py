@@ -20,6 +20,12 @@ by a trailing comment naming its rule:
     std::mt19937 gen;  // NOLINT-CLOUDLB(ambient-rng): fixture for tests
 
 Multiple rules separate with commas: `// NOLINT-CLOUDLB(rule-a,rule-b)`.
+A suppression naming a rule that fires no diagnostic on its line is itself
+reported as `stale-nolint`, so suppressions cannot rot in place after the
+code they excused is fixed (and rule-name typos are caught). Rules whose
+name starts with `analyzer-` belong to the Clang AST analyzer
+(tools/analyzer/), which shares this suppression syntax; the Python
+linter cannot evaluate those and leaves them alone.
 
 Usage:
     cloudlb_lint.py [--root DIR]          lint DIR's src/tests/bench/tools
@@ -46,7 +52,7 @@ SCAN_DIRS = ("src", "tests", "bench", "tools")
 
 # The linter's own fixture corpus: deliberately bad code, never linted as
 # part of the real tree.
-EXCLUDED = ("tests/lint/fixtures",)
+EXCLUDED = ("tests/lint/fixtures", "tests/analyzer/fixtures")
 
 SOURCE_SUFFIXES = (".cc", ".cpp", ".h", ".hpp")
 HEADER_SUFFIXES = (".h", ".hpp")
@@ -70,20 +76,50 @@ class Rule(NamedTuple):
     allow: tuple[tuple[str, str], ...] = ()
 
 
+def _raw_prefix_len(line: str, i: int) -> int:
+    """Length of a raw-string-literal prefix (R, u8R, uR, UR, LR) ending
+    immediately before the quote at line[i], or 0 when the quote does not
+    open a raw string (including `FOOBAR"..."`, an identifier that merely
+    ends in R)."""
+    for pre in ("u8R", "uR", "UR", "LR", "R"):
+        if line.endswith(pre, 0, i):
+            before = i - len(pre) - 1
+            if before < 0 or not (line[before].isalnum() or line[before] == "_"):
+                return len(pre)
+    return 0
+
+
 def _strip_comments_and_strings(lines: list[str]) -> list[str]:
     """Blanks out comments and string/char literal bodies, keeping the
-    line structure so diagnostics still point at real lines. Good enough
-    for a linter: raw strings are treated as plain strings, and trigraph
-    or line-splice edge cases are ignored."""
+    line structure so diagnostics still point at real lines. Handles raw
+    string literals (`R"delim(...)delim"`, possibly spanning lines) and
+    backslash line continuations that splice a // comment or a quoted
+    literal onto the next physical line; trigraphs are ignored."""
     out: list[str] = []
-    in_block = False
+    in_block = False          # inside /* ... */
+    raw_delim: str | None = None  # inside R"delim( ... , awaiting )delim"
+    in_line_comment = False   # // comment spliced on by a trailing backslash
+    quote: str | None = None  # quoted literal spliced on by a trailing backslash
     for line in lines:
         res: list[str] = []
         i, n = 0, len(line)
-        quote: str | None = None
+        if in_line_comment:
+            in_line_comment = line.endswith("\\")
+            out.append(" " * n)
+            continue
         while i < n:
             c = line[i]
-            if in_block:
+            if raw_delim is not None:
+                close = line.find(")" + raw_delim + '"', i)
+                if close == -1:
+                    res.append(" " * (n - i))
+                    i = n
+                else:
+                    end = close + len(raw_delim) + 2
+                    res.append(" " * (end - 1 - i) + '"')
+                    i = end
+                    raw_delim = None
+            elif in_block:
                 if line.startswith("*/", i):
                     in_block = False
                     res.append("  ")
@@ -92,9 +128,13 @@ def _strip_comments_and_strings(lines: list[str]) -> list[str]:
                     res.append(" ")
                     i += 1
             elif quote:
-                if c == "\\" and i + 1 < n:
-                    res.append("  ")
-                    i += 2
+                if c == "\\":
+                    if i + 1 < n:
+                        res.append("  ")
+                        i += 2
+                    else:  # line splice: literal continues on the next line
+                        res.append(" ")
+                        i += 1
                 elif c == quote:
                     quote = None
                     res.append(c)
@@ -103,12 +143,31 @@ def _strip_comments_and_strings(lines: list[str]) -> list[str]:
                     res.append(" ")
                     i += 1
             elif line.startswith("//", i):
+                in_line_comment = line.endswith("\\")
                 res.append(" " * (n - i))
                 break
             elif line.startswith("/*", i):
                 in_block = True
                 res.append("  ")
                 i += 2
+            elif c == '"' and _raw_prefix_len(line, i):
+                paren = line.find("(", i + 1)
+                delim = line[i + 1:paren] if paren != -1 else None
+                if delim is not None and len(delim) <= 16 and not re.search(
+                        r'[\s\\)"]', delim):
+                    close = line.find(")" + delim + '"', paren + 1)
+                    if close == -1:
+                        res.append('"' + " " * (n - i - 1))
+                        raw_delim = delim
+                        i = n
+                    else:
+                        end = close + len(delim) + 2
+                        res.append('"' + " " * (end - i - 2) + '"')
+                        i = end
+                else:  # malformed d-char-seq: fall back to a plain string
+                    quote = c
+                    res.append(c)
+                    i += 1
             elif c in "\"'":
                 quote = c
                 res.append(c)
@@ -116,6 +175,8 @@ def _strip_comments_and_strings(lines: list[str]) -> list[str]:
             else:
                 res.append(c)
                 i += 1
+        if quote and not line.endswith("\\"):
+            quote = None  # unterminated literal; don't poison later lines
         out.append("".join(res))
     return out
 
@@ -300,6 +361,15 @@ RULES: list[Rule] = [
 NOLINT = re.compile(r"//\s*NOLINT-CLOUDLB\(([^)]*)\)")
 EXPECT = re.compile(r"//\s*EXPECT-LINT\(([^)]*)\)")
 
+# The stale-suppression meta-rule (not in RULES: it checks the NOLINT
+# comments themselves, after every ordinary rule has run).
+STALE_RULE = "stale-nolint"
+# Suppressions owned by the Clang AST analyzer (tools/analyzer/), which
+# shares the NOLINT-CLOUDLB syntax. The Python linter cannot decide
+# whether they are live, so they are exempt from staleness checking here;
+# cloudlb-analyzer does its own accounting.
+ANALYZER_RULE_PREFIX = "analyzer-"
+
 
 def _suppressed_rules(line: str) -> set[str]:
     rules: set[str] = set()
@@ -328,6 +398,24 @@ def lint_file(path: pathlib.Path, rel: pathlib.PurePath) -> list[Diagnostic]:
         if any(rel.match(glob) or str(rel) == glob for glob, _ in rule.allow):
             continue
         found.extend(rule.check(rule, path, raw, code))
+
+    # Stale-suppression pass: a NOLINT-CLOUDLB naming a rule that fired no
+    # diagnostic on its line does nothing — either the offending code was
+    # fixed (drop the comment) or the rule name is a typo (fix it). Runs
+    # against the pre-suppression findings, so a working suppression is
+    # "consumed" and never reported stale.
+    fired: dict[int, set[str]] = {}
+    for d in found:
+        fired.setdefault(d.line, set()).add(d.rule)
+    for lineno, line in enumerate(raw, 1):
+        for name in sorted(_suppressed_rules(line)):
+            if name == STALE_RULE or name.startswith(ANALYZER_RULE_PREFIX):
+                continue
+            if name not in fired.get(lineno, set()):
+                found.append(Diagnostic(
+                    path, lineno, STALE_RULE,
+                    f"suppression '{name}' matches no diagnostic on this "
+                    "line; drop it (or fix the rule name)"))
 
     return [d for d in found
             if d.line > len(raw)
@@ -398,6 +486,10 @@ def main(argv: list[str]) -> int:
             where = ", ".join(rule.scopes)
             kind = "headers" if rule.headers_only else "all sources"
             print(f"{rule.name:16} [{where}; {kind}]\n    {rule.description}")
+        print(f"{STALE_RULE:16} [{', '.join(SCAN_DIRS)}; all sources]\n"
+              "    A NOLINT-CLOUDLB suppression that fires no diagnostic "
+              "on its line\n    is dead weight or a typo; `analyzer-*` "
+              "names belong to\n    tools/analyzer/ and are exempt here.")
         return 0
 
     if args.selftest:
