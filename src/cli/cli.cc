@@ -5,6 +5,7 @@
 
 #include "apps/app_factory.h"
 #include "core/balancer_factory.h"
+#include "core/forecasting_estimator.h"
 #include "core/replay.h"
 #include "core/scenario.h"
 #include "faults/fault_spec.h"
@@ -49,7 +50,23 @@ commands:
                                             when a stats window is garbage)
              --estimator-window=N          (median-of-N outlier clamp on the
                                             background estimate; default 0
-                                            = the paper's raw estimate)
+                                            = the paper's raw estimate;
+                                            N must be 0 or >= 3)
+             --estimator-clamp-factor=F    (clamp ceiling multiplier over
+                                            the window median; default 4,
+                                            must be >= 1)
+             --estimator=MODE              (persist|ewma|trend|regress:
+                                            forecast the background load
+                                            one window ahead and balance
+                                            proactively; default persist
+                                            = the paper's last-window
+                                            persistence; see
+                                            docs/estimators.md)
+             --forecast-horizon=F          (windows ahead to extrapolate;
+                                            default 1, must be > 0)
+             --forecast-margin=F           (confidence-band multiplier
+                                            added to the prediction;
+                                            default 0, must be >= 0)
              --csv                         (emit CSV instead of a table)
   sweep      the Figure-2/4 grid
              --app=..., --cores=4,8,16,32, --balancers=null,ia-refine
@@ -95,8 +112,34 @@ ScenarioConfig config_from(Options& options,
       static_cast<int>(options.get_int("migration-retries", 0));
   config.lb_options.robustness.fallback_on_insane_stats =
       options.get_bool("lb-fallback", false);
-  config.lb_options.robustness.estimator_window =
+  // Validate the estimator knobs here, at parse time, with errors that
+  // name the flag — mirroring the eager FaultPlan::parse above. Without
+  // this, a bad value only surfaces as a CLB_CHECK abort deep inside the
+  // estimator constructor, mid-run.
+  LbRobustnessOptions& robustness = config.lb_options.robustness;
+  robustness.estimator_window =
       static_cast<int>(options.get_int("estimator-window", 0));
+  CLB_CHECK_MSG(
+      robustness.estimator_window == 0 || robustness.estimator_window >= 3,
+      "--estimator-window must be 0 (clamp off) or at least 3; got "
+          << robustness.estimator_window);
+  robustness.estimator_clamp_factor =
+      options.get_double("estimator-clamp-factor", 4.0);
+  CLB_CHECK_MSG(robustness.estimator_clamp_factor >= 1.0,
+                "--estimator-clamp-factor must be at least 1.0 (a ceiling "
+                "below the median would clamp everything); got "
+                    << robustness.estimator_clamp_factor);
+  // estimator_mode_from_name rejects unknown modes with the valid list.
+  robustness.estimator_mode =
+      estimator_mode_from_name(options.get_string("estimator", "persist"));
+  robustness.forecast_horizon = options.get_double("forecast-horizon", 1.0);
+  CLB_CHECK_MSG(robustness.forecast_horizon > 0.0,
+                "--forecast-horizon must be positive; got "
+                    << robustness.forecast_horizon);
+  robustness.forecast_margin = options.get_double("forecast-margin", 0.0);
+  CLB_CHECK_MSG(robustness.forecast_margin >= 0.0,
+                "--forecast-margin must be non-negative; got "
+                    << robustness.forecast_margin);
   return config;
 }
 

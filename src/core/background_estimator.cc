@@ -21,19 +21,31 @@ double finite_or_zero(double v, const char* field, PeId pe) {
   return 0.0;
 }
 
-/// Tolerance for "field exceeds the wall window": absolute floor for tiny
-/// windows plus a relative allowance for clock jitter and jiffy rounding.
-double wall_slack(double wall_sec) { return 1e-9 + 0.05 * wall_sec; }
+/// The relative wall-slack allowance. Keep this the only `0.05` in the
+/// estimator: every consumer goes through wall_slack(), so the sanity
+/// gate and the clamp ceiling cannot drift apart (the determinism
+/// linter's float-literal rule pins the bare-literal form).
+constexpr double kWallSlackFraction = 0.05;
 
-/// Median of a small sample (by copy; windows are a handful of entries).
+}  // namespace
+
+double wall_slack(double wall_sec) {
+  return 1e-9 + kWallSlackFraction * wall_sec;
+}
+
 double median_of(std::vector<double> v) {
   const auto mid = v.size() / 2;
   std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
                    v.end());
-  return v[mid];
+  if (v.size() % 2 != 0) return v[mid];
+  // Even sample: nth_element left the upper middle at v[mid] and
+  // everything not greater before it, so the lower middle is the max of
+  // the left partition. Averaging the two keeps the clamp ceiling
+  // unbiased for even windows.
+  const double lower =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + v[mid]);
 }
-
-}  // namespace
 
 double estimate_background_load(const PeSample& pe) {
   const double wall = finite_or_zero(pe.wall_sec, "wall_sec", pe.pe);
@@ -94,7 +106,7 @@ std::vector<double> WindowedBackgroundEstimator::estimate(
       // bounded rate per window instead of being suppressed forever.
       const double ceiling =
           clamp_factor_ * median_of(ring) +
-          0.05 * std::max(stats.pes[p].wall_sec, 0.0);
+          wall_slack(std::max(stats.pes[p].wall_sec, 0.0));
       if (raw > ceiling) {
         value = ceiling;
         ++clamped_;

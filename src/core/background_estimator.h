@@ -38,11 +38,23 @@ bool pe_sample_sane(const PeSample& pe);
 /// InterferenceAwareRefineLb's garbage fallback keys on.
 bool stats_sane(const LbStats& stats);
 
+/// Tolerance for "a duration exceeds the wall window": an absolute floor
+/// for tiny windows plus a relative allowance for clock jitter and jiffy
+/// rounding. The single source of the wall-slack fraction — the sanity
+/// gate, the windowed clamp ceiling, and the forecast mispredict test all
+/// share it so the tolerances cannot drift apart.
+double wall_slack(double wall_sec);
+
+/// Median of a small sample (by copy; windows are a handful of entries).
+/// Even-sized samples average the two middle elements — returning either
+/// middle alone would bias the clamp ceiling by half an element.
+double median_of(std::vector<double> samples);
+
 /// Eq. 2 with windowed outlier rejection (a median-of-window clamp).
 ///
 /// Keeps the last `window` raw estimates per PE and caps each new one at
 ///
-///     clamp_factor · median(window) + slack · T_lb
+///     clamp_factor · median(window) + wall_slack(T_lb)
 ///
 /// so a one-window measurement glitch (dropped sample, corrupted counter,
 /// interference alias) cannot command a migration storm, while a genuine
@@ -58,7 +70,9 @@ class WindowedBackgroundEstimator {
   /// Per-PE clamped estimates; same shape as estimate_background_load.
   std::vector<double> estimate(const LbStats& stats);
 
-  /// Estimates capped by the clamp so far (diagnostics/tests).
+  /// Estimates capped by the clamp so far (diagnostics/tests). Cumulative
+  /// over the estimator's lifetime: a PE-count change resets the history
+  /// rings but never this counter.
   int clamped_count() const { return clamped_; }
 
  private:

@@ -6,13 +6,7 @@
 namespace cloudlb {
 
 InterferenceAwareRefineLb::InterferenceAwareRefineLb(LbOptions options)
-    : options_{options} {
-  if (options_.robustness.estimator_window > 0) {
-    windowed_ = std::make_unique<WindowedBackgroundEstimator>(
-        options_.robustness.estimator_window,
-        options_.robustness.estimator_clamp_factor);
-  }
-}
+    : options_{options}, estimator_{options.robustness} {}
 
 std::vector<PeId> InterferenceAwareRefineLb::assign(const LbStats& stats) {
   if (options_.robustness.fallback_on_insane_stats && !stats_sane(stats)) {
@@ -25,12 +19,15 @@ std::vector<PeId> InterferenceAwareRefineLb::assign(const LbStats& stats) {
              << garbage_fallbacks_ << ")");
     return stats.current_assignment();
   }
-  const std::vector<double> background =
-      windowed_ != nullptr ? windowed_->estimate(stats)
-                           : estimate_background_load(stats);
+  const std::vector<double> background = estimator_.estimate(stats);
   RefinementResult result =
       refine_assignment(stats, background, make_refinement_options(options_));
   total_migrations_ += result.migrations;
+  // Whatever this window migrated, it migrated off the back of the
+  // previous window's forecast; bill it to the forecaster when that
+  // forecast turned out wrong.
+  if (estimator_.last_window_mispredicted())
+    mispredict_churn_ += result.migrations;
   return std::move(result.assignment);
 }
 

@@ -1,8 +1,6 @@
 #pragma once
 
-#include <memory>
-
-#include "core/background_estimator.h"
+#include "core/forecasting_estimator.h"
 #include "lb/framework.h"
 
 namespace cloudlb {
@@ -23,6 +21,13 @@ namespace cloudlb {
 /// the balancer can fall back to the current assignment (the last one a
 /// good window produced) rather than migrate on noise, and the background
 /// estimate can pass through a median-of-window outlier clamp.
+///
+/// Proactive mode (estimator_mode != persist): the background estimate is
+/// additionally run through a forecasting estimator (EWMA / linear trend /
+/// windowed regression, see forecasting_estimator.h) so refinement
+/// balances against the *predicted* next-window O_p and migrates before a
+/// spike lands instead of one window after it. The default persist mode
+/// takes none of these paths and stays byte-identical to the paper.
 class InterferenceAwareRefineLb final : public LoadBalancer {
  public:
   explicit InterferenceAwareRefineLb(LbOptions options = {});
@@ -36,11 +41,22 @@ class InterferenceAwareRefineLb final : public LoadBalancer {
   /// LB steps skipped because the stats failed the sanity test.
   int garbage_fallbacks() const { return garbage_fallbacks_; }
 
+  /// Windows whose forecast the next observation refuted (0 in persist
+  /// mode — persistence never claims to predict).
+  int mispredicted_windows() const {
+    return estimator_.mispredicted_windows();
+  }
+
+  /// Migrations commanded in windows balanced off a forecast the
+  /// observation then refuted — the churn bill of bad predictions.
+  int mispredict_churn() const { return mispredict_churn_; }
+
  private:
   LbOptions options_;
-  std::unique_ptr<WindowedBackgroundEstimator> windowed_;
+  ProactiveBackgroundEstimator estimator_;
   int total_migrations_ = 0;
   int garbage_fallbacks_ = 0;
+  int mispredict_churn_ = 0;
 };
 
 }  // namespace cloudlb

@@ -1,19 +1,21 @@
 #include "core/smoothed_lb.h"
 
-#include "core/background_estimator.h"
 #include "lb/refinement.h"
 #include "util/check.h"
 
 namespace cloudlb {
 
 SmoothedInterferenceAwareLb::SmoothedInterferenceAwareLb(Options options)
-    : options_{options} {
+    : options_{options}, estimator_{options.base.robustness} {
   CLB_CHECK(options.alpha > 0.0 && options.alpha <= 1.0);
   CLB_CHECK(options.chare_alpha > 0.0 && options.chare_alpha <= 1.0);
 }
 
 std::vector<PeId> SmoothedInterferenceAwareLb::assign(const LbStats& stats) {
-  const std::vector<double> fresh = estimate_background_load(stats);
+  // With default robustness options this is exactly the raw Eq. 2
+  // estimate; with a clamp window or forecasting mode the composed
+  // (clamp → forecast) series feeds the EWMA below.
+  const std::vector<double> fresh = estimator_.estimate(stats);
   if (ewma_.size() != fresh.size()) {
     ewma_ = fresh;  // first window (or the PE set changed): seed directly
   } else {

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/forecasting_estimator.h"
 #include "lb/framework.h"
 
 namespace cloudlb {
@@ -19,6 +20,11 @@ namespace cloudlb {
 ///
 /// and feeds Ô_p into Algorithm 1. α = 1 degenerates to the paper's
 /// last-window behaviour; smaller α trades reaction speed for stability.
+///
+/// The robustness/forecasting layer of LbRobustnessOptions (outlier
+/// clamp, proactive estimator modes) applies here too: the composed
+/// estimate feeds this class's own EWMA, so e.g. `--estimator=trend`
+/// smooths a *predicted* series. The default options change nothing.
 class SmoothedInterferenceAwareLb final : public LoadBalancer {
  public:
   struct Options {
@@ -48,6 +54,7 @@ class SmoothedInterferenceAwareLb final : public LoadBalancer {
 
  private:
   Options options_;
+  ProactiveBackgroundEstimator estimator_;
   std::vector<double> ewma_;
   std::vector<double> chare_ewma_;
 };

@@ -60,6 +60,18 @@ class LoadBalancer {
   virtual std::vector<PeId> assign(const LbStats& stats) = 0;
 };
 
+/// How a balancer turns the per-PE background series (Eq. 2) into the
+/// load it balances against (see docs/estimators.md). kPersist is the
+/// paper's principle of persistence — the last window, verbatim; the
+/// other modes forecast one window ahead so refinement can migrate
+/// *before* a predicted spike lands.
+enum class EstimatorMode {
+  kPersist,  ///< last window predicts the next (the paper's scheme)
+  kEwma,     ///< exponentially weighted level, flat forecast
+  kTrend,    ///< Holt-style level + velocity, linear forecast
+  kRegress,  ///< windowed least-squares line fit
+};
+
 /// Degradation behaviour under hostile measurements (see
 /// docs/fault-injection.md). Everything defaults to off, so faultless
 /// runs are bit-identical to the paper's scheme.
@@ -77,6 +89,29 @@ struct LbRobustnessOptions {
   /// Ceiling multiplier of the outlier clamp: a new estimate may exceed
   /// the window median by at most this factor (plus a small slack).
   double estimator_clamp_factor = 4.0;
+
+  /// Forecasting mode layered on top of the (optionally clamped) Eq. 2
+  /// series: the clamp runs first, the forecaster sees the clamped
+  /// values. kPersist leaves the series untouched — byte-identical to
+  /// the paper's behaviour, pinned by the golden trace digest.
+  EstimatorMode estimator_mode = EstimatorMode::kPersist;
+
+  /// How far ahead the forecaster extrapolates, in LB windows. 1.0 is
+  /// "the next window" (the horizon refinement actually balances for).
+  double forecast_horizon = 1.0;
+
+  /// Confidence-band multiplier added to the prediction: the balancer
+  /// plans against `predicted + margin · band`, trading a little
+  /// pessimism for fewer mispredict-triggered re-migrations. 0 plans
+  /// against the point prediction alone.
+  double forecast_margin = 0.0;
+
+  /// Smoothing weight of the newest observation for the EWMA and trend
+  /// forecasters, in (0, 1].
+  double forecast_alpha = 0.5;
+
+  /// History length of the windowed-least-squares forecaster (>= 2).
+  int forecast_window = 8;
 };
 
 /// Tuning shared by the refinement-style strategies.

@@ -224,5 +224,60 @@ TEST(CliTest, UnknownAppReportsError) {
   EXPECT_NE(r.err.find("unknown application"), std::string::npos);
 }
 
+TEST(CliTest, EstimatorWindowTooSmallFailsAtParse) {
+  // 1 or 2 samples have a degenerate median; the flag takes 0 (off) or
+  // >= 3, and the error must name both the flag and the rule.
+  const CliResult r = cli({"penalty", "--app=jacobi2d", "--cores=4",
+                           "--iterations=20", "--bg-iterations=40",
+                           "--estimator-window=2"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--estimator-window"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("at least 3"), std::string::npos) << r.err;
+}
+
+TEST(CliTest, EstimatorClampFactorBelowOneFailsAtParse) {
+  const CliResult r = cli({"penalty", "--app=jacobi2d", "--cores=4",
+                           "--iterations=20", "--bg-iterations=40",
+                           "--estimator-clamp-factor=0.5"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--estimator-clamp-factor"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("at least 1"), std::string::npos) << r.err;
+}
+
+TEST(CliTest, UnknownEstimatorModeListsTheValidOnes) {
+  const CliResult r = cli({"penalty", "--app=jacobi2d", "--cores=4",
+                           "--iterations=20", "--bg-iterations=40",
+                           "--estimator=psychic"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("persist|ewma|trend|regress"), std::string::npos)
+      << r.err;
+}
+
+TEST(CliTest, NonPositiveForecastHorizonFailsAtParse) {
+  const CliResult r = cli({"penalty", "--app=jacobi2d", "--cores=4",
+                           "--iterations=20", "--bg-iterations=40",
+                           "--estimator=trend", "--forecast-horizon=0"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--forecast-horizon"), std::string::npos) << r.err;
+}
+
+TEST(CliTest, NegativeForecastMarginFailsAtParse) {
+  const CliResult r = cli({"penalty", "--app=jacobi2d", "--cores=4",
+                           "--iterations=20", "--bg-iterations=40",
+                           "--estimator=ewma", "--forecast-margin=-0.5"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--forecast-margin"), std::string::npos) << r.err;
+}
+
+TEST(CliTest, ForecastingPenaltyRunsEndToEnd) {
+  const CliResult r = cli({"penalty", "--app=jacobi2d", "--cores=4",
+                           "--iterations=20", "--bg-iterations=40",
+                           "--estimator=trend", "--estimator-window=3",
+                           "--forecast-margin=0.5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("app penalty (%)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cloudlb

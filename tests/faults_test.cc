@@ -335,10 +335,10 @@ TEST(WindowedEstimatorTest, OneWindowSpikeIsClamped) {
     EXPECT_NEAR(est.estimate(stats_with_background(0.5))[0], 0.5, 1e-9);
   ASSERT_EQ(est.clamped_count(), 0);
   // A one-window glitch: raw O_p jumps 16x. The clamp caps it at
-  // 4 × median + 5% of the window.
+  // 4 × median + the shared wall-slack tolerance.
   const double clamped = est.estimate(stats_with_background(8.0))[0];
   EXPECT_EQ(est.clamped_count(), 1);
-  EXPECT_NEAR(clamped, 4.0 * 0.5 + 0.05 * 10.0, 1e-9);
+  EXPECT_NEAR(clamped, 4.0 * 0.5 + wall_slack(10.0), 1e-12);
 }
 
 TEST(WindowedEstimatorTest, SustainedShiftPassesWithinHalfAWindow) {

@@ -37,4 +37,15 @@ double narrowed_load_accounting(double t_avg) {
   return t_avg * static_cast<double>(share);
 }
 
+double regressed_wall_slack(double median, double wall) {
+  // The pre-wall_slack() form of the clamp ceiling: the tolerance
+  // literal duplicated at the use site instead of flowing through the
+  // named helper.
+  return 4.0 * median + 0.05 * wall;               // EXPECT-LINT(float-literal)
+}
+
+double regressed_wall_slack_flipped(double wall) {
+  return wall * 0.05;                              // EXPECT-LINT(float-literal)
+}
+
 }  // namespace cloudlb_lint_fixture

@@ -44,4 +44,13 @@ std::unique_ptr<std::vector<int>> owned() {
   return std::make_unique<std::vector<int>>(8);
 }
 
+// The canonical wall-slack shape: defining the named constant is fine
+// (no multiplication on the line); multiplying through the *name* is the
+// whole point of the float-literal rule.
+constexpr double kWallSlackFraction = 0.05;
+
+double named_wall_slack(double wall) {
+  return kWallSlackFraction * wall;
+}
+
 }  // namespace cloudlb_lint_fixture

@@ -10,6 +10,7 @@ invariant loud (docs/static-analysis.md):
   naked-new        no naked new/delete outside the slot-arena machinery
   assert           no <cassert> assert() in src/ (CLB_CHECK throws instead)
   float-load       no `float` in load accounting (Eq. 1-3 are double)
+  float-literal    no bare 0.05*wall slack literals; use wall_slack()
   pragma-once      headers start with #pragma once
   using-namespace  no `using namespace` at header scope
 
@@ -336,6 +337,21 @@ RULES: list[Rule] = [
         check=_regex_rule([
             (r"\bfloat\b",
              "use double: Eq. 1-3 load accounting must not narrow"),
+        ]),
+    ),
+    Rule(
+        name="float-literal",
+        scopes=("src",),
+        headers_only=False,
+        description="Shared tolerances flow through their named helper: a "
+                    "bare wall-slack literal (0.05 x wall) duplicated at a "
+                    "use site drifts silently when the canonical value "
+                    "changes.",
+        check=_regex_rule([
+            (r"0\.05\s*\*|\*\s*0\.05",
+             "bare wall-slack multiplication; call wall_slack() "
+             "(core/background_estimator.h) so the tolerance has one "
+             "definition"),
         ]),
     ),
     Rule(
