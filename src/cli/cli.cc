@@ -46,6 +46,14 @@ commands:
              --migration-retries=N         (retry failed migrations up to N
                                             times with doubling backoff;
                                             default 0)
+             --shards=N                    (partition the cluster's nodes
+                                            into N shards; cross-shard
+                                            traffic is released at
+                                            conservative window barriers
+                                            in deterministic merge order;
+                                            default 1 = the legacy direct
+                                            path; see
+                                            docs/sharded-engine.md)
              --lb-fallback                 (keep the last-good assignment
                                             when a stats window is garbage)
              --estimator-window=N          (median-of-N outlier clamp on the
@@ -110,6 +118,9 @@ ScenarioConfig config_from(Options& options,
   if (!config.faults.empty()) static_cast<void>(FaultPlan::parse(config.faults));
   config.job.migration_max_retries =
       static_cast<int>(options.get_int("migration-retries", 0));
+  config.shards = static_cast<int>(options.get_int("shards", 1));
+  CLB_CHECK_MSG(config.shards >= 1,
+                "--shards must be at least 1; got " << config.shards);
   config.lb_options.robustness.fallback_on_insane_stats =
       options.get_bool("lb-fallback", false);
   // Validate the estimator knobs here, at parse time, with errors that

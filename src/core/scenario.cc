@@ -1,11 +1,13 @@
 #include "core/scenario.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "apps/wave2d.h"
 #include "core/balancer_factory.h"
 #include "faults/fault_injector.h"
 #include "lb/null_lb.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/validate.h"
@@ -95,7 +97,23 @@ RunResult run_scenario_with(const ScenarioConfig& config,
   ValidationScope validation{config.validate || validation_enabled()};
 
   Simulator sim;
+  // Presize the arena and heap before the first event: steady state holds
+  // only a few pending events per core (in-flight messages plus timers),
+  // so a generous per-core multiplier removes every mid-run regrow at
+  // negligible memory cost (tests/sim_alloc_test.cc pins this).
+  const std::size_t presize =
+      1024 + 256 * static_cast<std::size_t>(config.app_cores);
+  sim.reserve(presize, presize);
   Machine machine{sim, machine_for(config, config.app_cores)};
+
+  // --shards N: windowed cross-shard delivery over block-partitioned
+  // nodes. The router must outlive both jobs, which keep a pointer to it.
+  std::unique_ptr<WindowedShardRouter> router;
+  if (config.shards > 1 && machine.num_nodes() > 1) {
+    router = std::make_unique<WindowedShardRouter>(
+        sim, std::min(config.shards, machine.num_nodes()),
+        machine.num_nodes(), min_internode_delay(config.job.network));
+  }
 
   std::vector<CoreId> app_cores(static_cast<std::size_t>(config.app_cores));
   std::iota(app_cores.begin(), app_cores.end(), 0);
@@ -118,6 +136,7 @@ RunResult run_scenario_with(const ScenarioConfig& config,
   app_job_config.name = config.app.name;
   app_job_config.lb_period = config.lb_period;
   if (faults != nullptr) app_job_config.faults = faults.get();
+  if (router != nullptr) app_job_config.router = router.get();
   RuntimeJob app_job{sim, app_vm, app_job_config, std::move(balancer)};
   populate_app(app_job, config.app);
   if (tracer != nullptr) app_job.set_observer(tracer);
@@ -129,8 +148,9 @@ RunResult run_scenario_with(const ScenarioConfig& config,
     std::iota(bg_cores.begin(), bg_cores.end(), 0);
     bg_vm = std::make_unique<VirtualMachine>(machine, "bg", bg_cores,
                                              config.bg_weight);
-    bg_job = std::make_unique<RuntimeJob>(sim, *bg_vm,
-                                          background_job_config(config),
+    JobConfig bg_jc = background_job_config(config);
+    if (router != nullptr) bg_jc.router = router.get();
+    bg_job = std::make_unique<RuntimeJob>(sim, *bg_vm, bg_jc,
                                           std::make_unique<NullLb>());
     populate_wave2d(*bg_job, background_app_config(config));
     if (tracer != nullptr) bg_job->set_observer(tracer);

@@ -27,6 +27,15 @@ struct ScenarioConfig {
   /// cores per node by default, like the testbed).
   MachineConfig machine;
 
+  /// Shard count for windowed cross-node delivery (docs/sharded-engine.md).
+  /// <= 1 — the default — takes the legacy direct path, bit-identical to
+  /// earlier releases. With N > 1 the cluster's nodes are block-partitioned
+  /// into min(N, nodes) shards and every message or migration transfer
+  /// between shards is released at conservative window barriers (window =
+  /// the network's min_internode_delay) in canonical channel-merge order.
+  /// Deterministic per shard count; traffic within a shard is unaffected.
+  int shards = 1;
+
   /// Strategy name accepted by make_balancer ("null" = the paper's noLB).
   std::string balancer = "ia-refine";
   LbOptions lb_options;

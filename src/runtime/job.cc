@@ -104,9 +104,18 @@ void RuntimeJob::send(ChareId from, ChareId to, int tag,
   const CoreId src_core = core_of_pe(pe_of(from));
   const CoreId dst_core = core_of_pe(pe_of(to));
   const SimTime delay = network_delay(src_core, dst_core, msg.bytes);
-  sim_.schedule_after(delay, [this, m = std::move(msg)]() mutable {
+  auto deliver_cb = [this, m = std::move(msg)]() mutable {
     deliver(std::move(m));
-  });
+  };
+  const int src_node = vm_.machine().node_of(src_core);
+  const int dst_node = vm_.machine().node_of(dst_core);
+  if (config_.router != nullptr &&
+      config_.router->crosses_shards(src_node, dst_node)) {
+    config_.router->route(src_node, dst_node, sim_.now() + delay,
+                          std::move(deliver_cb));
+    return;
+  }
+  sim_.schedule_after(delay, std::move(deliver_cb));
 }
 
 SimTime RuntimeJob::network_delay(CoreId src, CoreId dst, std::size_t bytes) {
@@ -328,15 +337,24 @@ void RuntimeJob::attempt_migration(ChareId chare, PeId from, PeId to,
           retry_or_abandon(chare, from, to, attempt);
           return;
         }
-        sim_.schedule_after(transfer,
-                            [this, chare, from, to, attempt, unpack, fault] {
-                              if (fault == MigrationFault::kFailAtDest) {
-                                retry_or_abandon(chare, from, to, attempt);
-                                return;
-                              }
-                              enqueue_service(to, unpack,
-                                              [this] { migration_done(); });
-                            });
+        auto arrive = [this, chare, from, to, attempt, unpack, fault] {
+          if (fault == MigrationFault::kFailAtDest) {
+            retry_or_abandon(chare, from, to, attempt);
+            return;
+          }
+          enqueue_service(to, unpack, [this] { migration_done(); });
+        };
+        // Migration state crossing a shard boundary rides the same
+        // windowed channel as messages — it is just bigger cargo.
+        const int src_node = vm_.machine().node_of(core_of_pe(from));
+        const int dst_node = vm_.machine().node_of(core_of_pe(to));
+        if (config_.router != nullptr &&
+            config_.router->crosses_shards(src_node, dst_node)) {
+          config_.router->route(src_node, dst_node, sim_.now() + transfer,
+                                std::move(arrive));
+        } else {
+          sim_.schedule_after(transfer, std::move(arrive));
+        }
       });
 }
 

@@ -13,6 +13,7 @@
 #include "runtime/message.h"
 #include "runtime/network.h"
 #include "runtime/observer.h"
+#include "sim/shard_router.h"
 #include "sim/simulator.h"
 #include "vm/virtual_machine.h"
 
@@ -64,6 +65,14 @@ struct JobConfig {
   /// (500 us, 1 ms, 2 ms, ... — bounding the barrier stall a flaky
   /// migration path can cause to max_retries doublings).
   SimTime migration_retry_backoff = SimTime::micros(500);
+
+  /// Shard-aware delivery routing (non-owning; see src/sim/shard_router.h
+  /// and docs/sharded-engine.md). When set, messages and migration
+  /// transfers between machine nodes on different shards are buffered by
+  /// the router and released at conservative window barriers in canonical
+  /// channel-merge order instead of being scheduled directly. Null — the
+  /// default — keeps the legacy direct path bit-identical.
+  ShardRouter* router = nullptr;
 };
 
 /// A parallel job under the message-driven runtime: a set of chares mapped

@@ -14,4 +14,11 @@ SimTime delivery_delay(const NetworkConfig& net, std::size_t bytes,
   return latency + SimTime::from_seconds(static_cast<double>(bytes) / bw);
 }
 
+SimTime min_internode_delay(const NetworkConfig& net) {
+  CLB_CHECK_MSG(net.inter_node_latency > SimTime::zero(),
+                "window lookahead requires a positive inter-node latency, got "
+                    << net.inter_node_latency.to_string());
+  return net.inter_node_latency;
+}
+
 }  // namespace cloudlb

@@ -29,4 +29,10 @@ struct NetworkConfig {
 SimTime delivery_delay(const NetworkConfig& net, std::size_t bytes,
                        bool same_node);
 
+/// Lower bound on every inter-node delivery delay — the conservative
+/// lookahead the sharded engine's window protocol builds on
+/// (docs/sharded-engine.md): a cross-node message costs at least the base
+/// inter-node latency, so windows of this width can never be pierced.
+[[nodiscard]] SimTime min_internode_delay(const NetworkConfig& net);
+
 }  // namespace cloudlb

@@ -1,4 +1,4 @@
-#include "sim/simulator.h"
+#include "sim/engine_core.h"
 
 #include <algorithm>
 
@@ -6,7 +6,7 @@
 
 namespace cloudlb {
 
-void Simulator::compact_queue() {
+void EngineCore::compact_queue() {
   std::erase_if(queue_, [this](const QueueEntry& e) {
     return slots_[e.slot].gen != e.gen;
   });
@@ -18,7 +18,7 @@ void Simulator::compact_queue() {
   if (validation_enabled()) validate_integrity();
 }
 
-void Simulator::validate_integrity() const {
+void EngineCore::validate_integrity() const {
   // Heap property: no parent orders after any of its four children.
   for (std::size_t i = 1; i < queue_.size(); ++i) {
     const std::size_t parent = (i - 1) >> 2;
@@ -72,13 +72,13 @@ void Simulator::validate_integrity() const {
                                             << stale_);
 }
 
-void Simulator::run() {
+void EngineCore::run() {
   while (step()) {
   }
   if (validation_enabled()) validate_integrity();
 }
 
-void Simulator::run_until(SimTime t) {
+void EngineCore::run_until(SimTime t) {
   if (t < now_) {
     // Normally API misuse — but after fault_advance_clock the caller's
     // target can legitimately lag the perturbed clock. Recover mode treats
@@ -94,8 +94,7 @@ void Simulator::run_until(SimTime t) {
     // Skip stale (cancelled) heads without advancing the clock.
     const QueueEntry entry = queue_.front();
     if (slots_[entry.slot].gen != entry.gen) {
-      pop_entry();
-      if (stale_ > 0) --stale_;
+      drop_stale_head();
       continue;
     }
     if (entry.time > t) break;
@@ -114,6 +113,20 @@ void Simulator::run_until(SimTime t) {
          queue_.front().time <= t) {
     CLB_CHECK_MSG(clock_policy_ == ClockFaultPolicy::kRecover,
                   "run_until would advance the clock past a pending event");
+    CLB_CHECK(step());
+  }
+  now_ = t;
+  if (validation_enabled()) validate_integrity();
+}
+
+void EngineCore::run_before(SimTime t) {
+  CLB_CHECK_MSG(t >= now_, "run_before(" << t.to_string()
+                                         << ") is behind the clock ("
+                                         << now_.to_string() << ")");
+  for (;;) {
+    const std::optional<SimTime> next = next_live_time();
+    if (!next || *next >= t) break;
+    // The head is live and strictly inside the window; step() must run it.
     CLB_CHECK(step());
   }
   now_ = t;

@@ -1,0 +1,374 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/check.h"
+#include "util/sim_time.h"
+#include "util/small_function.h"
+#include "util/validate.h"
+
+namespace cloudlb {
+
+/// Handle to a scheduled event, usable for cancellation. Default-constructed
+/// handles are inert. A handle names one *occupancy* of a callback slot —
+/// {slot index, generation} — so a handle kept across its event's firing
+/// (or cancellation) goes stale instead of aliasing whatever event reuses
+/// the slot: cancelling it is detected and returns false.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const { return gen_ != 0; }
+
+ private:
+  friend class EngineCore;
+  EventHandle(std::uint32_t slot, std::uint32_t gen)
+      : slot_{slot}, gen_{gen} {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;  ///< 0 = inert; live generations start at 1
+};
+
+/// The event-engine mechanism: a slot-arena of callbacks addressed by a
+/// 4-ary min-heap of (time, seq) entries, with lazy cancellation and
+/// stale-entry compaction. One EngineCore is one shard's worth of pending
+/// events — `Simulator` wraps exactly one as the single-threaded engine,
+/// and `ShardedSimulator` owns N of them advanced in conservative time
+/// windows (docs/sharded-engine.md). The core itself is single-threaded:
+/// all cross-thread coordination lives in the owner.
+///
+/// Engine layout (see docs/event-engine.md): callbacks live in a free-list
+/// slot arena addressed directly by the heap entries, so the steady-state
+/// schedule→fire cycle does no hashing and — for callbacks whose captures
+/// fit the Callback inline buffer — no heap allocation at all. The pending
+/// queue is a 4-ary min-heap: half the depth of a binary heap, and the
+/// four children of a node share a cache line, which is worth ~25% on the
+/// schedule→fire cycle at evaluation-grid queue sizes.
+class EngineCore {
+ public:
+  /// What to do when the clock-consistency invariant is violated — an
+  /// event due to fire with a timestamp behind now(), or run_until()
+  /// finding live work at or before its target after draining. Impossible
+  /// in normal operation; reachable when fault injection intentionally
+  /// perturbs timestamps (fault_advance_clock), or on an engine bug.
+  enum class ClockFaultPolicy {
+    kStrict,   ///< CLB_CHECK: throw CheckFailure (the default; on in every
+               ///< build type, so engine bugs can never fire events late
+               ///< silently in release builds)
+    kRecover,  ///< execute the late event at the current clock (time never
+               ///< regresses), count it in clock_recoveries(), continue
+  };
+
+  void set_clock_fault_policy(ClockFaultPolicy policy) {
+    clock_policy_ = policy;
+  }
+  [[nodiscard]] ClockFaultPolicy clock_fault_policy() const {
+    return clock_policy_;
+  }
+
+  /// Late events executed under ClockFaultPolicy::kRecover.
+  [[nodiscard]] std::uint64_t clock_recoveries() const {
+    return clock_recoveries_;
+  }
+
+  /// Fault-injection hook: forcibly advances the clock to max(now(), t)
+  /// WITHOUT executing the events in between, leaving them pending in the
+  /// past — the perturbed-timestamp state the kRecover policy exists for.
+  /// Pair with kRecover (under kStrict the next step() over a bypassed
+  /// event throws). Never called by the engine itself.
+  void fault_advance_clock(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Bytes of capture state a callback may carry and still be stored
+  /// inline (allocation-free). Sized for the fattest runtime closure:
+  /// message delivery captures {this, Message} = 56 bytes (Message is 48:
+  /// three ints + payload vector + wire size).
+  static constexpr std::size_t kInlineCallbackBytes = 64;
+
+  using Callback = SmallFunction<void(), kInlineCallbackBytes>;
+
+  /// Current virtual time. Starts at zero.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Presize hints: reserves heap capacity for `events` concurrently
+  /// pending entries and arena capacity for `slots` callback cells, so
+  /// the growth reallocations of a large scenario's setup burst (100k+
+  /// PEs schedule one event per entity up front) leave the warm path.
+  /// Never shrinks; purely a capacity hint, invisible to the trace.
+  void reserve(std::size_t events, std::size_t slots) {
+    queue_.reserve(events);
+    slots_.reserve(slots);
+  }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventHandle schedule_at(SimTime t, Callback cb) {
+    CLB_CHECK_MSG(t >= now_, "event scheduled in the past: t="
+                                 << t.to_string()
+                                 << " now=" << now_.to_string());
+    CLB_CHECK(cb != nullptr);
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.cb = std::move(cb);
+    push_entry(QueueEntry{t, next_seq_++, slot, s.gen});
+    ++live_;
+    return EventHandle{slot, s.gen};
+  }
+
+  /// Schedules `cb` at now() + delay (delay must be >= 0).
+  EventHandle schedule_after(SimTime delay, Callback cb) {
+    CLB_CHECK(!delay.is_negative());
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled
+  /// or inert handle is a no-op; returns whether something was cancelled.
+  /// Stale handles (their slot was recycled by a later event) are detected
+  /// by the generation check and refused.
+  [[nodiscard]] bool cancel(EventHandle h) {
+    if (!h.valid()) return false;
+    if (h.slot_ >= slots_.size() || slots_[h.slot_].gen != h.gen_)
+      return false;  // already fired or cancelled; the slot may be reused
+    release_slot(h.slot_);
+    // The queue entry is normally skipped lazily when popped, but repeated
+    // schedule/cancel cycles (re-armed periodic timers) would then grow the
+    // queue without bound: compact once stale entries outnumber live ones.
+    ++stale_;
+    if (queue_.size() > kCompactionFloor && stale_ * 2 > queue_.size())
+      compact_queue();
+    return true;
+  }
+
+  /// Executes the next pending event. Returns false if none remain.
+  [[nodiscard]] bool step() {
+    while (!queue_.empty()) {
+      const QueueEntry entry = queue_.front();
+      if (slots_[entry.slot].gen != entry.gen) {  // cancelled
+        drop_stale_head();
+        continue;
+      }
+      pop_entry();
+      // Move the callback out and release the slot *before* invoking: the
+      // callback may itself schedule (possibly into this very slot, at a
+      // fresh generation) or cancel events, and scheduling may grow the
+      // slot vector, so the callable must not run from arena storage.
+      Callback cb = std::move(slots_[entry.slot].cb);
+      release_slot(entry.slot);
+      if (entry.time < now_) {
+        // A live event behind the clock: only possible when timestamps
+        // were perturbed (fault_advance_clock) or the engine is broken.
+        // Strict mode fails loudly in every build type; recover mode runs
+        // the event late, at the current clock, so time never regresses.
+        if (clock_policy_ == ClockFaultPolicy::kStrict) {
+          CLB_CHECK_MSG(entry.time >= now_,
+                        "event due at " << entry.time.to_string()
+                                        << " fired behind the clock ("
+                                        << now_.to_string() << ")");
+        }
+        ++clock_recoveries_;
+      } else {
+        now_ = entry.time;
+      }
+      ++executed_;
+      if (validation_enabled()) {
+        // The heap contract: events fire in strictly increasing
+        // (time, seq) order — the determinism fingerprint every golden
+        // digest depends on. Holds for any clock policy, since faults
+        // perturb the clock, never the queue order.
+        CLB_CHECK_MSG(
+            last_fired_time_ < entry.time ||
+                (last_fired_time_ == entry.time && last_fired_seq_ < entry.seq),
+            "trace sequence not monotone: ("
+                << entry.time.to_string() << ", seq " << entry.seq
+                << ") fired after (" << last_fired_time_.to_string()
+                << ", seq " << last_fired_seq_ << ")");
+        last_fired_time_ = entry.time;
+        last_fired_seq_ = entry.seq;
+      }
+      if (trace_) trace_(entry.time, entry.seq);
+      cb();
+      return true;
+    }
+    return false;
+  }
+
+  /// Runs until the event queue drains.
+  void run();
+
+  /// Runs all events with timestamp <= `t` (including events they schedule
+  /// at times <= `t`), then sets the clock to `t`. Postcondition: no
+  /// pending event is earlier than now().
+  void run_until(SimTime t);
+
+  /// Runs all events with timestamp strictly *before* `t`, then sets the
+  /// clock to `t`. This is the conservative-window execution primitive
+  /// (docs/sharded-engine.md): a shard owns [now(), t) exclusively, and an
+  /// event at exactly `t` belongs to the next window, after the barrier at
+  /// which cross-shard messages timestamped `t` are injected. `t` must be
+  /// >= now().
+  void run_before(SimTime t);
+
+  /// Timestamp of the earliest live (non-cancelled) pending event, or
+  /// nullopt when none remain. Sheds stale heads off the heap as a side
+  /// effect (bookkeeping only; the trace is untouched).
+  [[nodiscard]] std::optional<SimTime> next_live_time() {
+    while (!queue_.empty()) {
+      const QueueEntry& head = queue_.front();
+      if (slots_[head.slot].gen == head.gen) return head.time;
+      drop_stale_head();
+    }
+    return std::nullopt;
+  }
+
+  /// Number of events scheduled but not yet fired or cancelled.
+  [[nodiscard]] std::size_t pending() const { return live_; }
+
+  /// Heap entries currently held, including stale (cancelled) ones waiting
+  /// to be skipped or compacted away. Bounded at < 2·pending() + a small
+  /// floor even under adversarial schedule/cancel churn.
+  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+
+  /// Callback slots allocated (monitoring; slots are recycled, so this
+  /// tracks the high-water mark of concurrently pending events).
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+  /// Total events executed so far (monitoring / benchmarks).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Observes every executed event as (time, sequence number), *before*
+  /// its callback runs. Used by determinism tests to fingerprint the
+  /// execution trace; null (the default) costs one branch per event.
+  using TraceHook = std::function<void(SimTime, std::uint64_t)>;
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+  /// Deep structural audit of the engine (validation_enabled() gates the
+  /// automatic call sites; calling it directly is always allowed): 4-ary
+  /// heap property over the pending queue, slot-arena free-list shape
+  /// (in-range, acyclic, callbacks cleared), generation consistency
+  /// between queue entries and slots, and the live/stale accounting.
+  /// Throws CheckFailure on the first violated invariant.
+  void validate_integrity() const;
+
+ private:
+  friend struct SimulatorTestAccess;  ///< corruption seams for validator tests
+
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    bool operator>(const QueueEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  /// One arena cell. `gen` counts occupancies: it is bumped when the
+  /// occupant leaves (fires or is cancelled), so queue entries and handles
+  /// carrying an old generation are recognizably stale. A slot is on the
+  /// free list iff its generation matches no outstanding entry.
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  // Below this size, compaction is not worth the pass: lazily skipping a
+  // handful of stale heads is cheaper than rebuilding the heap.
+  static constexpr std::size_t kCompactionFloor = 64;
+
+  // --- 4-ary min-heap over queue_ (manual layout so cancellation can
+  // compact stale entries in place, which a std::priority_queue cannot).
+
+  void push_entry(const QueueEntry& e) {
+    queue_.push_back(e);
+    std::size_t i = queue_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!(queue_[parent] > e)) break;
+      queue_[i] = queue_[parent];
+      i = parent;
+    }
+    queue_[i] = e;
+  }
+
+  void pop_entry() {
+    queue_.front() = queue_.back();
+    queue_.pop_back();
+    if (queue_.size() > 1) sift_down(0);
+  }
+
+  /// Pops the stale head entry and retires it from the stale ledger.
+  /// Every stale entry was counted by exactly one cancel(), so finding
+  /// the ledger at zero here means the accounting drifted — an engine
+  /// bug. That used to be clamped away (`if (stale_ > 0)`), which let an
+  /// undercount ride silently until compaction resynced it; now it is an
+  /// integrity failure in every build type, same as validate_integrity()
+  /// would report.
+  void drop_stale_head() {
+    pop_entry();
+    CLB_CHECK_MSG(stale_ > 0,
+                  "stale-entry ledger underflow: skipping a cancelled head "
+                  "with stale_ == 0 (accounting drifted)");
+    --stale_;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = queue_.size();
+    const QueueEntry item = queue_[i];
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c)
+        if (queue_[best] > queue_[c]) best = c;
+      if (!(item > queue_[best])) break;
+      queue_[i] = queue_[best];
+      i = best;
+    }
+    queue_[i] = item;
+  }
+
+  void compact_queue();
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      return slot;
+    }
+    const auto slot = static_cast<std::uint32_t>(slots_.size());
+    CLB_CHECK_MSG(slot != kNoSlot, "event slot arena exhausted");
+    slots_.emplace_back();
+    return slot;
+  }
+
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.cb = nullptr;
+    ++s.gen;  // invalidates every outstanding handle/entry
+    s.next_free = free_head_;
+    free_head_ = slot;
+    --live_;
+  }
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  SimTime last_fired_time_ = SimTime::min_value();
+  std::uint64_t last_fired_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  ClockFaultPolicy clock_policy_ = ClockFaultPolicy::kStrict;
+  std::uint64_t clock_recoveries_ = 0;
+  std::vector<QueueEntry> queue_;
+  std::size_t stale_ = 0;  ///< cancelled entries still sitting in queue_
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;
+  TraceHook trace_;
+};
+
+}  // namespace cloudlb

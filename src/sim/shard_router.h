@@ -1,0 +1,37 @@
+#pragma once
+
+#include "sim/engine_core.h"
+#include "util/sim_time.h"
+
+namespace cloudlb {
+
+/// Seam between the runtime's message plane and the sharded engine's
+/// windowed delivery protocol (docs/sharded-engine.md).
+///
+/// The runtime never schedules a cross-shard delivery directly: when a
+/// router is installed (JobConfig::router), every message or migration
+/// transfer between machine nodes on *different shards* is handed here
+/// instead of going to EngineCore::schedule_at, and the router releases
+/// it at a conservative window barrier in canonical channel-merge order.
+/// Traffic within a node or between co-sharded nodes keeps the direct
+/// path — its ordering is already owned by one shard. A null router
+/// (the default everywhere) leaves the legacy direct path bit-identical.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  /// True when traffic between these machine nodes crosses a shard
+  /// boundary and must go through windowed channel delivery.
+  [[nodiscard]] virtual bool crosses_shards(int src_node,
+                                            int dst_node) const = 0;
+
+  /// Buffers one cross-shard delivery for release at the next window
+  /// barrier. Only legal when crosses_shards(src_node, dst_node), and
+  /// `deliver_at` must not precede that barrier — guaranteed whenever the
+  /// delivery delay is at least the window width (min_internode_delay),
+  /// which the network model's latency floor provides.
+  virtual void route(int src_node, int dst_node, SimTime deliver_at,
+                     EngineCore::Callback cb) = 0;
+};
+
+}  // namespace cloudlb

@@ -1,0 +1,331 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/validate.h"
+
+namespace cloudlb {
+
+ShardedSimulator::ShardedSimulator(const Config& config) : config_{config} {
+  CLB_CHECK_MSG(config.shards >= 1,
+                "shard count must be >= 1, got " << config.shards);
+  CLB_CHECK_MSG(config.lookahead > SimTime::zero(),
+                "lookahead window must be positive, got "
+                    << config.lookahead.to_string());
+  states_.reserve(static_cast<std::size_t>(config.shards));
+  for (int s = 0; s < config.shards; ++s)
+    states_.push_back(std::make_unique<ShardState>());
+  if (config.parallel) {
+    const int cap = config.workers > 0 ? config.workers : hardware_jobs();
+    team_ = std::make_unique<WorkerTeam>(
+        std::max(1, std::min(cap, config.shards)));
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+int ShardedSimulator::workers() const {
+  return team_ != nullptr ? team_->workers() : 1;
+}
+
+void ShardedSimulator::check_shard_access(int shard, const char* what) const {
+  CLB_CHECK_MSG(shard >= 0 && shard < shards(),
+                what << " shard out of range: " << shard);
+  if (!in_window_) return;  // setup / between-window access is unrestricted
+  CLB_CHECK_MSG(
+      states_[static_cast<std::size_t>(shard)]->owner.load(
+          std::memory_order_relaxed) == std::this_thread::get_id(),
+      "shared-nothing contract violated: " << what << " shard " << shard
+          << " from a worker that does not own it this window (cross-shard "
+             "interaction must go through post())");
+}
+
+ShardEventHandle ShardedSimulator::schedule_at(int shard, SimTime t,
+                                               Callback cb) {
+  check_shard_access(shard, "schedule_at on");
+  return ShardEventHandle{
+      states_[static_cast<std::size_t>(shard)]->engine.schedule_at(
+          t, std::move(cb)),
+      shard};
+}
+
+ShardEventHandle ShardedSimulator::schedule_after(int shard, SimTime delay,
+                                                  Callback cb) {
+  check_shard_access(shard, "schedule_after on");
+  return ShardEventHandle{
+      states_[static_cast<std::size_t>(shard)]->engine.schedule_after(
+          delay, std::move(cb)),
+      shard};
+}
+
+bool ShardedSimulator::cancel(const ShardEventHandle& h) {
+  if (!h.valid()) return false;
+  check_shard_access(h.shard(), "cancel on");
+  return states_[static_cast<std::size_t>(h.shard())]->engine.cancel(
+      h.inner_);
+}
+
+void ShardedSimulator::post(int src, int dst, SimTime latency, Callback cb) {
+  check_shard_access(src, "post from");
+  CLB_CHECK_MSG(dst >= 0 && dst < shards(),
+                "post to shard out of range: " << dst);
+  CLB_CHECK(!latency.is_negative());
+  CLB_CHECK(cb != nullptr);
+  ShardState& st = *states_[static_cast<std::size_t>(src)];
+  if (src == dst) {
+    // Shard-local delivery needs no window: the shard owns its own order.
+    st.engine.schedule_after(latency, std::move(cb));
+    return;
+  }
+  CLB_CHECK_MSG(
+      latency >= config_.lookahead,
+      "cross-shard post with latency " << latency.to_string()
+          << " below the lookahead window " << config_.lookahead.to_string()
+          << ": the conservative-window safety condition would not hold");
+  st.outbox.push_back(ShardEnvelope{st.engine.now() + latency, st.chan_seq++,
+                                    src, dst, std::move(cb)});
+  cross_posts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedSimulator::reserve(std::size_t events_per_shard,
+                               std::size_t slots_per_shard) {
+  for (auto& st : states_)
+    st->engine.reserve(events_per_shard, slots_per_shard);
+}
+
+std::optional<SimTime> ShardedSimulator::earliest_pending() {
+  std::optional<SimTime> earliest;
+  for (auto& st : states_) {
+    const std::optional<SimTime> next = st->engine.next_live_time();
+    if (next && (!earliest || *next < *earliest)) earliest = next;
+  }
+  return earliest;
+}
+
+void ShardedSimulator::flush_mailboxes() {
+  merge_scratch_.clear();
+  for (auto& st : states_) {
+    for (ShardEnvelope& e : st->outbox)
+      merge_scratch_.push_back(std::move(e));
+    st->outbox.clear();
+  }
+  if (merge_scratch_.empty()) return;
+  // The deterministic merge: (deliver time, src shard, src seq) is a
+  // total order, so the destination engines assign their local sequence
+  // numbers to injected envelopes identically on every run, for every
+  // worker count and execution mode.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            shard_envelope_before);
+  for (ShardEnvelope& e : merge_scratch_) {
+    CLB_CHECK_MSG(e.deliver >= now_,
+                  "cross-shard envelope due " << e.deliver.to_string()
+                      << " is behind the barrier " << now_.to_string());
+    states_[static_cast<std::size_t>(e.dst)]->engine.schedule_at(
+        e.deliver, std::move(e.cb));
+    ++cross_delivered_;
+  }
+  merge_scratch_.clear();
+}
+
+SimTime ShardedSimulator::window_end_for(SimTime t) const {
+  CLB_CHECK(!t.is_negative());
+  const std::int64_t w = config_.lookahead.ns();
+  return SimTime::nanos((t.ns() / w + 1) * w);
+}
+
+void ShardedSimulator::run_window(SimTime end, bool inclusive) {
+  ++windows_run_;
+  in_window_ = true;
+  const auto run_shard = [this, end, inclusive](int s) {
+    ShardState& st = *states_[static_cast<std::size_t>(s)];
+    st.owner.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    if (inclusive) {
+      st.engine.run_until(end);
+    } else {
+      st.engine.run_before(end);
+    }
+  };
+  try {
+    if (team_ != nullptr) {
+      const int n = shards();
+      const int w = team_->workers();
+      team_->run_round([&run_shard, n, w](int worker) {
+        for (int s = worker; s < n; s += w) run_shard(s);
+      });
+    } else {
+      for (int s = 0; s < shards(); ++s) run_shard(s);
+    }
+  } catch (...) {
+    in_window_ = false;
+    throw;
+  }
+  in_window_ = false;
+}
+
+void ShardedSimulator::emit_trace() {
+  if (!trace_) return;
+  trace_scratch_.clear();
+  for (int s = 0; s < shards(); ++s) {
+    ShardState& st = *states_[static_cast<std::size_t>(s)];
+    for (const auto& [time, seq] : st.trace)
+      trace_scratch_.push_back(TraceRecord{time, s, seq});
+    st.trace.clear();
+  }
+  // Same key as the mailbox merge: within a window the per-shard traces
+  // interleave by (time, shard, seq), which both modes reproduce exactly.
+  std::sort(trace_scratch_.begin(), trace_scratch_.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+  for (const TraceRecord& r : trace_scratch_)
+    trace_(r.time, static_cast<int>(r.shard), r.seq);
+}
+
+void ShardedSimulator::run() {
+  for (;;) {
+    flush_mailboxes();
+    const std::optional<SimTime> next = earliest_pending();
+    if (!next) break;
+    const SimTime end = window_end_for(*next);
+    run_window(end, /*inclusive=*/false);
+    now_ = end;
+    emit_trace();
+  }
+  if (validation_enabled()) validate_integrity();
+}
+
+void ShardedSimulator::run_until(SimTime t) {
+  CLB_CHECK_MSG(t >= now_, "run_until(" << t.to_string()
+                               << ") is behind the barrier clock ("
+                               << now_.to_string() << ")");
+  for (;;) {
+    flush_mailboxes();
+    const std::optional<SimTime> next = earliest_pending();
+    if (!next || *next > t) break;
+    const SimTime end = window_end_for(*next);
+    if (end <= t) {
+      run_window(end, /*inclusive=*/false);
+      now_ = end;
+    } else {
+      // Final partial window, inclusive of t. Safe concurrently: anything
+      // posted here delivers >= send + lookahead > t and stays buffered.
+      run_window(t, /*inclusive=*/true);
+      now_ = t;
+    }
+    emit_trace();
+  }
+  // Idle shards may still hold earlier clocks; everyone meets at t.
+  for (auto& st : states_)
+    if (st->engine.now() < t) st->engine.run_until(t);
+  now_ = t;
+  if (validation_enabled()) validate_integrity();
+}
+
+void ShardedSimulator::set_trace_hook(TraceHook hook) {
+  trace_ = std::move(hook);
+  for (auto& st : states_) {
+    if (trace_) {
+      ShardState* state = st.get();
+      st->engine.set_trace_hook([state](SimTime time, std::uint64_t seq) {
+        state->trace.emplace_back(time, seq);
+      });
+    } else {
+      st->engine.set_trace_hook(EngineCore::TraceHook{});
+      st->trace.clear();
+    }
+  }
+}
+
+EngineCore& ShardedSimulator::shard_engine(int shard) {
+  check_shard_access(shard, "shard_engine for");
+  return states_[static_cast<std::size_t>(shard)]->engine;
+}
+
+const EngineCore& ShardedSimulator::shard_engine(int shard) const {
+  CLB_CHECK_MSG(shard >= 0 && shard < shards(),
+                "shard_engine for shard out of range: " << shard);
+  return states_[static_cast<std::size_t>(shard)]->engine;
+}
+
+std::uint64_t ShardedSimulator::executed() const {
+  std::uint64_t total = 0;
+  for (const auto& st : states_) total += st->engine.executed();
+  return total;
+}
+
+std::size_t ShardedSimulator::pending() const {
+  std::size_t total = 0;
+  for (const auto& st : states_)
+    total += st->engine.pending() + st->outbox.size();
+  return total;
+}
+
+void ShardedSimulator::validate_integrity() const {
+  for (const auto& st : states_) st->engine.validate_integrity();
+}
+
+WindowedShardRouter::WindowedShardRouter(EngineCore& sim, int shards,
+                                         int nodes, SimTime window)
+    : sim_{sim},
+      shards_{shards},
+      nodes_{nodes},
+      window_{window},
+      src_seq_(static_cast<std::size_t>(nodes > 0 ? nodes : 0), 0) {
+  CLB_CHECK_MSG(nodes >= 1, "router needs at least one node, got " << nodes);
+  CLB_CHECK_MSG(shards >= 1 && shards <= nodes,
+                "router shard count must be in [1, " << nodes << "], got "
+                                                     << shards);
+  CLB_CHECK_MSG(window > SimTime::zero(),
+                "window width must be positive, got " << window.to_string());
+}
+
+int WindowedShardRouter::shard_of(int node) const {
+  CLB_CHECK_MSG(node >= 0 && node < nodes_, "node out of range: " << node);
+  // Contiguous near-equal blocks, matching the rack/node locality a real
+  // partition would keep.
+  return static_cast<int>(static_cast<std::int64_t>(node) * shards_ /
+                          nodes_);
+}
+
+SimTime WindowedShardRouter::next_barrier() const {
+  const std::int64_t w = window_.ns();
+  return SimTime::nanos((sim_.now().ns() / w + 1) * w);
+}
+
+void WindowedShardRouter::route(int src_node, int dst_node,
+                                SimTime deliver_at, EngineCore::Callback cb) {
+  CLB_CHECK(cb != nullptr);
+  CLB_CHECK_MSG(crosses_shards(src_node, dst_node),
+                "route() called for co-sharded nodes " << src_node << " and "
+                                                       << dst_node);
+  const SimTime barrier = next_barrier();
+  CLB_CHECK_MSG(deliver_at >= barrier,
+                "cross-shard delivery at " << deliver_at.to_string()
+                    << " would beat the barrier at " << barrier.to_string()
+                    << ": delivery delay below the lookahead window");
+  buffered_.push_back(ShardEnvelope{
+      deliver_at, src_seq_[static_cast<std::size_t>(src_node)]++, src_node,
+      dst_node, std::move(cb)});
+  ++routed_;
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    sim_.schedule_at(barrier, [this] { flush(); });
+  }
+}
+
+void WindowedShardRouter::flush() {
+  flush_scheduled_ = false;
+  ++flushes_;
+  // Canonical release order — identical to ShardedSimulator's barrier
+  // merge, so both halves of the protocol share one ordering rule.
+  std::sort(buffered_.begin(), buffered_.end(), shard_envelope_before);
+  for (ShardEnvelope& e : buffered_)
+    sim_.schedule_at(e.deliver, std::move(e.cb));
+  buffered_.clear();
+}
+
+}  // namespace cloudlb

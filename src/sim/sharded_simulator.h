@@ -1,0 +1,274 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "sim/engine_core.h"
+#include "sim/shard_router.h"
+#include "util/sim_time.h"
+
+namespace cloudlb {
+
+class WorkerTeam;
+
+/// Handle to an event scheduled on one shard of a ShardedSimulator. On top
+/// of the slot/generation pair it stamps the owning shard, because a bare
+/// EventHandle presented to the wrong shard's arena could silently cancel
+/// an unrelated event whose slot/generation happen to collide. Cross-shard
+/// cancellation is therefore refused loudly at runtime (CLB_CHECK) and
+/// flagged statically by analyzer-stale-handle.
+class ShardEventHandle {
+ public:
+  ShardEventHandle() = default;
+  [[nodiscard]] bool valid() const { return inner_.valid(); }
+  /// Owning shard index; -1 for an inert handle.
+  [[nodiscard]] int shard() const { return shard_; }
+
+ private:
+  friend class ShardedSimulator;
+  ShardEventHandle(EventHandle inner, int shard)
+      : inner_{inner}, shard_{static_cast<std::int32_t>(shard)} {}
+  EventHandle inner_;
+  std::int32_t shard_ = -1;
+};
+
+/// One buffered cross-shard delivery — the unit of the channel merge.
+/// `seq` is a per-source channel counter, so (deliver, src, seq) is a
+/// total order and the merge at a window barrier is deterministic: every
+/// run, for every worker count, injects the same envelopes in the same
+/// order.
+struct ShardEnvelope {
+  SimTime deliver;
+  std::uint64_t seq = 0;
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  EngineCore::Callback cb;
+};
+
+/// Canonical channel-merge order: (deliver time, source, source seq).
+[[nodiscard]] inline bool shard_envelope_before(const ShardEnvelope& a,
+                                                const ShardEnvelope& b) {
+  if (a.deliver != b.deliver) return a.deliver < b.deliver;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
+}
+
+/// N shared-nothing event engines advanced in conservative lock-step time
+/// windows (docs/sharded-engine.md).
+///
+/// Each shard owns a private EngineCore — its own slot arena, 4-ary heap
+/// and clock — and executes one window [W, W+L) at a time, where the
+/// lookahead L is a lower bound on every cross-shard delivery latency
+/// (min_internode_delay for the machine model's network). Because no
+/// message sent inside a window can arrive before the window ends, shards
+/// never interact mid-window: cross-shard sends buffer into per-source
+/// ordered mailboxes and are exchanged at the window barrier, merged by
+/// (time, src-shard, seq) and injected into the destination engines in
+/// that canonical order. Within a window shards run concurrently on a
+/// persistent WorkerTeam (Config::parallel) or sequentially in shard
+/// order — the two modes produce identical execution traces, which is
+/// what makes the parallel mode testable against a serial oracle.
+///
+/// Contract: during a window, a callback may only touch its own shard
+/// (schedule, cancel, post from itself); the shared-nothing rule is
+/// enforced with CLB_CHECK against the owning worker thread. Between
+/// windows (setup, or from the driving thread) any shard is accessible.
+class ShardedSimulator {
+ public:
+  using Callback = EngineCore::Callback;
+
+  /// Observes every executed event as (time, shard, per-shard sequence
+  /// number) in canonical merge order — the deterministic interleaving of
+  /// the per-shard traces. With one shard this is exactly the legacy
+  /// engine's (time, seq) trace.
+  using TraceHook = std::function<void(SimTime, int, std::uint64_t)>;
+
+  struct Config {
+    int shards = 1;
+    /// Window width = cross-shard lookahead. Must be positive and must
+    /// lower-bound every cross-shard post latency (enforced per post).
+    SimTime lookahead = SimTime::micros(60);
+    /// Execute windows on a persistent worker team instead of the calling
+    /// thread. Trace-identical to serial execution by construction.
+    bool parallel = false;
+    /// Worker count for parallel mode; <= 0 picks min(shards,
+    /// hardware_jobs()). Shards are dealt round-robin to workers.
+    int workers = 0;
+  };
+
+  explicit ShardedSimulator(const Config& config);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(states_.size()); }
+  [[nodiscard]] SimTime lookahead() const { return config_.lookahead; }
+  [[nodiscard]] bool parallel() const { return team_ != nullptr; }
+  /// Workers actually executing windows (1 in serial mode).
+  [[nodiscard]] int workers() const;
+
+  /// Global window clock: the last barrier passed. Shard clocks advance
+  /// inside [now(), now()+lookahead) during a window and all meet at the
+  /// next barrier.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` on `shard` at absolute time `t`. During a window only
+  /// the shard's owning worker may call this (shared-nothing contract).
+  ShardEventHandle schedule_at(int shard, SimTime t, Callback cb);
+
+  /// Schedules `cb` on `shard` at that shard's now() + delay.
+  ShardEventHandle schedule_after(int shard, SimTime delay, Callback cb);
+
+  /// Cancels a pending event on its owning shard. During a window the
+  /// caller must own that shard: presenting another shard's handle is the
+  /// cross-shard misuse this handle type exists to catch, and fails a
+  /// CLB_CHECK rather than corrupting the foreign arena.
+  [[nodiscard]] bool cancel(const ShardEventHandle& h);
+
+  /// Cross-shard send: delivers `cb` on shard `dst` at src's now() +
+  /// latency. Cross-shard posts require latency >= lookahead() — the
+  /// conservative-window safety condition — and buffer into the src
+  /// mailbox until the next barrier; a post to the own shard (src == dst)
+  /// schedules directly with no latency floor, like same-node traffic.
+  void post(int src, int dst, SimTime latency, Callback cb);
+
+  /// Presize hints forwarded to every shard (EngineCore::reserve).
+  void reserve(std::size_t events_per_shard, std::size_t slots_per_shard);
+
+  /// Runs windows until every shard and mailbox drains.
+  void run();
+
+  /// Runs every event with timestamp <= `t`, then advances all clocks to
+  /// `t`. Cross-shard messages still in flight past `t` stay buffered for
+  /// a later run()/run_until().
+  void run_until(SimTime t);
+
+  void set_trace_hook(TraceHook hook);
+
+  /// Direct access to one shard's engine, for plumbing and monitoring.
+  /// Scheduling through it mid-window bypasses the mailbox protocol —
+  /// callers inside callbacks should use schedule_at/post instead.
+  [[nodiscard]] EngineCore& shard_engine(int shard);
+  [[nodiscard]] const EngineCore& shard_engine(int shard) const;
+
+  /// Total events executed across all shards.
+  [[nodiscard]] std::uint64_t executed() const;
+  /// Pending events across all shards plus undelivered mailbox envelopes.
+  [[nodiscard]] std::size_t pending() const;
+  /// Cross-shard envelopes posted so far (monitoring).
+  [[nodiscard]] std::uint64_t cross_posts() const {
+    return cross_posts_.load(std::memory_order_relaxed);
+  }
+  /// Cross-shard envelopes injected at barriers so far. Equals
+  /// cross_posts() whenever no envelope is still buffered — the
+  /// no-message-lost conservation the property tests pin.
+  [[nodiscard]] std::uint64_t cross_delivered() const {
+    return cross_delivered_;
+  }
+  /// Windows executed so far (monitoring / window-width sensitivity).
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_run_; }
+
+  /// Deep audit of every shard engine (EngineCore::validate_integrity).
+  void validate_integrity() const;
+
+ private:
+  struct ShardState {
+    EngineCore engine;
+    std::vector<ShardEnvelope> outbox;  ///< written only by the owner
+    std::uint64_t chan_seq = 0;         ///< per-source channel counter
+    /// (time, seq) of events executed this window, in execution order;
+    /// drained into the merged trace at the barrier.
+    std::vector<std::pair<SimTime, std::uint64_t>> trace;
+    /// Worker currently (or last) executing this shard; relaxed atomics
+    /// because a *misusing* cross-shard caller reads it concurrently with
+    /// the owner's store — the read must be loud, not undefined.
+    std::atomic<std::thread::id> owner;
+  };
+
+  /// Range-checks `shard` and, inside a window, enforces that the calling
+  /// thread owns it.
+  void check_shard_access(int shard, const char* what) const;
+  [[nodiscard]] std::optional<SimTime> earliest_pending();
+  void flush_mailboxes();
+  void run_window(SimTime end, bool inclusive);
+  void emit_trace();
+  [[nodiscard]] SimTime window_end_for(SimTime t) const;
+
+  Config config_;
+  std::vector<std::unique_ptr<ShardState>> states_;
+  std::unique_ptr<WorkerTeam> team_;
+  SimTime now_ = SimTime::zero();
+  bool in_window_ = false;
+  TraceHook trace_;
+  std::vector<ShardEnvelope> merge_scratch_;
+  struct TraceRecord {
+    SimTime time;
+    std::int32_t shard;
+    std::uint64_t seq;
+  };
+  std::vector<TraceRecord> trace_scratch_;
+  /// Counted from post(), which worker threads call concurrently —
+  /// relaxed is enough for a monitoring counter.
+  std::atomic<std::uint64_t> cross_posts_{0};
+  std::uint64_t cross_delivered_ = 0;
+  std::uint64_t windows_run_ = 0;
+};
+
+/// The runtime-facing half of the window protocol, on a single host
+/// engine: machine nodes are block-partitioned into shards, and a
+/// scenario's cross-shard traffic is buffered into per-source ordered
+/// channels released by a lazily scheduled flush event at the next
+/// barrier (the next multiple of the window width), injected in the same
+/// canonical (deliver, src, seq) merge order ShardedSimulator uses at its
+/// barriers. This is what `--shards N` installs behind JobConfig::router:
+/// the full runtime keeps one engine (its LB database, reductions and
+/// barriers are not yet shard-safe — see ROADMAP), but every cross-shard
+/// message already flows through the protocol the parallel engine runs
+/// for real, with identical ordering rules.
+class WindowedShardRouter final : public ShardRouter {
+ public:
+  /// `shards` must be in [1, nodes]; node n maps to shard n·shards/nodes
+  /// (contiguous near-equal blocks). `window` is the barrier cadence and
+  /// must lower-bound every cross-shard delivery delay
+  /// (min_internode_delay of the scenario's network).
+  WindowedShardRouter(EngineCore& sim, int shards, int nodes, SimTime window);
+
+  [[nodiscard]] int shard_of(int node) const;
+  [[nodiscard]] bool crosses_shards(int src_node,
+                                    int dst_node) const override {
+    return shard_of(src_node) != shard_of(dst_node);
+  }
+  void route(int src_node, int dst_node, SimTime deliver_at,
+             EngineCore::Callback cb) override;
+
+  [[nodiscard]] int shards() const { return shards_; }
+  [[nodiscard]] SimTime window() const { return window_; }
+  /// Envelopes routed / flush barriers executed so far (monitoring).
+  [[nodiscard]] std::uint64_t routed() const { return routed_; }
+  [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
+  /// Envelopes not yet released; 0 once the engine drains.
+  [[nodiscard]] std::size_t buffered() const { return buffered_.size(); }
+
+ private:
+  /// First barrier strictly after the engine's current time.
+  [[nodiscard]] SimTime next_barrier() const;
+  void flush();
+
+  EngineCore& sim_;
+  int shards_;
+  int nodes_;
+  SimTime window_;
+  std::vector<ShardEnvelope> buffered_;
+  std::vector<std::uint64_t> src_seq_;  ///< per-source channel counters
+  bool flush_scheduled_ = false;
+  std::uint64_t routed_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace cloudlb

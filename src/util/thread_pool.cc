@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -55,6 +56,79 @@ void parallel_for(std::size_t n, int jobs,
   body();
   pool.join_all();
   if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+WorkerTeam::WorkerTeam(int workers) {
+  CLB_CHECK(workers >= 1);
+  errors_.resize(static_cast<std::size_t>(workers));
+  threads_.reserve(static_cast<std::size_t>(workers));
+  try {
+    for (int w = 0; w < workers; ++w)
+      threads_.emplace_back([this, w] { worker_main(w); });
+  } catch (...) {
+    // Thread creation failed partway: release the workers already spawned
+    // before rethrowing, or their joinable threads would terminate().
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : threads_)
+      if (t.joinable()) t.join();
+    throw;
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+void WorkerTeam::run_round(const std::function<void(int)>& fn) {
+  CLB_CHECK(fn != nullptr);
+  std::unique_lock<std::mutex> lock{mu_};
+  CLB_CHECK_MSG(running_ == 0 && task_ == nullptr,
+                "run_round is not reentrant");
+  task_ = &fn;
+  running_ = workers();
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  ++round_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  task_ = nullptr;
+  for (std::exception_ptr& err : errors_)
+    if (err != nullptr) std::rethrow_exception(err);
+}
+
+void WorkerTeam::worker_main(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      start_cv_.wait(lock, [&] { return stop_ || round_ > seen; });
+      if (stop_) return;
+      seen = round_;
+      task = task_;
+    }
+    try {
+      (*task)(index);
+    } catch (...) {
+      // Written without the lock, but strictly before this worker's
+      // decrement below and read only after the caller observes
+      // running_ == 0 — the mutex hand-off orders both.
+      errors_[static_cast<std::size_t>(index)] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
 }
 
 }  // namespace cloudlb

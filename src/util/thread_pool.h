@@ -1,7 +1,11 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -69,6 +73,53 @@ class ThreadPool {
 void parallel_for(std::size_t n, int jobs,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t chunk = 1);
+
+/// A persistent team of workers advancing in caller-driven lock-step
+/// rounds — the barrier primitive under the sharded engine's conservative
+/// time windows (docs/sharded-engine.md). Where parallel_for spawns and
+/// joins threads per call (fine for millisecond-scale grid cells, fatal
+/// for a window loop that runs thousands of rounds), a WorkerTeam spawns
+/// its workers once and reuses them: each run_round(fn) runs fn(worker)
+/// on every worker concurrently and returns once all have finished.
+///
+/// Memory ordering: the barrier is a full happens-before edge in both
+/// directions — a round's closure sees everything the caller wrote before
+/// run_round(), and the caller (and every later round) sees everything
+/// the round wrote. Exceptions thrown inside fn are captured per worker
+/// and the first (by worker index, a deterministic choice) is rethrown on
+/// the caller after the whole round has drained, so workers are never
+/// abandoned mid-round.
+class WorkerTeam {
+ public:
+  /// Spawns `workers` (>= 1) threads, idle until the first round.
+  explicit WorkerTeam(int workers);
+  ~WorkerTeam();  ///< signals shutdown and joins every worker
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  [[nodiscard]] int workers() const {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// Runs fn(w) for every worker index w in [0, workers()) concurrently;
+  /// blocks until all invocations return. Not reentrant: only the owning
+  /// thread drives rounds, one at a time.
+  void run_round(const std::function<void(int)>& fn);
+
+ private:
+  void worker_main(int index);
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;  ///< workers wait for a new round
+  std::condition_variable done_cv_;   ///< the caller waits for completion
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t round_ = 0;  ///< bumped per round; workers chase it
+  int running_ = 0;          ///< workers still inside the current round
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  ///< one slot per worker
+  std::vector<std::thread> threads_;
+};
 
 /// parallel_for that collects `fn(i)` into a vector in index order —
 /// results are positioned by index, never by completion, so the output

@@ -235,6 +235,15 @@ TEST(CliTest, EstimatorWindowTooSmallFailsAtParse) {
   EXPECT_NE(r.err.find("at least 3"), std::string::npos) << r.err;
 }
 
+TEST(CliTest, ShardCountBelowOneFailsAtParse) {
+  const CliResult r = cli({"penalty", "--app=jacobi2d", "--cores=4",
+                           "--iterations=20", "--bg-iterations=40",
+                           "--shards=0"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--shards"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("at least 1"), std::string::npos) << r.err;
+}
+
 TEST(CliTest, EstimatorClampFactorBelowOneFailsAtParse) {
   const CliResult r = cli({"penalty", "--app=jacobi2d", "--cores=4",
                            "--iterations=20", "--bg-iterations=40",

@@ -88,6 +88,24 @@ TEST(SimAllocTest, WarmScheduleFireLoopIsAllocationFree) {
   EXPECT_EQ(fired, 50u * kBatch);
 }
 
+TEST(SimAllocTest, ReservePresizesTheColdEngine) {
+  // reserve(events, slots) replaces the warm-up loop: a *cold* engine
+  // that was presized schedules its first full batch without touching
+  // the allocator. This is the hint run_scenario_with() issues at setup.
+  Simulator sim;
+  sim.reserve(kBatch, kBatch);
+
+  std::uint64_t fired = 0;
+  probe_arm();
+  for (int i = 0; i < kBatch; ++i)
+    sim.schedule_after(SimTime::nanos(i + 1), [&fired] { ++fired; });
+  while (sim.step()) {
+  }
+  const std::size_t allocs = probe_disarm();
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(fired, static_cast<std::uint64_t>(kBatch));
+}
+
 TEST(SimAllocTest, FatInlineCaptureStaysAllocationFree) {
   // The widest capture the runtime schedules is ~56 bytes (message
   // delivery); a same-size synthetic capture must still ride inline.

@@ -35,6 +35,7 @@ struct SimulatorTestAccess {
   static std::uint32_t free_head(const Simulator& sim) {
     return sim.free_head_;
   }
+  static std::size_t& stale(Simulator& sim) { return sim.stale_; }
 };
 
 struct RuntimeJobTestAccess {
@@ -156,6 +157,20 @@ TEST(SimulatorValidateTest, GenerationDriftIsCaught) {
                                         .slot]
         .gen;
   EXPECT_THROW(sim.validate_integrity(), CheckFailure);
+}
+
+// The stale-entry ledger is integrity state, not a soft counter. step()
+// used to clamp an underflow away (`if (stale_ > 0) --stale_;`), which
+// let drifted accounting pass silently and unwind as heap-audit noise
+// much later; now skipping a cancelled head with stale_ == 0 fails hard
+// at the exact corrupted pop.
+TEST(SimulatorValidateTest, StaleLedgerUnderflowIsCaught) {
+  Simulator sim;
+  const EventHandle doomed = sim.schedule_at(SimTime::micros(1), [] {});
+  sim.schedule_at(SimTime::micros(2), [] {});
+  ASSERT_TRUE(sim.cancel(doomed));
+  SimulatorTestAccess::stale(sim) = 0;  // the corruption under test
+  EXPECT_THROW(sim.run(), CheckFailure);
 }
 
 TEST(SimulatorValidateTest, FreeListCycleIsCaught) {

@@ -1,9 +1,13 @@
 // analyzer-stale-handle: an EventHandle names a {slot, generation} pair
-// inside the event engine; Simulator::cancel retires the generation, so
-// the handle is dead the moment cancel returns. Reading it afterwards
+// inside the event engine; cancel() retires the generation, so the
+// handle is dead the moment cancel returns. Reading it afterwards
 // (valid(), another cancel, passing it on) acts on a slot that may have
 // been recycled for an unrelated event — the classic source of
 // "cancelled the wrong timer" heisenbugs.
+//
+// The engine family has three cancelling classes (Simulator is the
+// EngineCore legacy facade; ShardedSimulator retires its shard-stamped
+// ShardEventHandle the same way), all tracked identically.
 //
 // The check walks each function body in source order, per handle
 // variable (locals and members): after a cancel(h), any use of h before
@@ -31,7 +35,9 @@ constexpr char kCheck[] = "analyzer-stale-handle";
 bool is_event_handle(clang::QualType type) {
   type = type.getNonReferenceType().getCanonicalType();
   const auto* record = type->getAsCXXRecordDecl();
-  return record != nullptr && record->getName() == "EventHandle";
+  if (record == nullptr) return false;
+  const llvm::StringRef name = record->getName();
+  return name == "EventHandle" || name == "ShardEventHandle";
 }
 
 // The variable or field an lvalue expression names, when it is a plain
@@ -72,7 +78,13 @@ class HandleEventCollector
         call->getNumArgs() < 1)
       return true;
     const clang::CXXRecordDecl* cls = method->getParent();
-    if (cls == nullptr || cls->getName() != "Simulator") return true;
+    if (cls == nullptr) return true;
+    // Simulator inherits cancel() from EngineCore, so getParent() names
+    // the declaring class, not the callee's static type.
+    const llvm::StringRef owner = cls->getName();
+    if (owner != "Simulator" && owner != "EngineCore" &&
+        owner != "ShardedSimulator")
+      return true;
     const clang::Decl* handle = handle_target(call->getArg(0));
     if (handle == nullptr) return true;
     add(Event::kCancel, call->getBeginLoc(), handle,
@@ -148,9 +160,9 @@ class StaleHandleCallback : public MatchFinder::MatchCallback {
           const auto it = cancelled.find(e.handle);
           if (it != cancelled.end() && e.offset >= it->second)
             ctx_.report(*result.Context, e.loc, kCheck,
-                        "EventHandle is cancelled again after "
-                        "Simulator::cancel already retired it; reassign "
-                        "the handle between cancels");
+                        "event handle is cancelled again after cancel() "
+                        "already retired it; reassign the handle between "
+                        "cancels");
           cancelled[e.handle] = e.cancel_end;
           break;
         }
@@ -161,9 +173,9 @@ class StaleHandleCallback : public MatchFinder::MatchCallback {
           const auto it = cancelled.find(e.handle);
           if (it == cancelled.end() || e.offset < it->second) break;
           ctx_.report(*result.Context, e.loc, kCheck,
-                      "EventHandle is read after Simulator::cancel "
-                      "retired it; reassign the handle (e.g. "
-                      "EventHandle{} or a new schedule) before reuse");
+                      "event handle is read after cancel() retired it; "
+                      "reassign the handle (e.g. a fresh {} or a new "
+                      "schedule) before reuse");
           cancelled.erase(it);  // one report per stale window
           break;
         }
