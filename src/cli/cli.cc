@@ -47,13 +47,21 @@ commands:
                                             times with doubling backoff;
                                             default 0)
              --shards=N                    (partition the cluster's nodes
-                                            into N shards; cross-shard
-                                            traffic is released at
-                                            conservative window barriers
-                                            in deterministic merge order;
-                                            default 1 = the legacy direct
-                                            path; see
+                                            into N shards, each with its
+                                            own event engine and LB-
+                                            database segment; compute
+                                            phases run as conservative
+                                            windows, collective phases in
+                                            canonical global order;
+                                            results are bit-identical to
+                                            --shards=1 = the legacy
+                                            single-engine path; see
                                             docs/sharded-engine.md)
+             --jobs=N                      (run shard windows on N worker
+                                            threads when --shards > 1;
+                                            0 = all hardware threads;
+                                            default 1 = serial windows;
+                                            output identical for every N)
              --lb-fallback                 (keep the last-good assignment
                                             when a stats window is garbage)
              --estimator-window=N          (median-of-N outlier clamp on the
@@ -164,6 +172,11 @@ void emit_table(const Table& table, bool csv, std::ostream& out) {
 
 int cmd_penalty(Options& options, std::ostream& out) {
   ScenarioConfig config = config_from(options);
+  // --jobs here sizes the shard worker team (sweep reuses the flag for
+  // grid cells); windows merge canonically, so output is N-independent.
+  int jobs = static_cast<int>(options.get_int("jobs", 1));
+  if (jobs <= 0) jobs = hardware_jobs();
+  config.shard_workers = jobs;
   const bool csv = options.get_bool("csv", false);
   options.check_unused();
   const PenaltyResult r = run_penalty_experiment(config);

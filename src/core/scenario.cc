@@ -7,7 +7,8 @@
 #include "core/balancer_factory.h"
 #include "faults/fault_injector.h"
 #include "lb/null_lb.h"
-#include "sim/sharded_simulator.h"
+#include "runtime/network.h"
+#include "runtime/sharded_runtime.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/validate.h"
@@ -72,6 +73,107 @@ void drive(Simulator& sim, RuntimeJob& primary, RuntimeJob* secondary,
   if (meter != nullptr && meter->running()) meter->stop();
 }
 
+/// The shard-partitioned runtime path (config.shards > 1 on a multi-node
+/// machine): same experiment, driven by a ShardedRuntimeHost instead of a
+/// single Simulator. Construction order mirrors the legacy path step for
+/// step so the two produce bit-identical metrics (the differential tier
+/// in tests/sharded_runtime_test.cc pins this).
+RunResult run_scenario_sharded(const ScenarioConfig& config,
+                               std::unique_ptr<LoadBalancer> balancer,
+                               TimelineTracer* tracer) {
+  // Observers would need a merged in-order event stream, which windows do
+  // not provide; the tenant field hangs its burst chains on the single
+  // engine. Both are legacy-only until they learn shard discipline.
+  CLB_CHECK_MSG(tracer == nullptr,
+                "timeline tracing is not supported with --shards > 1");
+  CLB_CHECK_MSG(config.tenants == 0,
+                "tenant fields are not supported with --shards > 1");
+
+  ValidationScope validation{config.validate || validation_enabled()};
+
+  ShardedRuntimeHost::Config host_config;
+  host_config.shards = config.shards;
+  host_config.window = shard_window_width(config.job.network);
+  host_config.parallel = config.shard_workers > 1;
+  host_config.workers = config.shard_workers;
+  ShardedRuntimeHost host{machine_for(config, config.app_cores), host_config};
+  Machine& machine = host.machine();
+
+  const std::size_t presize =
+      1024 + 256 * static_cast<std::size_t>(config.app_cores);
+  host.sharded().reserve(presize, presize);
+
+  std::unique_ptr<FaultInjector> faults;
+  if (!config.faults.empty()) {
+    faults = std::make_unique<FaultInjector>(FaultPlan::parse(config.faults));
+    if (!faults->inert())
+      host.set_clock_fault_policy(EngineCore::ClockFaultPolicy::kRecover);
+  }
+
+  std::vector<CoreId> app_cores(static_cast<std::size_t>(config.app_cores));
+  std::iota(app_cores.begin(), app_cores.end(), 0);
+  VirtualMachine app_vm{machine, "app", app_cores};
+
+  JobConfig app_job_config = config.job;
+  app_job_config.name = config.app.name;
+  app_job_config.lb_period = config.lb_period;
+  if (faults != nullptr) app_job_config.faults = faults.get();
+  RuntimeJob app_job{host, app_vm, app_job_config, std::move(balancer)};
+  populate_app(app_job, config.app);
+
+  std::unique_ptr<VirtualMachine> bg_vm;
+  std::unique_ptr<RuntimeJob> bg_job;
+  if (config.with_background) {
+    std::vector<CoreId> bg_cores(static_cast<std::size_t>(config.bg_cores));
+    std::iota(bg_cores.begin(), bg_cores.end(), 0);
+    bg_vm = std::make_unique<VirtualMachine>(machine, "bg", bg_cores,
+                                             config.bg_weight);
+    bg_job = std::make_unique<RuntimeJob>(host, *bg_vm,
+                                          background_job_config(config),
+                                          std::make_unique<NullLb>());
+    populate_wave2d(*bg_job, background_app_config(config));
+  }
+
+  if (faults != nullptr) {
+    faults->install_interference(
+        machine, [&host](CoreId core) -> EngineCore& {
+          return host.engine_of_core(core);
+        });
+  }
+
+  // Tickless meter: energy integrates between explicit global instants.
+  // The stop instant is the app job's exact finish time, delivered from
+  // the finishing global phase — the same instant the legacy drive loop
+  // stops its meter at.
+  PowerMeter meter{machine, config.power};
+  host.set_on_job_finished([&meter, &app_job](RuntimeJob& job) {
+    if (&job == &app_job && meter.running()) meter.stop_at(job.finish_time());
+  });
+  meter.start_at(SimTime::zero());
+
+  app_job.start();
+  if (bg_job != nullptr) {
+    if (config.bg_start.is_zero()) {
+      bg_job->start();
+    } else {
+      RuntimeJob* bg = bg_job.get();
+      host.schedule_action(config.bg_start, [bg] { bg->start(); });
+    }
+  }
+
+  host.drive(kMaxEvents);
+  CLB_CHECK(!meter.running());  // the finish callback must have stopped it
+
+  RunResult result;
+  result.app_elapsed = app_job.elapsed();
+  if (bg_job != nullptr) result.bg_elapsed = bg_job->elapsed();
+  result.energy_joules = meter.energy_joules();
+  result.avg_power_watts = meter.average_power_watts();
+  result.app_counters = app_job.counters();
+  result.lb_migrations = app_job.counters().migrations;
+  return result;
+}
+
 }  // namespace
 
 double percent_increase(double value, double base) {
@@ -92,6 +194,15 @@ RunResult run_scenario_with(const ScenarioConfig& config,
   CLB_CHECK(!config.with_background || config.bg_cores <= config.app_cores);
   CLB_CHECK(balancer != nullptr);
 
+  // --shards N on a multi-node machine takes the partitioned-runtime
+  // path; everything else (including --shards=1, and shard counts that
+  // clamp to one on a single-node machine) stays on the legacy engine,
+  // bit-identical to earlier releases.
+  if (config.shards > 1 &&
+      machine_for(config, config.app_cores).nodes > 1) {
+    return run_scenario_sharded(config, std::move(balancer), tracer);
+  }
+
   // config.validate widens the process setting for this run only; it
   // never narrows it, so a CLOUDLB_VALIDATE build stays validated.
   ValidationScope validation{config.validate || validation_enabled()};
@@ -105,15 +216,6 @@ RunResult run_scenario_with(const ScenarioConfig& config,
       1024 + 256 * static_cast<std::size_t>(config.app_cores);
   sim.reserve(presize, presize);
   Machine machine{sim, machine_for(config, config.app_cores)};
-
-  // --shards N: windowed cross-shard delivery over block-partitioned
-  // nodes. The router must outlive both jobs, which keep a pointer to it.
-  std::unique_ptr<WindowedShardRouter> router;
-  if (config.shards > 1 && machine.num_nodes() > 1) {
-    router = std::make_unique<WindowedShardRouter>(
-        sim, std::min(config.shards, machine.num_nodes()),
-        machine.num_nodes(), min_internode_delay(config.job.network));
-  }
 
   std::vector<CoreId> app_cores(static_cast<std::size_t>(config.app_cores));
   std::iota(app_cores.begin(), app_cores.end(), 0);
@@ -136,7 +238,6 @@ RunResult run_scenario_with(const ScenarioConfig& config,
   app_job_config.name = config.app.name;
   app_job_config.lb_period = config.lb_period;
   if (faults != nullptr) app_job_config.faults = faults.get();
-  if (router != nullptr) app_job_config.router = router.get();
   RuntimeJob app_job{sim, app_vm, app_job_config, std::move(balancer)};
   populate_app(app_job, config.app);
   if (tracer != nullptr) app_job.set_observer(tracer);
@@ -148,9 +249,8 @@ RunResult run_scenario_with(const ScenarioConfig& config,
     std::iota(bg_cores.begin(), bg_cores.end(), 0);
     bg_vm = std::make_unique<VirtualMachine>(machine, "bg", bg_cores,
                                              config.bg_weight);
-    JobConfig bg_jc = background_job_config(config);
-    if (router != nullptr) bg_jc.router = router.get();
-    bg_job = std::make_unique<RuntimeJob>(sim, *bg_vm, bg_jc,
+    bg_job = std::make_unique<RuntimeJob>(sim, *bg_vm,
+                                          background_job_config(config),
                                           std::make_unique<NullLb>());
     populate_wave2d(*bg_job, background_app_config(config));
     if (tracer != nullptr) bg_job->set_observer(tracer);

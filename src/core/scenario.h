@@ -27,14 +27,21 @@ struct ScenarioConfig {
   /// cores per node by default, like the testbed).
   MachineConfig machine;
 
-  /// Shard count for windowed cross-node delivery (docs/sharded-engine.md).
-  /// <= 1 — the default — takes the legacy direct path, bit-identical to
-  /// earlier releases. With N > 1 the cluster's nodes are block-partitioned
-  /// into min(N, nodes) shards and every message or migration transfer
-  /// between shards is released at conservative window barriers (window =
-  /// the network's min_internode_delay) in canonical channel-merge order.
-  /// Deterministic per shard count; traffic within a shard is unaffected.
+  /// Shard count for the partitioned runtime (docs/sharded-engine.md).
+  /// <= 1 — the default — takes the legacy single-engine path, bit-identical
+  /// to earlier releases. With N > 1 the cluster's nodes are block-
+  /// partitioned into min(N, nodes) shards, each with its own event engine
+  /// and per-shard LB-database segment; compute phases run as conservative
+  /// windows (width = the network's min_internode_delay) and collective
+  /// phases (AtSync barriers, reductions, broadcasts) run serialized in
+  /// canonical global order. Results are bit-identical to the legacy
+  /// engine for every shard count (pinned by tests/sharded_runtime_test.cc).
   int shards = 1;
+
+  /// Worker-team size for parallel shard windows. <= 1 runs windows
+  /// serially on the driving thread (same trace either way — the merge
+  /// order is canonical); only meaningful when shards > 1.
+  int shard_workers = 0;
 
   /// Strategy name accepted by make_balancer ("null" = the paper's noLB).
   std::string balancer = "ia-refine";

@@ -56,19 +56,27 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_{std::move(plan)} {
 bool FaultInjector::inert() const { return plan_.empty(); }
 
 void FaultInjector::install_interference(Simulator& sim, Machine& machine) {
-  CLB_CHECK_MSG(!installed_, "install_interference called twice");
-  installed_ = true;
-  for (const SpikeFaultSpec& f : plan_.spikes) install_spike(sim, machine, f);
-  for (const SquareWaveFaultSpec& f : plan_.squares)
-    install_square(sim, machine, f);
-  for (const ParetoFaultSpec& f : plan_.paretos)
-    install_pareto(sim, machine, f);
+  install_interference(machine,
+                       [&sim](CoreId) -> EngineCore& { return sim; });
 }
 
-void FaultInjector::install_spike(Simulator& sim, Machine& machine,
-                                  const SpikeFaultSpec& f) {
+void FaultInjector::install_interference(
+    Machine& machine, const std::function<EngineCore&(CoreId)>& engine_of_core) {
+  CLB_CHECK_MSG(!installed_, "install_interference called twice");
+  installed_ = true;
+  for (const SpikeFaultSpec& f : plan_.spikes)
+    install_spike(engine_of_core, machine, f);
+  for (const SquareWaveFaultSpec& f : plan_.squares)
+    install_square(engine_of_core, machine, f);
+  for (const ParetoFaultSpec& f : plan_.paretos)
+    install_pareto(engine_of_core, machine, f);
+}
+
+void FaultInjector::install_spike(const EngineResolver& engine_of_core,
+                                  Machine& machine, const SpikeFaultSpec& f) {
   CLB_CHECK_MSG(f.core >= 0, "spike fault: negative core id");
   const CoreId core = f.core % machine.num_cores();
+  EngineCore& sim = engine_of_core(core);
   SyntheticInterferer::Config hc;
   hc.duty_cycle = f.duty;
   hc.weight = f.weight;
@@ -80,11 +88,13 @@ void FaultInjector::install_spike(Simulator& sim, Machine& machine,
   sim.schedule_at(f.start + f.duration, [hog] { hog->stop(); });
 }
 
-void FaultInjector::install_square(Simulator& sim, Machine& machine,
+void FaultInjector::install_square(const EngineResolver& engine_of_core,
+                                   Machine& machine,
                                    const SquareWaveFaultSpec& f) {
   CLB_CHECK_MSG(f.core >= 0, "square fault: negative core id");
   SquareWaveFaultSpec local = f;
   local.core = f.core % machine.num_cores();
+  EngineCore& sim = engine_of_core(local.core);
   SyntheticInterferer::Config hc;
   hc.duty_cycle = f.duty;
   hc.weight = f.weight;
@@ -94,7 +104,7 @@ void FaultInjector::install_square(Simulator& sim, Machine& machine,
   pulse_square(sim, hogs_.back().get(), local, local.start);
 }
 
-void FaultInjector::pulse_square(Simulator& sim, SyntheticInterferer* hog,
+void FaultInjector::pulse_square(EngineCore& sim, SyntheticInterferer* hog,
                                  SquareWaveFaultSpec f, SimTime t0) {
   // One pulse per period, forever: the wave outlives the jobs and the
   // scenario drive loop simply stops stepping once they finish.
@@ -105,11 +115,13 @@ void FaultInjector::pulse_square(Simulator& sim, SyntheticInterferer* hog,
   });
 }
 
-void FaultInjector::install_pareto(Simulator& sim, Machine& machine,
+void FaultInjector::install_pareto(const EngineResolver& engine_of_core,
+                                   Machine& machine,
                                    const ParetoFaultSpec& f) {
   for (int i = 0; i < f.cores; ++i) {
     const CoreId core = static_cast<CoreId>(
         interference_rng_.uniform_int(0, machine.num_cores() - 1));
+    EngineCore& sim = engine_of_core(core);
     SyntheticInterferer::Config hc;
     hc.duty_cycle = f.duty;
     hc.weight = f.weight;
@@ -121,7 +133,7 @@ void FaultInjector::install_pareto(Simulator& sim, Machine& machine,
   }
 }
 
-void FaultInjector::pulse_pareto(Simulator& sim, SyntheticInterferer* hog,
+void FaultInjector::pulse_pareto(EngineCore& sim, SyntheticInterferer* hog,
                                  const ParetoFaultSpec& f, Rng* rng) {
   // Quiet for an exponential draw, then busy for a Pareto(alpha, min_on)
   // draw — the inverse-CDF transform x_m · (1 − u)^(−1/α) has no finite

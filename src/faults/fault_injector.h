@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -42,6 +43,15 @@ class FaultInjector final : public FaultHooks {
   /// the jobs start; the injector owns the hog VMs for the run's lifetime.
   void install_interference(Simulator& sim, Machine& machine);
 
+  /// Sharded-runtime overload: every hog binds to the engine the resolver
+  /// names for its core, so each interferer's pulse chain is shard-local
+  /// and runs safely inside parallel windows. All Rng draws happen at
+  /// install time in spec order, so the fault schedule is independent of
+  /// the resolver — identical timestamps for every shard count.
+  void install_interference(
+      Machine& machine,
+      const std::function<EngineCore&(CoreId)>& engine_of_core);
+
   // --- FaultHooks ---
   void perturb_stats(LbStats& stats) override;
   MigrationFault on_migration(const MigrationAttempt& attempt) override;
@@ -58,15 +68,17 @@ class FaultInjector final : public FaultHooks {
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
  private:
-  void install_spike(Simulator& sim, Machine& machine,
+  using EngineResolver = std::function<EngineCore&(CoreId)>;
+
+  void install_spike(const EngineResolver& engine_of_core, Machine& machine,
                      const SpikeFaultSpec& f);
-  void install_square(Simulator& sim, Machine& machine,
+  void install_square(const EngineResolver& engine_of_core, Machine& machine,
                       const SquareWaveFaultSpec& f);
-  void install_pareto(Simulator& sim, Machine& machine,
+  void install_pareto(const EngineResolver& engine_of_core, Machine& machine,
                       const ParetoFaultSpec& f);
-  void pulse_square(Simulator& sim, SyntheticInterferer* hog,
+  void pulse_square(EngineCore& sim, SyntheticInterferer* hog,
                     SquareWaveFaultSpec f, SimTime t0);
-  void pulse_pareto(Simulator& sim, SyntheticInterferer* hog,
+  void pulse_pareto(EngineCore& sim, SyntheticInterferer* hog,
                     const ParetoFaultSpec& f, Rng* rng);
   void corrupt_pe(PeSample& pe, const CorruptEstimatorFaultSpec& f);
 

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "lb/framework.h"
+#include "util/check.h"
+
+namespace cloudlb {
+
+/// Per-shard aggregate of the quantities the paper's scheme balances on:
+/// the application load (Σ task CPU from the shard's LB-database segment)
+/// and the Eq. 2 background overhead O_p summed over the shard's PEs
+/// (Σ_p [T_lb − t_idle − Σ_i t_p_i]).
+///
+/// The sharded runtime refreshes these at two cadences. At every window
+/// barrier it rebuilds the cheap fields (load, tasks) in O(shards) from
+/// the segments' running totals plus the exact idle counters — legal to
+/// read there because all shard clocks sit exactly at the barrier. At
+/// every LB step it rebuilds them from the very LbStats snapshot handed
+/// to the strategy, so what the balancer saw and what the summaries say
+/// are the same numbers.
+struct ShardLoadSummary {
+  int shard = 0;
+  int pes = 0;                 ///< PEs of the job hosted on this shard
+  std::int64_t tasks = 0;      ///< tasks executed this window (barrier path)
+  double load_cpu_sec = 0.0;   ///< Σ task CPU over the shard's chares
+  double wall_sec = 0.0;       ///< window wall clock (same for every PE)
+  double idle_sec = 0.0;       ///< Σ host-core idle over the shard's PEs
+  double overhead_sec = 0.0;   ///< Σ O_p (Eq. 2), clamped at 0 per PE
+};
+
+/// Builds per-shard summaries from an LbStats snapshot (the LB-step
+/// cadence). `shard_of_pe` maps each PE to its shard; `shards` bounds it.
+[[nodiscard]] inline std::vector<ShardLoadSummary> shard_summaries_from_stats(
+    const LbStats& stats, const std::vector<int>& shard_of_pe, int shards) {
+  CLB_CHECK(shards >= 1);
+  CLB_CHECK(shard_of_pe.size() == stats.pes.size());
+  std::vector<ShardLoadSummary> out(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) out[static_cast<std::size_t>(s)].shard = s;
+  for (std::size_t p = 0; p < stats.pes.size(); ++p) {
+    const int s = shard_of_pe[p];
+    CLB_CHECK(s >= 0 && s < shards);
+    ShardLoadSummary& sum = out[static_cast<std::size_t>(s)];
+    const PeSample& pe = stats.pes[p];
+    ++sum.pes;
+    sum.load_cpu_sec += pe.task_cpu_sec;
+    sum.wall_sec = std::max(sum.wall_sec, pe.wall_sec);
+    sum.idle_sec += pe.core_idle_sec;
+    sum.overhead_sec +=
+        std::max(0.0, pe.wall_sec - pe.core_idle_sec - pe.task_cpu_sec);
+  }
+  return out;
+}
+
+}  // namespace cloudlb

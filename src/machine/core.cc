@@ -13,7 +13,7 @@ namespace {
 constexpr double kCpuEpsilonSec = 1e-12;
 }  // namespace
 
-Core::Core(Simulator& sim, CoreId id, double speed)
+Core::Core(EngineCore& sim, CoreId id, double speed)
     : sim_{sim}, id_{id}, speed_{speed} {
   CLB_CHECK(speed > 0.0);
 }
@@ -124,21 +124,36 @@ void Core::complete_and_reschedule() {
     sim_.schedule_after(SimTime::zero(), std::move(cb));
 }
 
-ProcStat Core::proc_stat() const {
-  // Accrue lazily without mutating: recompute what advance_to_now would add.
+ProcStat Core::proc_stat() const { return proc_stat_at(sim_.now()); }
+
+ProcStat Core::proc_stat_at(SimTime t) const {
+  // Accrue lazily without mutating: recompute what advance_to_now would add
+  // if the engine clock stood at `t`. Exact for any t that does not pass
+  // the engine's next pending event (fluid shares are constant between
+  // events) — the header spells out the caller's contract.
+  CLB_CHECK_MSG(t >= sim_.now(), "proc_stat_at behind the engine clock: t="
+                                     << t.to_string() << " now="
+                                     << sim_.now().to_string());
   double busy = busy_sec_;
-  const SimTime elapsed = sim_.now() - last_update_;
+  const SimTime elapsed = t - last_update_;
   if (!elapsed.is_zero() && !active_.empty()) busy += elapsed.to_seconds();
   ProcStat st;
   st.busy = SimTime::from_seconds(busy);
-  st.idle = sim_.now() - st.busy;
+  st.idle = t - st.busy;
   return st;
 }
 
 SimTime Core::context_cpu_time(ContextId ctx) const {
+  return context_cpu_time_at(ctx, sim_.now());
+}
+
+SimTime Core::context_cpu_time_at(ContextId ctx, SimTime t) const {
   CLB_CHECK(ctx >= 0 && static_cast<std::size_t>(ctx) < contexts_.size());
+  CLB_CHECK_MSG(t >= sim_.now(),
+                "context_cpu_time_at behind the engine clock: t="
+                    << t.to_string() << " now=" << sim_.now().to_string());
   double consumed = contexts_[static_cast<std::size_t>(ctx)].consumed_cpu_sec;
-  const SimTime elapsed = sim_.now() - last_update_;
+  const SimTime elapsed = t - last_update_;
   if (!elapsed.is_zero()) {
     auto it = active_.find(ctx);
     if (it != active_.end()) {

@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "sim/engine_core.h"
 #include "util/sim_time.h"
 
 namespace cloudlb {
@@ -38,8 +38,11 @@ struct ProcStat {
 class Core {
  public:
   /// `speed` scales CPU consumption: a demand of 1 CPU-second completes in
-  /// 1/speed wall seconds on an otherwise idle core.
-  Core(Simulator& sim, CoreId id, double speed = 1.0);
+  /// 1/speed wall seconds on an otherwise idle core. The engine is the
+  /// core's event clock: in the legacy runtime it is the one `Simulator`,
+  /// in the sharded runtime it is the `EngineCore` of the shard that owns
+  /// this core's node (docs/sharded-engine.md).
+  Core(EngineCore& sim, CoreId id, double speed = 1.0);
 
   Core(const Core&) = delete;
   Core& operator=(const Core&) = delete;
@@ -73,8 +76,21 @@ class Core {
   /// Busy/idle counters as an OS would expose them.
   ProcStat proc_stat() const;
 
+  /// Busy/idle counters extrapolated to `t` >= the engine clock. Exact —
+  /// not an estimate — because between events the fluid shares are
+  /// constant: nothing about the active set can change before the
+  /// engine's next pending event fires. The caller must therefore
+  /// guarantee `t` does not pass that event (the sharded runtime's
+  /// global-order stepping does, by construction). `proc_stat()` is the
+  /// `t == now` case.
+  ProcStat proc_stat_at(SimTime t) const;
+
   /// Total CPU time consumed by one context so far.
   SimTime context_cpu_time(ContextId ctx) const;
+
+  /// Per-context consumption extrapolated to `t`, under the same contract
+  /// as proc_stat_at.
+  SimTime context_cpu_time_at(ContextId ctx, SimTime t) const;
 
   std::size_t num_contexts() const { return contexts_.size(); }
 
@@ -99,7 +115,7 @@ class Core {
 
   double total_active_weight() const;
 
-  Simulator& sim_;
+  EngineCore& sim_;
   CoreId id_;
   double speed_;
   std::vector<ContextInfo> contexts_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -28,6 +29,13 @@ struct MachineConfig {
 class Machine {
  public:
   Machine(Simulator& sim, MachineConfig config);
+
+  /// Sharded-runtime construction: every node's cores bind to the engine
+  /// the resolver names for that node, so each shard's `EngineCore` owns
+  /// the cores of exactly its own nodes (docs/sharded-engine.md). The
+  /// resolver is only consulted during construction.
+  Machine(MachineConfig config,
+          const std::function<EngineCore&(int node)>& engine_of_node);
 
   int num_nodes() const { return config_.nodes; }
   int cores_per_node() const { return config_.cores_per_node; }

@@ -33,6 +33,14 @@ struct MigrationAttempt {
 /// state and the call sequence — the runtime calls them at deterministic
 /// points of the simulation, so a seeded injector reproduces bit-identical
 /// fault schedules across runs.
+///
+/// Thread-safety note for the shard-partitioned runtime: both hooks are
+/// invoked only from serialized global phases (LB barriers), never from
+/// inside a conservative window, so a single-threaded implementation is
+/// sufficient even when windows run on a worker team. The call sequence
+/// in sharded mode matches the legacy engine's (decision order at the
+/// barrier instant, retries in chronological order), which is what keeps
+/// seeded fault schedules identical across `--shards` values.
 class FaultHooks {
  public:
   virtual ~FaultHooks() = default;

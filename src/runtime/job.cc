@@ -1,17 +1,28 @@
 #include "runtime/job.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "runtime/shard_partition.h"
+#include "runtime/sharded_runtime.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/validate.h"
 
 namespace cloudlb {
 
+// Burst-continuation rank for chare c (EngineCore::schedule_at_ranked):
+// chare index order — the order the legacy engine's broadcast loops insert
+// per-chare continuations — offset by one so rank 0 stays the unranked
+// default carried by everything outside a burst chain.
+static std::uint64_t chare_rank(std::size_t c) {
+  return static_cast<std::uint64_t>(c) + 1;
+}
+
 RuntimeJob::RuntimeJob(Simulator& sim, VirtualMachine& vm, JobConfig config,
                        std::unique_ptr<LoadBalancer> balancer)
-    : sim_{sim},
+    : sim_{&sim},
       vm_{vm},
       config_{std::move(config)},
       balancer_{std::move(balancer)} {
@@ -22,7 +33,45 @@ RuntimeJob::RuntimeJob(Simulator& sim, VirtualMachine& vm, JobConfig config,
   CLB_CHECK(config_.unpack_sec_per_byte >= 0.0);
 }
 
+RuntimeJob::RuntimeJob(ShardedRuntimeHost& host, VirtualMachine& vm,
+                       JobConfig config, std::unique_ptr<LoadBalancer> balancer)
+    : host_{&host},
+      vm_{vm},
+      config_{std::move(config)},
+      balancer_{std::move(balancer)} {
+  CLB_CHECK_MSG(balancer_ != nullptr,
+                "a balancer is required; use NullLb for the noLB baseline");
+  CLB_CHECK(config_.lb_period >= 0);
+  CLB_CHECK(config_.pack_sec_per_byte >= 0.0);
+  CLB_CHECK(config_.unpack_sec_per_byte >= 0.0);
+  CLB_CHECK_MSG(config_.router == nullptr,
+                "JobConfig::router is the legacy single-engine window shim; "
+                "the sharded host speaks the window protocol natively");
+  host_->register_job(this);
+}
+
 RuntimeJob::~RuntimeJob() = default;
+
+Simulator& RuntimeJob::sim() {
+  CLB_CHECK_MSG(sim_ != nullptr, "sim() is legacy-mode only");
+  return *sim_;
+}
+
+ShardedRuntimeHost& RuntimeJob::host() {
+  CLB_CHECK_MSG(host_ != nullptr, "host() is sharded-mode only");
+  return *host_;
+}
+
+EngineCore& RuntimeJob::engine_of_pe(PeId pe) const {
+  CLB_CHECK(host_ != nullptr);
+  return host_->engine_of_shard(shard_of_pe(pe));
+}
+
+SimTime RuntimeJob::ctx_now(PeId pe) const {
+  if (sim_ != nullptr) return sim_->now();
+  if (host_->in_window()) return engine_of_pe(pe).now();
+  return host_->global_now();
+}
 
 ChareId RuntimeJob::add_chare(std::unique_ptr<Chare> chare) {
   CLB_CHECK_MSG(!started_, "cannot add chares after start()");
@@ -38,7 +87,7 @@ void RuntimeJob::start() {
   CLB_CHECK_MSG(!started_, "job already started");
   CLB_CHECK_MSG(!chares_.empty(), "job has no chares");
   started_ = true;
-  start_time_ = sim_.now();
+  start_time_ = sharded() ? host_->global_now() : sim_->now();
 
   const auto num_chares = chares_.size();
   const auto num_pes = static_cast<std::size_t>(vm_.num_vcpus());
@@ -53,8 +102,24 @@ void RuntimeJob::start() {
 
   pes_.clear();
   pes_.resize(num_pes);
-  chare_done_.assign(num_chares, false);
-  db_.reset(num_chares);
+  chare_done_.assign(num_chares, 0);
+  // Presized so per-node entries never relocate; each entry is only ever
+  // touched by the owning node's shard during windows.
+  nic_free_at_.assign(static_cast<std::size_t>(vm_.machine().num_nodes()),
+                      SimTime::zero());
+
+  if (sharded()) {
+    CLB_CHECK_MSG(observer_ == nullptr,
+                  "execution observers are a legacy-engine facility; the "
+                  "sharded runtime would invoke them from worker threads");
+    shard_of_pe_.resize(num_pes);
+    for (std::size_t p = 0; p < num_pes; ++p)
+      shard_of_pe_[p] = host_->shard_of_core(vm_.core_of(static_cast<int>(p)));
+    part_ = std::make_unique<ShardPartition>(host_->shards(), num_chares);
+    shard_summaries_.clear();
+  } else {
+    db_.reset(num_chares);
+  }
   reset_lb_window();
 
   for (auto& chare : chares_) chare->on_start();
@@ -84,6 +149,15 @@ SimTime RuntimeJob::cpu_consumed() const {
   return total;
 }
 
+RuntimeJob::Counters RuntimeJob::counters() const {
+  Counters c = counters_;
+  if (sharded() && part_ != nullptr) {
+    c.tasks_executed = part_->tasks_total();
+    c.messages_sent = part_->messages_total();
+  }
+  return c;
+}
+
 void RuntimeJob::send(ChareId from, ChareId to, int tag,
                       std::vector<double> data, std::size_t bytes) {
   CLB_CHECK_MSG(started_, "send before start()");
@@ -99,26 +173,56 @@ void RuntimeJob::send(ChareId from, ChareId to, int tag,
   msg.bytes = bytes != 0 ? bytes
                          : msg.data.size() * sizeof(double) +
                                kMessageEnvelopeBytes;
-  ++counters_.messages_sent;
+  const PeId from_pe = pe_of(from);
+  const PeId to_pe = pe_of(to);
+  if (sharded())
+    ++part_->seg(shard_of_pe(from_pe)).messages_sent;
+  else
+    ++counters_.messages_sent;
 
-  const CoreId src_core = core_of_pe(pe_of(from));
-  const CoreId dst_core = core_of_pe(pe_of(to));
-  const SimTime delay = network_delay(src_core, dst_core, msg.bytes);
+  const CoreId src_core = core_of_pe(from_pe);
+  const CoreId dst_core = core_of_pe(to_pe);
+  const SimTime base = ctx_now(from_pe);
+  const SimTime delay = network_delay(src_core, dst_core, msg.bytes, base);
   auto deliver_cb = [this, m = std::move(msg)]() mutable {
     deliver(std::move(m));
   };
-  const int src_node = vm_.machine().node_of(src_core);
-  const int dst_node = vm_.machine().node_of(dst_core);
-  if (config_.router != nullptr &&
-      config_.router->crosses_shards(src_node, dst_node)) {
-    config_.router->route(src_node, dst_node, sim_.now() + delay,
-                          std::move(deliver_cb));
-    return;
-  }
-  sim_.schedule_after(delay, std::move(deliver_cb));
+  route_to(from_pe, to_pe, base, delay, std::move(deliver_cb));
 }
 
-SimTime RuntimeJob::network_delay(CoreId src, CoreId dst, std::size_t bytes) {
+void RuntimeJob::route_to(PeId from_pe, PeId to_pe, SimTime base,
+                          SimTime delay, std::function<void()> cb) {
+  if (!sharded()) {
+    const int src_node = vm_.machine().node_of(core_of_pe(from_pe));
+    const int dst_node = vm_.machine().node_of(core_of_pe(to_pe));
+    if (config_.router != nullptr &&
+        config_.router->crosses_shards(src_node, dst_node)) {
+      config_.router->route(src_node, dst_node, base + delay, std::move(cb));
+      return;
+    }
+    sim_->schedule_after(delay, std::move(cb));
+    return;
+  }
+  const int src_shard = shard_of_pe(from_pe);
+  const int dst_shard = shard_of_pe(to_pe);
+  if (host_->in_window() && src_shard != dst_shard) {
+    // Mid-window the caller sits on the source shard whose clock is
+    // `base`, so the windowed channel delivers at base + delay; delay is
+    // at least the inter-node latency, which lower-bounds the window.
+    host_->post(src_shard, dst_shard, delay, std::move(cb));
+    return;
+  }
+  // Global phases, setup and timed actions run serialized on the driving
+  // thread (or mid-window within one shard): direct scheduling is
+  // deterministic, and the destination clock is at or behind base. The
+  // send stamp is `base` — the sender's instant — so same-time arrivals
+  // at the destination interleave by send order, as on a single engine.
+  host_->engine_of_shard(dst_shard).schedule_at_stamped(base + delay, base,
+                                                        std::move(cb));
+}
+
+SimTime RuntimeJob::network_delay(CoreId src, CoreId dst, std::size_t bytes,
+                                  SimTime now) {
   const bool same_node = vm_.machine().same_node(src, dst);
   if (same_node || !config_.network.model_nic_contention)
     return delivery_delay(config_.network, bytes, same_node);
@@ -131,14 +235,13 @@ SimTime RuntimeJob::network_delay(CoreId src, CoreId dst, std::size_t bytes) {
   const SimTime transfer = SimTime::from_seconds(
       static_cast<double>(bytes) / config_.network.inter_node_bandwidth);
   const SimTime depart =
-      std::max(sim_.now(), nic_free_at_[static_cast<std::size_t>(node)]);
+      std::max(now, nic_free_at_[static_cast<std::size_t>(node)]);
   nic_free_at_[static_cast<std::size_t>(node)] = depart + transfer;
-  return (depart + transfer + config_.network.inter_node_latency) -
-         sim_.now();
+  return (depart + transfer + config_.network.inter_node_latency) - now;
 }
 
-SimTime RuntimeJob::sampled_idle(PeId pe) const {
-  const SimTime idle = vm_.host_proc_stat(static_cast<int>(pe)).idle;
+SimTime RuntimeJob::sampled_idle_at(PeId pe, SimTime t) const {
+  const SimTime idle = vm_.host_proc_stat_at(static_cast<int>(pe), t).idle;
   const SimTime q = config_.proc_stat_quantum;
   if (q.is_zero()) return idle;
   return SimTime::nanos(idle.ns() / q.ns() * q.ns());  // floor to a jiffy
@@ -165,15 +268,23 @@ void RuntimeJob::start_next_task(PeId pe) {
   Chare& target = *chares_[static_cast<std::size_t>(msg.dest)];
   const SimTime cost = target.cost(msg);
   CLB_CHECK(!cost.is_negative());
-  const SimTime begin = sim_.now();
+  const SimTime begin = ctx_now(pe);
 
   vm_.demand(pe, cost,
              [this, pe, begin, cost, m = std::move(msg)]() mutable {
-               db_.record_task(m.dest, cost.to_seconds());
-               ++counters_.tasks_executed;
+               if (sharded()) {
+                 auto& seg = part_->seg(shard_of_pe(pe));
+                 seg.db.record_task(m.dest, cost.to_seconds());
+                 seg.window_cpu_sec += cost.to_seconds();
+                 ++seg.tasks_executed;
+               } else {
+                 db_.record_task(m.dest, cost.to_seconds());
+                 ++counters_.tasks_executed;
+               }
                if (observer_ != nullptr)
                  observer_->on_task_executed(*this, pe, core_of_pe(pe),
-                                             m.dest, m.tag, begin, sim_.now());
+                                             m.dest, m.tag, begin,
+                                             ctx_now(pe));
                chares_[static_cast<std::size_t>(m.dest)]->execute(m);
                pes_[static_cast<std::size_t>(pe)].executing = false;
                pump_service(pe);
@@ -186,44 +297,118 @@ void RuntimeJob::at_sync(ChareId chare) {
                 "at_sync called but lb_period is 0 (balancing disabled)");
   CLB_CHECK(!lb_in_progress_);
   CLB_CHECK(!chare_done_[static_cast<std::size_t>(chare)]);
-  ++sync_count_;
-  const std::size_t live = chares_.size() - finished_chares_;
-  CLB_CHECK(sync_count_ <= live);
-  if (sync_count_ == live) {
-    sync_count_ = 0;
-    lb_in_progress_ = true;
-    // The gather/decide/broadcast of the LB framework is real CPU work on
-    // the master PE — if that core is interfered, the decision itself
-    // slows down, exactly as it would in the paper's setup.
-    enqueue_service(0, config_.lb_decision_overhead,
-                    [this] { run_lb_step(); });
+  if (!sharded()) {
+    ++sync_count_;
+    const std::size_t live = chares_.size() - finished_chares_;
+    CLB_CHECK(sync_count_ <= live);
+    if (sync_count_ == live) {
+      sync_count_ = 0;
+      lb_in_progress_ = true;
+      // The gather/decide/broadcast of the LB framework is real CPU work
+      // on the master PE — if that core is interfered, the decision itself
+      // slows down, exactly as it would in the paper's setup.
+      enqueue_service(0, config_.lb_decision_overhead,
+                      [this] { run_lb_step(); });
+    }
+    return;
   }
+  const PeId pe = pe_of(chare);
+  auto& seg = part_->seg(shard_of_pe(pe));
+  const SimTime t = ctx_now(pe);
+  ++seg.sync_count;
+  seg.last_sync_time = t;
+  // Mid-window only the shard-local subtotal is touched; completion is
+  // detected at the barrier (merge_window_state) or, in a global phase,
+  // right here with the merged counts.
+  if (!host_->in_window()) maybe_complete_sync_wave(t);
+}
+
+void RuntimeJob::maybe_complete_sync_wave(SimTime t) {
+  const std::size_t live = chares_.size() - part_->finished_total();
+  const std::size_t sync = part_->sync_total();
+  CLB_CHECK(sync <= live);
+  if (sync == live) begin_lb_barrier(t);
+}
+
+void RuntimeJob::begin_lb_barrier(SimTime t) {
+  (void)t;  // == host_->global_now(): asserted below
+  CLB_CHECK(t == host_->global_now());
+  part_->clear_sync();
+  lb_in_progress_ = true;
+  enqueue_service(0, config_.lb_decision_overhead, [this] { run_lb_step(); });
 }
 
 void RuntimeJob::contribute(ChareId chare, double value) {
   CLB_CHECK(!lb_in_progress_);
   CLB_CHECK(!chare_done_[static_cast<std::size_t>(chare)]);
-  reduction_sum_ += value;
-  ++reduction_count_;
-  const std::size_t live = chares_.size() - finished_chares_;
-  CLB_CHECK_MSG(reduction_count_ <= live,
+  if (!sharded()) {
+    reduction_sum_ += value;
+    ++reduction_count_;
+    const std::size_t live = chares_.size() - finished_chares_;
+    CLB_CHECK_MSG(reduction_count_ <= live,
+                  "more contributions than live chares in one reduction");
+    if (reduction_count_ == live) {
+      const double result = reduction_sum_;
+      reduction_count_ = 0;
+      reduction_sum_ = 0.0;
+      sim_->schedule_after(config_.reduction_latency, [this, result] {
+        for (std::size_t c = 0; c < chares_.size(); ++c) {
+          if (chare_done_[c]) continue;
+          chares_[c]->on_reduction_result(result);
+        }
+      });
+    }
+    return;
+  }
+  const PeId pe = pe_of(chare);
+  auto& seg = part_->seg(shard_of_pe(pe));
+  const SimTime t = ctx_now(pe);
+  seg.contributions.emplace_back(t, value);
+  ++seg.red_count;
+  if (!host_->in_window()) maybe_complete_reduction(t);
+}
+
+void RuntimeJob::maybe_complete_reduction(SimTime t) {
+  const std::size_t live = chares_.size() - part_->finished_total();
+  const std::size_t red = part_->red_total();
+  CLB_CHECK_MSG(red <= live,
                 "more contributions than live chares in one reduction");
-  if (reduction_count_ == live) {
-    const double result = reduction_sum_;
-    reduction_count_ = 0;
-    reduction_sum_ = 0.0;
-    sim_.schedule_after(config_.reduction_latency, [this, result] {
-      for (std::size_t c = 0; c < chares_.size(); ++c) {
-        if (chare_done_[c]) continue;
-        chares_[c]->on_reduction_result(result);
-      }
-    });
+  if (red != live) return;
+  const double result = part_->reduction_sum();
+  part_->clear_reduction();
+  complete_reduction(t, result);
+}
+
+void RuntimeJob::complete_reduction(SimTime t, double result) {
+  CLB_CHECK(t == host_->global_now());
+  // One broadcast event per shard at the same instant, each delivering to
+  // its own live chares in index order — the shard-local half of the
+  // broadcast tree. Executed in (time, shard) order by the global phase,
+  // which broadcasts_pending_ keeps active until the last one ran. The
+  // legacy broadcast is ONE event delivering in chare index order, so
+  // each chare's deliveries are ranked individually: without the
+  // override, everything the whole shard schedules would share the
+  // broadcast event's rank and same-(time, stamp) sends from different
+  // shards would interleave shard-major instead of by chare.
+  for (int s = 0; s < part_->shards(); ++s) {
+    ++broadcasts_pending_;
+    host_->engine_of_shard(s).schedule_at_stamped(
+        t + config_.reduction_latency, t, [this, s, result] {
+          EngineCore& eng = host_->engine_of_shard(s);
+          for (std::size_t c = 0; c < chares_.size(); ++c) {
+            if (chare_done_[c]) continue;
+            if (shard_of_pe(assignment_[c]) != s) continue;
+            eng.set_current_rank(chare_rank(c));
+            chares_[c]->on_reduction_result(result);
+          }
+          --broadcasts_pending_;
+        });
   }
 }
 
 LbStats RuntimeJob::collect_stats() const {
   LbStats stats;
-  const SimTime now = sim_.now();
+  const SimTime now = sharded() ? host_->global_now() : sim_->now();
   stats.pes.resize(pes_.size());
   for (std::size_t p = 0; p < pes_.size(); ++p) {
     PeSample& s = stats.pes[p];
@@ -231,7 +416,7 @@ LbStats RuntimeJob::collect_stats() const {
     s.core = core_of_pe(static_cast<PeId>(p));
     s.wall_sec = (now - pes_[p].window_start).to_seconds();
     s.core_idle_sec =
-        (sampled_idle(static_cast<PeId>(p)) - pes_[p].idle_anchor)
+        (sampled_idle_at(static_cast<PeId>(p), now) - pes_[p].idle_anchor)
             .to_seconds();
   }
   stats.chares.resize(chares_.size());
@@ -239,7 +424,8 @@ LbStats RuntimeJob::collect_stats() const {
     ChareSample& s = stats.chares[c];
     s.chare = static_cast<ChareId>(c);
     s.pe = assignment_[c];
-    s.cpu_sec = db_.chare_cpu(static_cast<ChareId>(c));
+    s.cpu_sec = sharded() ? part_->chare_cpu(static_cast<ChareId>(c))
+                          : db_.chare_cpu(static_cast<ChareId>(c));
     s.bytes = chares_[c]->footprint_bytes();
     stats.pes[static_cast<std::size_t>(s.pe)].task_cpu_sec += s.cpu_sec;
   }
@@ -256,6 +442,11 @@ void RuntimeJob::run_lb_step() {
   // a real LB daemon would read from a degraded host, while the runtime's
   // own bookkeeping stays truthful.
   if (config_.faults != nullptr) config_.faults->perturb_stats(stats);
+  // LB-step cadence of the shard summaries: aggregate exactly the
+  // snapshot the strategy is about to see.
+  if (sharded())
+    shard_summaries_ =
+        shard_summaries_from_stats(stats, shard_of_pe_, part_->shards());
   std::vector<PeId> new_assignment = balancer_->assign(stats);
   CLB_CHECK_MSG(new_assignment.size() == chares_.size(),
                 "balancer returned a mapping of the wrong size");
@@ -268,9 +459,9 @@ void RuntimeJob::run_lb_step() {
   }
   ++counters_.lb_steps;
   if (observer_ != nullptr)
-    observer_->on_lb_step(*this, counters_.lb_steps, sim_.now(), moves);
+    observer_->on_lb_step(*this, counters_.lb_steps, ctx_now(0), moves);
   CLB_DEBUG(name() << ": LB step " << counters_.lb_steps << " at "
-                   << sim_.now().to_string() << ", " << moves
+                   << ctx_now(0).to_string() << ", " << moves
                    << " migrations");
 
   if (moves == 0) {
@@ -315,6 +506,9 @@ void RuntimeJob::attempt_migration(ChareId chare, PeId from, PeId to,
   // where in the pack -> transfer -> unpack pipeline the attempt dies.
   // Work done before the failure point is genuinely burned — a failed
   // migration still cost its pack CPU, a partial one its transfer too.
+  // Drawn here — at decision time for attempt 0, at retry time after a
+  // backoff — the call order matches the legacy engine's in both modes,
+  // which keeps seeded fault schedules identical across shard counts.
   const MigrationFault fault =
       config_.faults != nullptr
           ? config_.faults->on_migration({chare, from, to, attempt})
@@ -328,8 +522,11 @@ void RuntimeJob::attempt_migration(ChareId chare, PeId from, PeId to,
   const SimTime unpack =
       SimTime::from_seconds(config_.unpack_sec_per_byte *
                             static_cast<double>(bytes));
+  // The NIC ledger advances here, at the same instant and in the same
+  // move order the legacy engine uses.
+  const SimTime now = sharded() ? host_->global_now() : sim_->now();
   const SimTime transfer =
-      network_delay(core_of_pe(from), core_of_pe(to), bytes);
+      network_delay(core_of_pe(from), core_of_pe(to), bytes, now);
 
   enqueue_service(
       from, pack, [this, chare, from, to, attempt, unpack, transfer, fault] {
@@ -344,16 +541,24 @@ void RuntimeJob::attempt_migration(ChareId chare, PeId from, PeId to,
           }
           enqueue_service(to, unpack, [this] { migration_done(); });
         };
+        if (sharded()) {
+          // Migrations run only in global phases, where direct
+          // cross-engine scheduling is deterministic.
+          const SimTime sent = host_->global_now();
+          engine_of_pe(to).schedule_at_stamped(sent + transfer, sent,
+                                               std::move(arrive));
+          return;
+        }
         // Migration state crossing a shard boundary rides the same
         // windowed channel as messages — it is just bigger cargo.
         const int src_node = vm_.machine().node_of(core_of_pe(from));
         const int dst_node = vm_.machine().node_of(core_of_pe(to));
         if (config_.router != nullptr &&
             config_.router->crosses_shards(src_node, dst_node)) {
-          config_.router->route(src_node, dst_node, sim_.now() + transfer,
+          config_.router->route(src_node, dst_node, sim_->now() + transfer,
                                 std::move(arrive));
         } else {
-          sim_.schedule_after(transfer, std::move(arrive));
+          sim_->schedule_after(transfer, std::move(arrive));
         }
       });
 }
@@ -368,9 +573,16 @@ void RuntimeJob::retry_or_abandon(ChareId chare, PeId from, PeId to,
     CLB_DEBUG(name() << ": migration of chare " << chare << " -> PE " << to
                      << " failed (attempt " << attempt + 1 << "), retrying in "
                      << backoff.to_string());
-    sim_.schedule_after(backoff, [this, chare, from, to, attempt] {
+    auto retry = [this, chare, from, to, attempt] {
       attempt_migration(chare, from, to, attempt + 1);
-    });
+    };
+    if (sharded()) {
+      const SimTime sent = host_->global_now();
+      engine_of_pe(from).schedule_at_stamped(sent + backoff, sent,
+                                             std::move(retry));
+    } else {
+      sim_->schedule_after(backoff, std::move(retry));
+    }
     return;
   }
   // Out of retries: the source copy stays authoritative, so the chare is
@@ -388,8 +600,26 @@ void RuntimeJob::retry_or_abandon(ChareId chare, PeId from, PeId to,
 
 void RuntimeJob::enqueue_service(PeId pe, SimTime cpu,
                                  std::function<void()> done) {
-  auto& p = pes_[static_cast<std::size_t>(pe)];
   CLB_CHECK_MSG(lb_in_progress_, "runtime services run only at LB barriers");
+  if (!sharded()) {
+    push_service(pe, cpu, std::move(done));
+    return;
+  }
+  // Teleport to the PE's own engine: the service demand must anchor on
+  // the clock of the engine owning that PE's core, which in a global
+  // phase sits exactly at the global instant when the event fires. Same-
+  // instant events on one engine run in schedule order, so multiple
+  // services pushed to one PE keep their (legacy) enqueue order.
+  const SimTime sent = host_->global_now();
+  engine_of_pe(pe).schedule_at_stamped(
+      sent, sent, [this, pe, cpu, done = std::move(done)]() mutable {
+        push_service(pe, cpu, std::move(done));
+      });
+}
+
+void RuntimeJob::push_service(PeId pe, SimTime cpu,
+                              std::function<void()> done) {
+  auto& p = pes_[static_cast<std::size_t>(pe)];
   p.services.push_back(ServiceItem{cpu, std::move(done)});
   pump_service(pe);
 }
@@ -440,8 +670,11 @@ void RuntimeJob::validate_invariants() const {
                            << assignment_[c]);
     if (chare_done_[c]) ++done;
   }
-  CLB_CHECK_MSG(done == finished_chares_,
-                "finished-chare counter " << finished_chares_
+  const std::size_t finished_count =
+      sharded() && part_ != nullptr ? part_->finished_total()
+                                    : finished_chares_;
+  CLB_CHECK_MSG(done == finished_count,
+                "finished-chare counter " << finished_count
                                           << " disagrees with " << done
                                           << " done flags");
 
@@ -472,6 +705,40 @@ void RuntimeJob::validate_invariants() const {
       CLB_CHECK(!pe.service_active);
     }
   }
+
+  // Partition-consistency audit (sharded mode): the per-shard segments
+  // must agree with each other and with their own databases.
+  if (sharded() && part_ != nullptr) {
+    CLB_CHECK_MSG(part_->shards() == host_->shards(),
+                  "partition has " << part_->shards() << " segments for "
+                                   << host_->shards() << " shards");
+    CLB_CHECK_MSG(part_->sync_total() <= chares_.size() - finished_count,
+                  "more chares at the barrier than live chares");
+    for (int s = 0; s < part_->shards(); ++s) {
+      const ShardSegment& seg = part_->seg(s);
+      CLB_CHECK_MSG(seg.red_count == seg.contributions.size(),
+                    "shard " << s << " reduction counter " << seg.red_count
+                             << " disagrees with "
+                             << seg.contributions.size()
+                             << " logged contributions");
+      for (std::size_t i = 1; i < seg.contributions.size(); ++i) {
+        CLB_CHECK_MSG(seg.contributions[i - 1].first <=
+                          seg.contributions[i].first,
+                      "shard " << s
+                               << " contribution times out of order at "
+                               << i);
+      }
+      // The running duplicate vs. its database: same additions in a
+      // different association order, so compare with a tight relative
+      // tolerance rather than bitwise.
+      const double total = seg.db.window_total();
+      const double tol = 1e-9 * std::max(1.0, std::abs(total));
+      CLB_CHECK_MSG(std::abs(total - seg.window_cpu_sec) <= tol,
+                    "shard " << s << " load total " << seg.window_cpu_sec
+                             << " disagrees with its database ("
+                             << total << ")");
+    }
+  }
 }
 
 void RuntimeJob::resume_all() {
@@ -482,46 +749,206 @@ void RuntimeJob::resume_all() {
   }
   reset_lb_window();
   lb_in_progress_ = false;
+  if (!sharded()) {
+    for (std::size_t c = 0; c < chares_.size(); ++c) {
+      if (chare_done_[c]) continue;
+      sim_->schedule_after(SimTime::zero(), [this, c] {
+        chares_[c]->on_resume_sync();
+      });
+    }
+    return;
+  }
+  // Zero-delay resumes on each chare's own engine, scheduled in chare
+  // index order. Within one shard that is also execution order, and
+  // chares on different shards live on different nodes, so nothing that
+  // shares a NIC or core reorders — but the resumes all fire at the same
+  // instant with the same stamp, so their downstream sends can tie on
+  // (time, stamp) at a common destination. The rank (chare index, as the
+  // legacy loop inserts) carries the legacy interleave across shards;
+  // every event a resume continuation schedules inherits it.
+  const SimTime t = host_->global_now();
   for (std::size_t c = 0; c < chares_.size(); ++c) {
     if (chare_done_[c]) continue;
-    sim_.schedule_after(SimTime::zero(), [this, c] {
-      chares_[c]->on_resume_sync();
-    });
+    engine_of_pe(assignment_[c])
+        .schedule_at_ranked(t, t, chare_rank(c), [this, c] {
+          chares_[c]->on_resume_sync();
+        });
   }
 }
 
 void RuntimeJob::reset_lb_window() {
-  db_.clear_window();
-  const SimTime now = sim_.now();
+  const SimTime now = sharded() ? host_->global_now() : sim_->now();
+  if (sharded())
+    part_->clear_windows();
+  else
+    db_.clear_window();
   for (std::size_t p = 0; p < pes_.size(); ++p) {
     pes_[p].window_start = now;
-    pes_[p].idle_anchor = sampled_idle(static_cast<PeId>(p));
+    pes_[p].idle_anchor = sampled_idle_at(static_cast<PeId>(p), now);
   }
 }
 
 void RuntimeJob::report_iteration(ChareId chare, int iteration) {
   CLB_CHECK(iteration >= 0);
-  (void)chare;
   const auto it = static_cast<std::size_t>(iteration);
-  if (iteration_reports_.size() <= it) {
-    iteration_reports_.resize(it + 1, 0);
-    iteration_times_.resize(it + 1, SimTime::zero());
+  if (!sharded()) {
+    (void)chare;
+    if (iteration_reports_.size() <= it) {
+      iteration_reports_.resize(it + 1, 0);
+      iteration_times_.resize(it + 1, SimTime::zero());
+    }
+    if (++iteration_reports_[it] == static_cast<int>(chares_.size())) {
+      iteration_times_[it] = sim_->now();
+      if (observer_ != nullptr)
+        observer_->on_iteration_complete(*this, iteration, sim_->now());
+    }
+    return;
   }
-  if (++iteration_reports_[it] == static_cast<int>(chares_.size())) {
-    iteration_times_[it] = sim_.now();
-    if (observer_ != nullptr)
-      observer_->on_iteration_complete(*this, iteration, sim_.now());
+  const PeId pe = pe_of(chare);
+  auto& seg = part_->seg(shard_of_pe(pe));
+  if (seg.iteration_reports.size() <= it) {
+    seg.iteration_reports.resize(it + 1, 0);
+    seg.iteration_last_times.resize(it + 1, SimTime::zero());
   }
+  ++seg.iteration_reports[it];
+  seg.iteration_last_times[it] = ctx_now(pe);  // monotone within a shard
 }
 
 void RuntimeJob::chare_finished(ChareId chare) {
   CLB_CHECK(!chare_done_[static_cast<std::size_t>(chare)]);
-  chare_done_[static_cast<std::size_t>(chare)] = true;
-  ++finished_chares_;
-  if (finished_chares_ == chares_.size()) {
+  chare_done_[static_cast<std::size_t>(chare)] = 1;
+  if (!sharded()) {
+    ++finished_chares_;
+    if (finished_chares_ == chares_.size()) {
+      finished_ = true;
+      finish_time_ = sim_->now();
+      CLB_INFO(name() << " finished at " << finish_time_.to_string());
+    }
+    return;
+  }
+  const PeId pe = pe_of(chare);
+  auto& seg = part_->seg(shard_of_pe(pe));
+  ++seg.finished_chares;
+  seg.last_finish_time = ctx_now(pe);
+  // A partial finish forces global phases (needs_global_phase), so by
+  // the time the *last* chare finishes we are serialized and the finish
+  // instant is exact. The only other route is the all-in-one-window case
+  // handled by merge_window_state's rewind recovery.
+  if (!host_->in_window() && part_->finished_total() == chares_.size()) {
     finished_ = true;
-    finish_time_ = sim_.now();
-    CLB_INFO(name() << " finished at " << finish_time_.to_string());
+    finish_time_ = ctx_now(pe);
+    host_->note_job_finished(*this);
+  }
+}
+
+bool RuntimeJob::needs_global_phase() const {
+  CLB_CHECK(sharded());
+  if (!started_ || finished_) return false;
+  if (lb_in_progress_ || broadcasts_pending_ > 0) return true;
+  return part_->sync_total() > 0 || part_->red_total() > 0 ||
+         part_->finished_total() > 0;
+}
+
+void RuntimeJob::merge_window_state() {
+  CLB_CHECK(sharded());
+  CLB_CHECK(!host_->in_window());
+  if (!started_ || finished_) return;
+  refresh_barrier_summaries();
+
+  const std::size_t fin = part_->finished_total();
+  const std::size_t live = chares_.size() - fin;
+  const std::size_t sync = part_->sync_total();
+  const std::size_t red = part_->red_total();
+  CLB_CHECK(sync <= live);
+  CLB_CHECK(red <= live);
+  if (lb_in_progress_ || broadcasts_pending_ > 0) return;
+
+  // A collective that started *and* completed inside the window just run:
+  // recover the exact completion instant t* by rewinding every shard
+  // clock to it (each engine proves nothing ran past t*, else the run
+  // fails loudly — the window outran the cascade, i.e. the LB cadence is
+  // shorter than the barrier window).
+  if (live > 0 && sync > 0 && sync == live) {
+    CLB_CHECK_MSG(red == 0,
+                  "chares simultaneously at an AtSync barrier and inside a "
+                  "reduction");
+    const SimTime t = part_->max_sync_time();
+    CLB_CHECK_MSG(fin == 0 || part_->max_finish_time() <= t,
+                  name() << ": a chare finished after the last at_sync in "
+                            "the same window; barrier completion is "
+                            "ambiguous (the legacy engine would stall here)");
+    host_->recover_to(t);
+    begin_lb_barrier(t);
+  } else if (live > 0 && red > 0 && red == live) {
+    const SimTime t = part_->max_contribution_time();
+    CLB_CHECK_MSG(fin == 0 || part_->max_finish_time() <= t,
+                  name() << ": a chare finished after the last contribute "
+                            "in the same window; reduction completion is "
+                            "ambiguous (the legacy engine would stall here)");
+    const double result = part_->reduction_sum();
+    part_->clear_reduction();
+    host_->recover_to(t);
+    complete_reduction(t, result);
+  } else if (fin == chares_.size()) {
+    const SimTime t = part_->max_finish_time();
+    host_->recover_to(t);
+    finished_ = true;
+    finish_time_ = t;
+    host_->note_job_finished(*this);
+  }
+}
+
+void RuntimeJob::refresh_barrier_summaries() {
+  // All shard clocks sit exactly at the barrier, so the idle counters are
+  // readable (and exact) at the global instant.
+  const SimTime now = host_->global_now();
+  const int shards = part_->shards();
+  shard_summaries_.assign(static_cast<std::size_t>(shards),
+                          ShardLoadSummary{});
+  std::vector<double> pe_task(pes_.size(), 0.0);
+  for (std::size_t c = 0; c < chares_.size(); ++c)
+    pe_task[static_cast<std::size_t>(assignment_[c])] +=
+        part_->chare_cpu(static_cast<ChareId>(c));
+  for (int s = 0; s < shards; ++s) {
+    ShardLoadSummary& sum = shard_summaries_[static_cast<std::size_t>(s)];
+    sum.shard = s;
+    sum.load_cpu_sec = part_->seg(s).window_cpu_sec;
+    sum.tasks = part_->seg(s).tasks_executed;
+  }
+  for (std::size_t p = 0; p < pes_.size(); ++p) {
+    ShardLoadSummary& sum =
+        shard_summaries_[static_cast<std::size_t>(shard_of_pe(
+            static_cast<PeId>(p)))];
+    ++sum.pes;
+    const double wall = (now - pes_[p].window_start).to_seconds();
+    const double idle =
+        (sampled_idle_at(static_cast<PeId>(p), now) - pes_[p].idle_anchor)
+            .to_seconds();
+    sum.wall_sec = std::max(sum.wall_sec, wall);
+    sum.idle_sec += idle;
+    sum.overhead_sec += std::max(0.0, wall - idle - pe_task[p]);
+  }
+}
+
+void RuntimeJob::finalize_shard_state() {
+  if (!sharded() || !started_) return;
+  std::size_t max_it = 0;
+  for (int s = 0; s < part_->shards(); ++s)
+    max_it = std::max(max_it, part_->seg(s).iteration_reports.size());
+  iteration_reports_.assign(max_it, 0);
+  iteration_times_.assign(max_it, SimTime::zero());
+  std::vector<SimTime> last(max_it, SimTime::zero());
+  for (int s = 0; s < part_->shards(); ++s) {
+    const ShardSegment& seg = part_->seg(s);
+    for (std::size_t it = 0; it < seg.iteration_reports.size(); ++it) {
+      iteration_reports_[it] += seg.iteration_reports[it];
+      last[it] = std::max(last[it], seg.iteration_last_times[it]);
+    }
+  }
+  for (std::size_t it = 0; it < max_it; ++it) {
+    // As in legacy mode, only fully-reported iterations get a time.
+    if (iteration_reports_[it] == static_cast<int>(chares_.size()))
+      iteration_times_[it] = last[it];
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "lb/framework.h"
+#include "lb/shard_summary.h"
 #include "runtime/chare.h"
 #include "runtime/fault_hooks.h"
 #include "runtime/lb_database.h"
@@ -18,6 +20,9 @@
 #include "vm/virtual_machine.h"
 
 namespace cloudlb {
+
+class ShardedRuntimeHost;
+class ShardPartition;
 
 /// Runtime tuning for one job.
 struct JobConfig {
@@ -66,12 +71,14 @@ struct JobConfig {
   /// migration path can cause to max_retries doublings).
   SimTime migration_retry_backoff = SimTime::micros(500);
 
-  /// Shard-aware delivery routing (non-owning; see src/sim/shard_router.h
-  /// and docs/sharded-engine.md). When set, messages and migration
-  /// transfers between machine nodes on different shards are buffered by
-  /// the router and released at conservative window barriers in canonical
-  /// channel-merge order instead of being scheduled directly. Null — the
-  /// default — keeps the legacy direct path bit-identical.
+  /// Shard-aware delivery routing on the *legacy* single engine
+  /// (non-owning; see src/sim/shard_router.h). When set, messages and
+  /// migration transfers between machine nodes on different shards are
+  /// buffered by the router and released at conservative window barriers
+  /// in canonical channel-merge order instead of being scheduled
+  /// directly. Null — the default — keeps the legacy direct path
+  /// bit-identical. Must be null under the sharded-host constructor,
+  /// which speaks the window protocol natively.
   ShardRouter* router = nullptr;
 };
 
@@ -84,11 +91,32 @@ struct JobConfig {
 /// the LB database (per-task CPU times), measures each PE's wall-clock
 /// window and its host core's idle counter, and hands all of it to the
 /// strategy as LbStats.
+///
+/// The job runs in one of two modes, fixed at construction:
+///
+///  * **Legacy** — one Simulator clocks everything; every code path is
+///    bit-identical to the pre-sharding runtime (pinned by the golden
+///    trace digest).
+///  * **Sharded** — a ShardedRuntimeHost drives the job across N shard
+///    engines. All window-mutable state (LB database, barrier counters,
+///    iteration tallies) is partitioned per shard (ShardPartition):
+///    during conservative windows each shard writes only its own
+///    segment, and collective phases (AtSync cascades, reductions,
+///    migrations, finish detection) run serialized in exact global event
+///    order, so makespan, migrations and energy are bit-identical to the
+///    legacy engine for any shard and worker count.
 class RuntimeJob {
  public:
-  /// The job runs one PE per vCPU of `vm`. The balancer may be the NullLb
-  /// to reproduce the paper's "noLB" configuration.
+  /// Legacy single-engine mode. The balancer may be the NullLb to
+  /// reproduce the paper's "noLB" configuration.
   RuntimeJob(Simulator& sim, VirtualMachine& vm, JobConfig config,
+             std::unique_ptr<LoadBalancer> balancer);
+
+  /// Shard-partitioned mode: the job registers with `host` and is
+  /// advanced by host.drive(). Requires config.router == nullptr (the
+  /// host speaks the window protocol itself) and no observer (the tracer
+  /// is a legacy-engine facility).
+  RuntimeJob(ShardedRuntimeHost& host, VirtualMachine& vm, JobConfig config,
              std::unique_ptr<LoadBalancer> balancer);
   ~RuntimeJob();
 
@@ -118,7 +146,11 @@ class RuntimeJob {
   [[nodiscard]] std::size_t num_chares() const { return chares_.size(); }
   [[nodiscard]] int lb_period() const { return config_.lb_period; }
 
-  Simulator& sim() { return sim_; }
+  /// Legacy mode only (the sharded runtime has one engine per shard).
+  Simulator& sim();
+  /// Sharded mode only.
+  ShardedRuntimeHost& host();
+  [[nodiscard]] bool sharded() const { return host_ != nullptr; }
   VirtualMachine& vm() { return vm_; }
 
   [[nodiscard]] PeId pe_of(ChareId chare) const;
@@ -126,7 +158,8 @@ class RuntimeJob {
   Chare& chare(ChareId id);
 
   /// Completion times of fully-finished application iterations
-  /// (index = iteration number as reported by chares).
+  /// (index = iteration number as reported by chares). In sharded mode
+  /// the per-shard tallies are merged lazily; complete after drive().
   [[nodiscard]] const std::vector<SimTime>& iteration_times() const {
     return iteration_times_;
   }
@@ -148,10 +181,20 @@ class RuntimeJob {
     int migration_retries = 0;   ///< failed attempts that were retried
     int migrations_failed = 0;   ///< abandoned after exhausting retries
   };
-  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// By value: in sharded mode the window-local counters (tasks,
+  /// messages) live in the per-shard segments and are merged on read.
+  [[nodiscard]] Counters counters() const;
 
   /// Total CPU consumed by the job's PEs (from core accounting).
   [[nodiscard]] SimTime cpu_consumed() const;
+
+  /// Sharded mode: per-shard {load, O_p} summaries, refreshed at every
+  /// window barrier (from the segments' running totals and the exact
+  /// idle counters) and at every LB step (from the LbStats snapshot the
+  /// balancer saw). Empty in legacy mode or before the first barrier.
+  [[nodiscard]] const std::vector<ShardLoadSummary>& shard_summaries() const {
+    return shard_summaries_;
+  }
 
   // --- Chare-facing API (called from Chare protected helpers). ---
 
@@ -162,12 +205,37 @@ class RuntimeJob {
   void chare_finished(ChareId chare);
   void report_iteration(ChareId chare, int iteration);
 
+  // --- Host-facing protocol (sharded mode; called by ShardedRuntimeHost
+  // from the driving thread, never from inside a window). ---
+
+  /// True when the job has collective state in motion that requires
+  /// serialized global execution (an AtSync wave, an open reduction, a
+  /// pending broadcast, an LB barrier, or a partial finish — the latter
+  /// so the final finish instant, and with it the energy meter stop, is
+  /// exact).
+  [[nodiscard]] bool needs_global_phase() const;
+
+  /// Barrier bookkeeping after each conservative window: refreshes the
+  /// per-shard summaries and recovers cascades that completed entirely
+  /// inside the window (rewinding the shard clocks to the completion
+  /// instant, or failing loudly when the window outran the cascade).
+  void merge_window_state();
+
+  /// Merges the lazily-partitioned tallies (iteration times) after
+  /// drive().
+  void finalize_shard_state();
+
   /// Deep structural audit of the job (validation_enabled() gates the
   /// automatic call after every LB step; calling it directly is always
   /// allowed): the chare -> PE mapping is dense, in range, and agrees
   /// with every chare's identity (no chare lost, duplicated, or misowned),
-  /// per-PE message queues route consistently, and the barrier/migration
-  /// state machine is quiescent. Throws CheckFailure on violation.
+  /// per-PE message queues route consistently, the barrier/migration
+  /// state machine is quiescent, and — in sharded mode — the partition
+  /// segments are mutually consistent (finish counts match the done
+  /// flags, reduction counters match their contribution logs,
+  /// contribution times are monotone per shard, and the segment load
+  /// totals match their databases). Throws CheckFailure on violation.
+  /// Must not be called mid-window in sharded mode.
   void validate_invariants() const;
 
  private:
@@ -189,13 +257,31 @@ class RuntimeJob {
     SimTime idle_anchor;
   };
 
+  // Mode plumbing.
+  [[nodiscard]] int shard_of_pe(PeId pe) const {
+    return shard_of_pe_[static_cast<std::size_t>(pe)];
+  }
+  [[nodiscard]] EngineCore& engine_of_pe(PeId pe) const;
+  /// The current simulation instant as seen from PE `pe`'s context:
+  /// legacy -> the one clock; sharded, inside a window -> the PE's shard
+  /// clock; sharded otherwise (global phases, setup, timed actions) ->
+  /// the host's global instant.
+  [[nodiscard]] SimTime ctx_now(PeId pe) const;
+  /// Delivery routing: schedules `cb` at base + delay in the context of
+  /// `to_pe`'s engine. Legacy mode preserves the exact pre-sharding call
+  /// sequence (including the optional JobConfig::router path).
+  void route_to(PeId from_pe, PeId to_pe, SimTime base, SimTime delay,
+                std::function<void()> cb);
+
   void deliver(Message msg);
-  SimTime sampled_idle(PeId pe) const;
-  /// Total delay for `bytes` from src to dst core, including NIC egress
-  /// queueing when the network model enables it.
-  SimTime network_delay(CoreId src, CoreId dst, std::size_t bytes);
+  [[nodiscard]] SimTime sampled_idle_at(PeId pe, SimTime t) const;
+  /// Total delay for `bytes` from src to dst core at time `now`,
+  /// including NIC egress queueing when the network model enables it.
+  SimTime network_delay(CoreId src, CoreId dst, std::size_t bytes,
+                        SimTime now);
   void start_next_task(PeId pe);
   void enqueue_service(PeId pe, SimTime cpu, std::function<void()> done);
+  void push_service(PeId pe, SimTime cpu, std::function<void()> done);
   void pump_service(PeId pe);
   void run_lb_step();
   void begin_migrations(const std::vector<PeId>& new_assignment);
@@ -207,37 +293,56 @@ class RuntimeJob {
   LbStats collect_stats() const;
   void reset_lb_window();
 
-  Simulator& sim_;
+  // Sharded collective-phase helpers (driving thread or global events).
+  void maybe_complete_sync_wave(SimTime t);
+  void maybe_complete_reduction(SimTime t);
+  void begin_lb_barrier(SimTime t);
+  void complete_reduction(SimTime t, double result);
+  void refresh_barrier_summaries();
+
+  Simulator* sim_ = nullptr;          ///< legacy mode
+  ShardedRuntimeHost* host_ = nullptr;  ///< sharded mode
   VirtualMachine& vm_;
   JobConfig config_;
   std::unique_ptr<LoadBalancer> balancer_;
   std::vector<std::unique_ptr<Chare>> chares_;
-  std::vector<bool> chare_done_;
+  /// One flag per chare. uint8_t, not vector<bool>: in sharded mode each
+  /// shard writes its own chares' flags during parallel windows, and a
+  /// packed bitfield would make those writes race on shared words.
+  std::vector<std::uint8_t> chare_done_;
   std::vector<PeId> assignment_;  ///< chare -> PE
   std::vector<Pe> pes_;
-  LbDatabase db_;
+  LbDatabase db_;  ///< legacy mode; sharded mode uses the partition's segments
   ExecutionObserver* observer_ = nullptr;
 
   bool started_ = false;
   bool finished_ = false;
   SimTime start_time_;
   SimTime finish_time_;
-  std::size_t finished_chares_ = 0;
+  std::size_t finished_chares_ = 0;  ///< legacy; sharded sums the segments
 
-  std::size_t sync_count_ = 0;
+  std::size_t sync_count_ = 0;       ///< legacy; sharded sums the segments
   bool lb_in_progress_ = false;
-  std::size_t reduction_count_ = 0;
-  double reduction_sum_ = 0.0;
+  std::size_t reduction_count_ = 0;  ///< legacy
+  double reduction_sum_ = 0.0;       ///< legacy
   int migrations_in_flight_ = 0;
+  int broadcasts_pending_ = 0;       ///< sharded: in-flight broadcast events
 
   /// Per-source-node NIC egress availability (used when the network model
-  /// enables contention).
+  /// enables contention). Presized in start(): per-node entries are only
+  /// ever touched by the owning node's shard, so no lazy growth may move
+  /// the storage mid-window.
   std::vector<SimTime> nic_free_at_;
 
   std::vector<int> iteration_reports_;  ///< per-iteration completion counts
   std::vector<SimTime> iteration_times_;
 
   Counters counters_;
+
+  // Sharded-mode state.
+  std::unique_ptr<ShardPartition> part_;
+  std::vector<int> shard_of_pe_;
+  std::vector<ShardLoadSummary> shard_summaries_;
 };
 
 }  // namespace cloudlb

@@ -35,4 +35,12 @@ SimTime delivery_delay(const NetworkConfig& net, std::size_t bytes,
 /// inter-node latency, so windows of this width can never be pierced.
 [[nodiscard]] SimTime min_internode_delay(const NetworkConfig& net);
 
+/// Window width for the shard-partitioned runtime: just the conservative
+/// lookahead above, under its runtime-facing name. Kept as its own entry
+/// point so a future width policy (e.g. widening windows when the
+/// cross-shard rate is low) changes one function, not every caller.
+[[nodiscard]] inline SimTime shard_window_width(const NetworkConfig& net) {
+  return min_internode_delay(net);
+}
+
 }  // namespace cloudlb

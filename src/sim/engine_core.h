@@ -102,19 +102,75 @@ class EngineCore {
     slots_.reserve(slots);
   }
 
-  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  /// Schedules `cb` at absolute time `t` (must be >= now()). The event is
+  /// stamped with the caller's clock (now()): same-time events fire in
+  /// (stamp, insertion) order. On a lone engine the stamp is redundant —
+  /// insertion order already sorts by the non-decreasing clock — so this
+  /// orders identically to a plain (time, seq) heap. The stamp exists for
+  /// the sharded runtime, where events reach one engine from several
+  /// clocks: see schedule_at_stamped.
   EventHandle schedule_at(SimTime t, Callback cb) {
+    return schedule_at_ranked(t, now_, current_rank_, std::move(cb));
+  }
+
+  /// Schedules `cb` at `t` carrying an explicit send stamp — the logical
+  /// instant the *scheduling* happened, on whatever clock the caller was
+  /// executing under. Same-time events fire in ascending stamp order
+  /// (ties by insertion), which is exactly the single-engine rule where
+  /// an event inserted earlier-in-virtual-time fires first. The sharded
+  /// runtime uses this to inject cross-engine work (mailbox envelopes,
+  /// global-phase scheduling) so that destination queues interleave
+  /// same-time events by send order, bit-identical to the legacy engine,
+  /// instead of by arrival route. `stamp` may be behind this engine's
+  /// clock (the sender's window lags the barrier) but never ahead of `t`.
+  /// The event inherits the executing event's rank (see
+  /// schedule_at_ranked).
+  EventHandle schedule_at_stamped(SimTime t, SimTime stamp, Callback cb) {
+    return schedule_at_ranked(t, stamp, current_rank_, std::move(cb));
+  }
+
+  /// Schedules `cb` at `t` with an explicit (stamp, rank) ordering key.
+  /// `rank` breaks ties after the stamp and before insertion order. It
+  /// exists for synchronized fan-out bursts in the sharded runtime: when
+  /// one logical broadcast (an LB resume, a reduction result) reaches N
+  /// chares "at the same instant", the legacy engine executes the
+  /// per-chare continuations in the order the broadcast loop inserted
+  /// them — chare index order — while per-shard engines drain shard by
+  /// shard. Ranking those continuations by chare index, and letting every
+  /// event they transitively schedule inherit the rank (current_rank()),
+  /// reproduces the legacy interleave for events whose time AND stamp
+  /// both tie across shards. The legacy path never assigns a rank, so
+  /// every entry carries 0 there and ordering degenerates to the
+  /// historical (time, stamp, seq).
+  EventHandle schedule_at_ranked(SimTime t, SimTime stamp, std::uint64_t rank,
+                                 Callback cb) {
     CLB_CHECK_MSG(t >= now_, "event scheduled in the past: t="
                                  << t.to_string()
                                  << " now=" << now_.to_string());
+    CLB_CHECK_MSG(stamp <= t, "send stamp after delivery: stamp="
+                                  << stamp.to_string()
+                                  << " t=" << t.to_string());
     CLB_CHECK(cb != nullptr);
     const std::uint32_t slot = acquire_slot();
     Slot& s = slots_[slot];
     s.cb = std::move(cb);
-    push_entry(QueueEntry{t, next_seq_++, slot, s.gen});
+    push_entry(QueueEntry{t, stamp, rank, next_seq_++, slot, s.gen});
     ++live_;
     return EventHandle{slot, s.gen};
   }
+
+  /// Rank of the currently executing event — zero outside a callback and
+  /// on the legacy path. Everything scheduled from inside a callback
+  /// inherits it, so a ranked burst continuation propagates its rank down
+  /// its whole causal chain.
+  [[nodiscard]] std::uint64_t current_rank() const { return current_rank_; }
+
+  /// Overrides the inherited rank mid-callback. Used by fan-out loops
+  /// that deliver to several chares from ONE event (the per-shard half of
+  /// a reduction broadcast): each chare's deliveries must rank as if the
+  /// chare had its own continuation event. step() resets the rank after
+  /// the callback returns.
+  void set_current_rank(std::uint64_t rank) { current_rank_ = rank; }
 
   /// Schedules `cb` at now() + delay (delay must be >= 0).
   EventHandle schedule_after(SimTime delay, Callback cb) {
@@ -171,23 +227,38 @@ class EngineCore {
         now_ = entry.time;
       }
       ++executed_;
+      last_event_time_ = now_;
       if (validation_enabled()) {
         // The heap contract: events fire in strictly increasing
-        // (time, seq) order — the determinism fingerprint every golden
-        // digest depends on. Holds for any clock policy, since faults
-        // perturb the clock, never the queue order.
-        CLB_CHECK_MSG(
+        // (time, stamp, rank, seq) order — the determinism fingerprint
+        // every golden digest depends on. Holds for any clock policy,
+        // since faults perturb the clock, never the queue order.
+        const bool monotone =
             last_fired_time_ < entry.time ||
-                (last_fired_time_ == entry.time && last_fired_seq_ < entry.seq),
-            "trace sequence not monotone: ("
-                << entry.time.to_string() << ", seq " << entry.seq
-                << ") fired after (" << last_fired_time_.to_string()
-                << ", seq " << last_fired_seq_ << ")");
+            (last_fired_time_ == entry.time &&
+             (last_fired_stamp_ < entry.stamp ||
+              (last_fired_stamp_ == entry.stamp &&
+               (last_fired_rank_ < entry.rank ||
+                (last_fired_rank_ == entry.rank &&
+                 last_fired_seq_ < entry.seq)))));
+        CLB_CHECK_MSG(monotone,
+                      "trace sequence not monotone: ("
+                          << entry.time.to_string() << ", stamp "
+                          << entry.stamp.to_string() << ", rank " << entry.rank
+                          << ", seq " << entry.seq << ") fired after ("
+                          << last_fired_time_.to_string() << ", stamp "
+                          << last_fired_stamp_.to_string() << ", rank "
+                          << last_fired_rank_ << ", seq " << last_fired_seq_
+                          << ")");
         last_fired_time_ = entry.time;
+        last_fired_stamp_ = entry.stamp;
+        last_fired_rank_ = entry.rank;
         last_fired_seq_ = entry.seq;
       }
       if (trace_) trace_(entry.time, entry.seq);
+      current_rank_ = entry.rank;
       cb();
+      current_rank_ = 0;
       return true;
     }
     return false;
@@ -208,6 +279,43 @@ class EngineCore {
   /// which cross-shard messages timestamped `t` are injected. `t` must be
   /// >= now().
   void run_before(SimTime t);
+
+  /// Time at which the most recent event executed (the clock it ran
+  /// under, so a kRecover late event reports its recovery time, not its
+  /// stale timestamp). Zero before any event has run. Unlike now(), this
+  /// never moves on run_until / run_before clock advancement — it is the
+  /// high-water mark of *work*, which is what makes rewind_clock able to
+  /// prove a window tail was empty.
+  [[nodiscard]] SimTime last_event_time() const { return last_event_time_; }
+
+  /// Rewinds the clock to `t` without touching any state but now().
+  ///
+  /// This is the barrier-recovery primitive of the sharded runtime
+  /// (docs/sharded-engine.md): when a window barrier discovers that a
+  /// global cascade (an AtSync wave, a reduction, a job finish) completed
+  /// entirely *inside* the window just run, the cascade's continuation
+  /// must fire at the cascade instant t — but run_before already advanced
+  /// the clock to the window end. Rewinding is legal exactly when nothing
+  /// observable happened after t: no event executed past t (checked
+  /// against last_event_time) and no pending event is due before t
+  /// (guaranteed by the window postcondition, checked anyway). Machine
+  /// state cannot disagree — every lazily-accruing model (core fluid
+  /// shares, power) anchors at its last *event*, never at the bare clock.
+  void rewind_clock(SimTime t) {
+    CLB_CHECK_MSG(t <= now_, "rewind_clock forward: t=" << t.to_string()
+                                                        << " now="
+                                                        << now_.to_string());
+    CLB_CHECK_MSG(last_event_time_ <= t,
+                  "rewind_clock past executed work: t="
+                      << t.to_string() << " last event at "
+                      << last_event_time_.to_string());
+    const auto next = next_live_time();
+    CLB_CHECK_MSG(!next || *next >= t,
+                  "rewind_clock below a pending event: t="
+                      << t.to_string() << " pending at "
+                      << next->to_string());
+    now_ = t;
+  }
 
   /// Timestamp of the earliest live (non-cancelled) pending event, or
   /// nullopt when none remain. Sheds stale heads off the heap as a side
@@ -255,11 +363,15 @@ class EngineCore {
 
   struct QueueEntry {
     SimTime time;
+    SimTime stamp;       ///< send instant; breaks same-time ties before rank
+    std::uint64_t rank;  ///< burst-continuation rank; 0 on the legacy path
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t gen;
     bool operator>(const QueueEntry& o) const {
       if (time != o.time) return time > o.time;
+      if (stamp != o.stamp) return stamp > o.stamp;
+      if (rank != o.rank) return rank > o.rank;
       return seq > o.seq;
     }
   };
@@ -357,9 +469,13 @@ class EngineCore {
   }
 
   SimTime now_ = SimTime::zero();
+  SimTime last_event_time_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   SimTime last_fired_time_ = SimTime::min_value();
+  SimTime last_fired_stamp_ = SimTime::min_value();
+  std::uint64_t last_fired_rank_ = 0;
   std::uint64_t last_fired_seq_ = 0;
+  std::uint64_t current_rank_ = 0;  ///< rank of the executing event
   std::uint64_t executed_ = 0;
   ClockFaultPolicy clock_policy_ = ClockFaultPolicy::kStrict;
   std::uint64_t clock_recoveries_ = 0;

@@ -84,8 +84,9 @@ void ShardedSimulator::post(int src, int dst, SimTime latency, Callback cb) {
       "cross-shard post with latency " << latency.to_string()
           << " below the lookahead window " << config_.lookahead.to_string()
           << ": the conservative-window safety condition would not hold");
-  st.outbox.push_back(ShardEnvelope{st.engine.now() + latency, st.chan_seq++,
-                                    src, dst, std::move(cb)});
+  st.outbox.push_back(ShardEnvelope{st.engine.now() + latency,
+                                    st.engine.now(), st.engine.current_rank(),
+                                    st.chan_seq++, src, dst, std::move(cb)});
   cross_posts_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -122,8 +123,8 @@ void ShardedSimulator::flush_mailboxes() {
     CLB_CHECK_MSG(e.deliver >= now_,
                   "cross-shard envelope due " << e.deliver.to_string()
                       << " is behind the barrier " << now_.to_string());
-    states_[static_cast<std::size_t>(e.dst)]->engine.schedule_at(
-        e.deliver, std::move(e.cb));
+    states_[static_cast<std::size_t>(e.dst)]->engine.schedule_at_ranked(
+        e.deliver, e.sent, e.rank, std::move(e.cb));
     ++cross_delivered_;
   }
   merge_scratch_.clear();
@@ -225,6 +226,68 @@ void ShardedSimulator::run_until(SimTime t) {
   if (validation_enabled()) validate_integrity();
 }
 
+std::optional<SimTime> ShardedSimulator::next_event_time() {
+  flush_mailboxes();
+  return earliest_pending();
+}
+
+SimTime ShardedSimulator::run_one_window(std::optional<SimTime> cap) {
+  flush_mailboxes();
+  const std::optional<SimTime> next = earliest_pending();
+  CLB_CHECK_MSG(next.has_value(), "run_one_window with no pending event");
+  SimTime end = window_end_for(*next);
+  if (cap && *cap < end) end = *cap;
+  // A clipped window is still conservative (a subset of a legal window);
+  // clipping at or before the earliest event would make no progress, and
+  // means the driver should have run its external action instead.
+  CLB_CHECK_MSG(*next < end, "run_one_window makes no progress: next event "
+                                 << next->to_string() << " not before "
+                                 << end.to_string());
+  run_window(end, /*inclusive=*/false);
+  now_ = end;
+  emit_trace();
+  return end;
+}
+
+std::optional<SimTime> ShardedSimulator::step_global() {
+  CLB_CHECK_MSG(!in_window_, "step_global from inside a window");
+  flush_mailboxes();
+  int best = -1;
+  SimTime best_time;
+  for (int s = 0; s < shards(); ++s) {
+    const std::optional<SimTime> next =
+        states_[static_cast<std::size_t>(s)]->engine.next_live_time();
+    if (next && (best < 0 || *next < best_time)) {
+      best = s;
+      best_time = *next;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  ShardState& st = *states_[static_cast<std::size_t>(best)];
+  // Advance the barrier clock *before* executing: a global-phase callback
+  // reads now() as "the current global instant", and that is this event's
+  // timestamp, not the previous one's.
+  if (best_time > now_) now_ = best_time;
+  CLB_CHECK(st.engine.step());
+  ++global_steps_;
+  if (trace_) {
+    // One event stepped at a time, always the global minimum, so per-event
+    // emission is already in the canonical (time, shard, seq) order the
+    // window barrier would have sorted into.
+    for (const auto& [time, seq] : st.trace)
+      trace_(time, best, seq);
+    st.trace.clear();
+  }
+  return best_time;
+}
+
+void ShardedSimulator::rewind_clocks(SimTime t) {
+  CLB_CHECK_MSG(t <= now_, "rewind_clocks forward: t=" << t.to_string()
+                               << " barrier=" << now_.to_string());
+  for (auto& st : states_) st->engine.rewind_clock(t);
+  now_ = t;
+}
+
 void ShardedSimulator::set_trace_hook(TraceHook hook) {
   trace_ = std::move(hook);
   for (auto& st : states_) {
@@ -307,9 +370,13 @@ void WindowedShardRouter::route(int src_node, int dst_node,
                 "cross-shard delivery at " << deliver_at.to_string()
                     << " would beat the barrier at " << barrier.to_string()
                     << ": delivery delay below the lookahead window");
+  // `sent` is recorded for symmetry with ShardedSimulator::post but the
+  // flush below deliberately injects with plain schedule_at: the router
+  // predates send stamps and its digests pin the flush-order tie-break.
   buffered_.push_back(ShardEnvelope{
-      deliver_at, src_seq_[static_cast<std::size_t>(src_node)]++, src_node,
-      dst_node, std::move(cb)});
+      deliver_at, sim_.now(), 0,
+      src_seq_[static_cast<std::size_t>(src_node)]++, src_node, dst_node,
+      std::move(cb)});
   ++routed_;
   if (!flush_scheduled_) {
     flush_scheduled_ = true;

@@ -44,6 +44,14 @@ class ShardEventHandle {
 /// order.
 struct ShardEnvelope {
   SimTime deliver;
+  /// Source clock at post() time — injected as the event's send stamp so
+  /// the destination's same-time ordering is by send instant, exactly as
+  /// if the sender had scheduled directly on a single shared engine.
+  SimTime sent;
+  /// Sender event's rank (EngineCore::current_rank) — injected with the
+  /// stamp so burst continuations keep their chare-index ordering across
+  /// the channel when time and stamp both tie.
+  std::uint64_t rank = 0;
   std::uint64_t seq = 0;
   std::int32_t src = 0;
   std::int32_t dst = 0;
@@ -149,6 +157,46 @@ class ShardedSimulator {
   /// a later run()/run_until().
   void run_until(SimTime t);
 
+  // --- Externally driven execution (the sharded runtime host). The
+  // methods below let a driver interleave conservative windows with
+  // serialized global phases: run_one_window advances one window at a
+  // time so the driver can do barrier bookkeeping between windows, and
+  // step_global executes events one at a time in canonical global
+  // (time, shard, seq) order — shards stay mutually consistent because
+  // only the driving thread runs, outside any window, where the
+  // shared-nothing restriction is deliberately lifted.
+
+  /// Flushes pending cross-shard mail, then reports the earliest live
+  /// event across all shards (nullopt when fully drained).
+  [[nodiscard]] std::optional<SimTime> next_event_time();
+
+  /// Runs exactly one exclusive window [now(), end), where end is the
+  /// canonical window boundary after the earliest pending event, clipped
+  /// to `cap` if that comes first. Advances the barrier clock to end,
+  /// emits the merged trace, and returns end. Requires a pending event
+  /// strictly before end (call next_event_time() first; if an external
+  /// action is due at or before the earliest event, run it instead).
+  SimTime run_one_window(std::optional<SimTime> cap);
+
+  /// Executes the single globally earliest event — min over shards of
+  /// (next event time, shard) — on the driving thread, emits its trace
+  /// record immediately (global order makes per-event emission already
+  /// canonical), and returns its time; nullopt when drained. This is the
+  /// serialized mode the runtime's global phases (LB barrier cascades,
+  /// reductions, finish detection) run under: it is exactly a merged
+  /// single-engine execution, so cross-shard state reads are safe and
+  /// every timestamp is exact.
+  std::optional<SimTime> step_global();
+
+  /// Barrier recovery (see EngineCore::rewind_clock): rewinds every
+  /// shard clock and the barrier clock to `t`, after a window that turned
+  /// out to have executed nothing past `t`. Each engine proves the
+  /// rewind's legality itself.
+  void rewind_clocks(SimTime t);
+
+  /// Events executed through step_global (monitoring).
+  [[nodiscard]] std::uint64_t global_steps() const { return global_steps_; }
+
   void set_trace_hook(TraceHook hook);
 
   /// Direct access to one shard's engine, for plumbing and monitoring.
@@ -218,6 +266,7 @@ class ShardedSimulator {
   std::atomic<std::uint64_t> cross_posts_{0};
   std::uint64_t cross_delivered_ = 0;
   std::uint64_t windows_run_ = 0;
+  std::uint64_t global_steps_ = 0;
 };
 
 /// The runtime-facing half of the window protocol, on a single host
@@ -226,11 +275,14 @@ class ShardedSimulator {
 /// channels released by a lazily scheduled flush event at the next
 /// barrier (the next multiple of the window width), injected in the same
 /// canonical (deliver, src, seq) merge order ShardedSimulator uses at its
-/// barriers. This is what `--shards N` installs behind JobConfig::router:
-/// the full runtime keeps one engine (its LB database, reductions and
-/// barriers are not yet shard-safe — see ROADMAP), but every cross-shard
-/// message already flows through the protocol the parallel engine runs
-/// for real, with identical ordering rules.
+/// barriers. Historically this is what `--shards N` installed behind
+/// JobConfig::router; the scenario runtime now runs partitioned for real
+/// on ShardedRuntimeHost (src/runtime/sharded_runtime.h, per-shard LB
+/// segments and reductions — see docs/sharded-engine.md), so the router
+/// remains as the single-engine window shim for tests and for embedders
+/// that want windowed ordering without the partitioned runtime. Its
+/// digests are pinned by determinism_test, which is why its flush
+/// deliberately injects with plain schedule_at (no send stamps).
 class WindowedShardRouter final : public ShardRouter {
  public:
   /// `shards` must be in [1, nodes]; node n maps to shard n·shards/nodes

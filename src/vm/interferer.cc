@@ -4,7 +4,7 @@
 
 namespace cloudlb {
 
-SyntheticInterferer::SyntheticInterferer(Simulator& sim, Machine& machine,
+SyntheticInterferer::SyntheticInterferer(EngineCore& sim, Machine& machine,
                                          std::vector<CoreId> cores,
                                          Config config)
     : sim_{sim}, config_{config} {

@@ -3,7 +3,7 @@
 #include <memory>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "sim/engine_core.h"
 #include "vm/virtual_machine.h"
 
 namespace cloudlb {
@@ -23,9 +23,13 @@ class SyntheticInterferer {
     double weight = 1.0;                       ///< scheduler share of the VM
   };
 
-  SyntheticInterferer(Simulator& sim, Machine& machine,
+  /// `sim` is the engine that clocks the hog's idle gaps. In the legacy
+  /// runtime that is the one Simulator; in the sharded runtime it must be
+  /// the engine owning every core in `cores` (the fault layer builds one
+  /// hog per core, so this is one shard's engine).
+  SyntheticInterferer(EngineCore& sim, Machine& machine,
                       std::vector<CoreId> cores, Config config);
-  SyntheticInterferer(Simulator& sim, Machine& machine,
+  SyntheticInterferer(EngineCore& sim, Machine& machine,
                       std::vector<CoreId> cores)
       : SyntheticInterferer(sim, machine, std::move(cores), Config{}) {}
 
@@ -45,7 +49,7 @@ class SyntheticInterferer {
  private:
   void pump(int vcpu);
 
-  Simulator& sim_;
+  EngineCore& sim_;
   Config config_;
   std::unique_ptr<VirtualMachine> vm_;
   bool active_ = false;

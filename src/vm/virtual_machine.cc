@@ -44,6 +44,15 @@ ProcStat VirtualMachine::host_proc_stat(int v) const {
   return machine_.core(vcpu(v).core).proc_stat();
 }
 
+ProcStat VirtualMachine::host_proc_stat_at(int v, SimTime t) const {
+  return machine_.core(vcpu(v).core).proc_stat_at(t);
+}
+
+SimTime VirtualMachine::vcpu_cpu_time_at(int v, SimTime t) const {
+  const VCpu& vc = vcpu(v);
+  return machine_.core(vc.core).context_cpu_time_at(vc.ctx, t);
+}
+
 void VirtualMachine::set_weight(double weight) {
   for (const VCpu& vc : vcpus_)
     machine_.core(vc.core).set_weight(vc.ctx, weight);

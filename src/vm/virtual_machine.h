@@ -42,6 +42,14 @@ class VirtualMachine {
   /// reading host counters (or the LB daemon on the host) would see.
   ProcStat host_proc_stat(int vcpu) const;
 
+  /// host_proc_stat extrapolated to `t` (see Core::proc_stat_at for the
+  /// exactness contract). The sharded runtime samples all PEs at one
+  /// global instant even though their engines' clocks lag behind it.
+  ProcStat host_proc_stat_at(int vcpu, SimTime t) const;
+
+  /// vcpu_cpu_time extrapolated to `t` (same contract).
+  SimTime vcpu_cpu_time_at(int vcpu, SimTime t) const;
+
   /// Changes the scheduler weight of every vCPU of this VM.
   void set_weight(double weight);
 

@@ -163,6 +163,29 @@ TEST(CliTest, SweepJobsOutputIsThreadCountInvariant) {
   }
 }
 
+TEST(CliTest, PenaltyShardsOutputMatchesLegacy) {
+  // --shards moves the whole runtime onto the partitioned engines; the
+  // report must stay byte-identical to the legacy single-engine run, for
+  // serial and parallel windows alike. 16 cores / 4 per node = 4 nodes,
+  // so both shard counts genuinely partition the machine.
+  const std::vector<std::string> base = {"penalty", "--app=jacobi2d",
+                                         "--cores=16", "--iterations=20",
+                                         "--bg-iterations=40"};
+  const CliResult legacy = cli(base);
+  EXPECT_EQ(legacy.code, 0) << legacy.err;
+  for (const auto& extra : std::vector<std::vector<const char*>>{
+           {"--shards=1", "--jobs=4"},  // legacy dispatch; --jobs inert
+           {"--shards=2"},
+           {"--shards=4", "--jobs=1"},
+           {"--shards=4", "--jobs=3"}}) {
+    std::vector<std::string> args = base;
+    for (const char* a : extra) args.emplace_back(a);
+    const CliResult sharded = cli(args);
+    EXPECT_EQ(sharded.code, 0) << sharded.err;
+    EXPECT_EQ(sharded.out, legacy.out) << extra[0];
+  }
+}
+
 TEST(CliTest, TimelineRenders) {
   const CliResult r = cli({"timeline", "--app=wave2d", "--cores=4",
                            "--iterations=16", "--bg-iterations=30",

@@ -14,6 +14,9 @@
 #include "machine/machine.h"
 #include "runtime/chare.h"
 #include "runtime/job.h"
+#include "runtime/network.h"
+#include "runtime/shard_partition.h"
+#include "runtime/sharded_runtime.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/sim_time.h"
@@ -42,8 +45,12 @@ struct RuntimeJobTestAccess {
   static std::vector<PeId>& assignment(RuntimeJob& job) {
     return job.assignment_;
   }
-  static std::vector<bool>& chare_done(RuntimeJob& job) {
+  static std::vector<std::uint8_t>& chare_done(RuntimeJob& job) {
     return job.chare_done_;
+  }
+  static ShardPartition& partition(RuntimeJob& job) {
+    CLB_CHECK(job.part_ != nullptr);
+    return *job.part_;
   }
 };
 
@@ -242,7 +249,94 @@ TEST(RuntimeValidateTest, DoneCountDriftIsCaught) {
   rig.job->start();
   rig.sim.run();
   auto done = RuntimeJobTestAccess::chare_done(*rig.job);
-  RuntimeJobTestAccess::chare_done(*rig.job)[0] = !done[0];
+  RuntimeJobTestAccess::chare_done(*rig.job)[0] =
+      static_cast<std::uint8_t>(done[0] == 0);
+  EXPECT_THROW(rig.job->validate_invariants(), CheckFailure);
+}
+
+// ----------------------------------------- partitioned-state validators
+
+/// A completed sharded run whose partitioned state the tests then damage
+/// through the corruption seams: every validator below must catch its
+/// specific kind of rot (the partition only ever rots through bugs in the
+/// window/merge protocol, which is exactly why it needs a validator).
+struct ShardedRig {
+  explicit ShardedRig(int shards) {
+    MachineConfig mc;
+    mc.nodes = 4;
+    mc.cores_per_node = 2;
+    ShardedRuntimeHost::Config hc;
+    hc.shards = shards;
+    hc.window = shard_window_width(JobConfig{}.network);
+    host = std::make_unique<ShardedRuntimeHost>(mc, hc);
+    std::vector<CoreId> ids(8);
+    std::iota(ids.begin(), ids.end(), 0);
+    vm = std::make_unique<VirtualMachine>(host->machine(), "app", ids);
+    JobConfig jc;
+    jc.lb_period = 4;
+    job = std::make_unique<RuntimeJob>(*host, *vm, jc,
+                                       std::make_unique<GreedyLb>());
+    for (int i = 0; i < 16; ++i)
+      static_cast<void>(job->add_chare(std::make_unique<WorkerChare>(
+          12, SimTime::micros(100 * (i % 5 + 1)))));
+    job->start();
+    host->drive(/*max_events=*/100'000'000);
+  }
+
+  std::unique_ptr<ShardedRuntimeHost> host;
+  std::unique_ptr<VirtualMachine> vm;
+  std::unique_ptr<RuntimeJob> job;
+};
+
+TEST(PartitionValidateTest, HealthyShardedJobPasses) {
+  ShardedRig rig{2};
+  EXPECT_TRUE(rig.job->finished());
+  rig.job->validate_invariants();
+}
+
+TEST(PartitionValidateTest, ShardedDoneCountDriftIsCaught) {
+  ShardedRig rig{2};
+  rig.job->validate_invariants();
+  RuntimeJobTestAccess::chare_done(*rig.job)[0] = 0;  // un-finish a chare
+  EXPECT_THROW(rig.job->validate_invariants(), CheckFailure);
+}
+
+TEST(PartitionValidateTest, ReductionCounterDriftIsCaught) {
+  ShardedRig rig{2};
+  rig.job->validate_invariants();
+  // A red_count with no logged contribution means a shard counted a
+  // contribution it never recorded — the merge would silently drop it.
+  ++RuntimeJobTestAccess::partition(*rig.job).seg(0).red_count;
+  EXPECT_THROW(rig.job->validate_invariants(), CheckFailure);
+}
+
+TEST(PartitionValidateTest, NonMonotoneContributionsAreCaught) {
+  ShardedRig rig{2};
+  rig.job->validate_invariants();
+  // A shard's contribution log must be in its own execution order; a
+  // backwards timestamp means a foreign thread wrote into the segment.
+  ShardSegment& seg = RuntimeJobTestAccess::partition(*rig.job).seg(0);
+  seg.contributions.emplace_back(SimTime::seconds(2), 1.0);
+  seg.contributions.emplace_back(SimTime::seconds(1), 1.0);
+  seg.red_count += 2;
+  EXPECT_THROW(rig.job->validate_invariants(), CheckFailure);
+}
+
+TEST(PartitionValidateTest, WindowTotalDriftIsCaught) {
+  ShardedRig rig{2};
+  rig.job->validate_invariants();
+  // The running duplicate of the database's window total feeds the
+  // per-shard load summaries; drift means the summaries lie about load.
+  RuntimeJobTestAccess::partition(*rig.job).seg(0).window_cpu_sec += 1.0;
+  EXPECT_THROW(rig.job->validate_invariants(), CheckFailure);
+}
+
+TEST(PartitionValidateTest, SegmentCountMismatchIsCaught) {
+  ShardedRig rig{3};
+  rig.job->validate_invariants();
+  // More chares "at the barrier" than live chares: quiescence could fire
+  // before the last straggler arrives.
+  RuntimeJobTestAccess::partition(*rig.job).seg(0).sync_count = 999;
   EXPECT_THROW(rig.job->validate_invariants(), CheckFailure);
 }
 
