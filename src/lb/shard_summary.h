@@ -6,6 +6,7 @@
 
 #include "lb/framework.h"
 #include "util/check.h"
+#include "util/shard_annotations.h"
 
 namespace cloudlb {
 
@@ -33,7 +34,8 @@ struct ShardLoadSummary {
 
 /// Builds per-shard summaries from an LbStats snapshot (the LB-step
 /// cadence). `shard_of_pe` maps each PE to its shard; `shards` bounds it.
-[[nodiscard]] inline std::vector<ShardLoadSummary> shard_summaries_from_stats(
+[[nodiscard]] CLB_CANONICAL_COMBINE inline std::vector<ShardLoadSummary>
+shard_summaries_from_stats(
     const LbStats& stats, const std::vector<int>& shard_of_pe, int shards) {
   CLB_CHECK(shards >= 1);
   CLB_CHECK(shard_of_pe.size() == stats.pes.size());

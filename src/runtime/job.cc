@@ -8,6 +8,7 @@
 #include "runtime/sharded_runtime.h"
 #include "util/check.h"
 #include "util/log.h"
+#include "util/shard_annotations.h"
 #include "util/validate.h"
 
 namespace cloudlb {

@@ -17,6 +17,7 @@
 #include "runtime/observer.h"
 #include "sim/shard_router.h"
 #include "sim/simulator.h"
+#include "util/shard_annotations.h"
 #include "vm/virtual_machine.h"
 
 namespace cloudlb {
@@ -130,7 +131,7 @@ class RuntimeJob {
 
   /// Starts the job at the current simulation time: anchors measurement
   /// windows and invokes every chare's on_start().
-  void start();
+  CLB_BARRIER_PHASE void start();
 
   [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] bool finished() const { return finished_; }
@@ -198,12 +199,12 @@ class RuntimeJob {
 
   // --- Chare-facing API (called from Chare protected helpers). ---
 
-  void send(ChareId from, ChareId to, int tag, std::vector<double> data,
-            std::size_t bytes);
-  void at_sync(ChareId chare);
-  void contribute(ChareId chare, double value);
-  void chare_finished(ChareId chare);
-  void report_iteration(ChareId chare, int iteration);
+  CLB_SHARD_CONFINED void send(ChareId from, ChareId to, int tag,
+                               std::vector<double> data, std::size_t bytes);
+  CLB_SHARD_CONFINED void at_sync(ChareId chare);
+  CLB_SHARD_CONFINED void contribute(ChareId chare, double value);
+  CLB_SHARD_CONFINED void chare_finished(ChareId chare);
+  CLB_SHARD_CONFINED void report_iteration(ChareId chare, int iteration);
 
   // --- Host-facing protocol (sharded mode; called by ShardedRuntimeHost
   // from the driving thread, never from inside a window). ---
@@ -213,17 +214,17 @@ class RuntimeJob {
   /// pending broadcast, an LB barrier, or a partial finish — the latter
   /// so the final finish instant, and with it the energy meter stop, is
   /// exact).
-  [[nodiscard]] bool needs_global_phase() const;
+  [[nodiscard]] CLB_BARRIER_PHASE bool needs_global_phase() const;
 
   /// Barrier bookkeeping after each conservative window: refreshes the
   /// per-shard summaries and recovers cascades that completed entirely
   /// inside the window (rewinding the shard clocks to the completion
   /// instant, or failing loudly when the window outran the cascade).
-  void merge_window_state();
+  CLB_BARRIER_PHASE void merge_window_state();
 
   /// Merges the lazily-partitioned tallies (iteration times) after
   /// drive().
-  void finalize_shard_state();
+  CLB_BARRIER_PHASE void finalize_shard_state();
 
   /// Deep structural audit of the job (validation_enabled() gates the
   /// automatic call after every LB step; calling it directly is always
@@ -236,7 +237,7 @@ class RuntimeJob {
   /// contribution times are monotone per shard, and the segment load
   /// totals match their databases). Throws CheckFailure on violation.
   /// Must not be called mid-window in sharded mode.
-  void validate_invariants() const;
+  CLB_BARRIER_PHASE void validate_invariants() const;
 
  private:
   friend struct RuntimeJobTestAccess;  ///< corruption seams for validator tests
@@ -270,35 +271,47 @@ class RuntimeJob {
   /// Delivery routing: schedules `cb` at base + delay in the context of
   /// `to_pe`'s engine. Legacy mode preserves the exact pre-sharding call
   /// sequence (including the optional JobConfig::router path).
-  void route_to(PeId from_pe, PeId to_pe, SimTime base, SimTime delay,
-                std::function<void()> cb);
+  CLB_SHARD_CONFINED void route_to(PeId from_pe, PeId to_pe, SimTime base,
+                                   SimTime delay, std::function<void()> cb);
 
-  void deliver(Message msg);
+  CLB_SHARD_CONFINED void deliver(Message msg);
   [[nodiscard]] SimTime sampled_idle_at(PeId pe, SimTime t) const;
   /// Total delay for `bytes` from src to dst core at time `now`,
   /// including NIC egress queueing when the network model enables it.
-  SimTime network_delay(CoreId src, CoreId dst, std::size_t bytes,
-                        SimTime now);
-  void start_next_task(PeId pe);
+  /// Mutates the sender node's NIC ledger, so it carries the sender's
+  /// shard context.
+  CLB_SHARD_CONFINED SimTime network_delay(CoreId src, CoreId dst,
+                                           std::size_t bytes, SimTime now);
+  CLB_SHARD_CONFINED void start_next_task(PeId pe);
   void enqueue_service(PeId pe, SimTime cpu, std::function<void()> done);
-  void push_service(PeId pe, SimTime cpu, std::function<void()> done);
-  void pump_service(PeId pe);
-  void run_lb_step();
-  void begin_migrations(const std::vector<PeId>& new_assignment);
-  void migrate_chare(ChareId chare, PeId from, PeId to);
-  void attempt_migration(ChareId chare, PeId from, PeId to, int attempt);
-  void retry_or_abandon(ChareId chare, PeId from, PeId to, int attempt);
-  void migration_done();
-  void resume_all();
-  LbStats collect_stats() const;
-  void reset_lb_window();
+  // Services execute in the owning PE's engine context whenever pumped
+  // (post-task mid-window or at barriers), hence shard-confined.
+  CLB_SHARD_CONFINED void push_service(PeId pe, SimTime cpu,
+                                       std::function<void()> done);
+  CLB_SHARD_CONFINED void pump_service(PeId pe);
+  CLB_BARRIER_PHASE void run_lb_step();
+  CLB_BARRIER_PHASE void begin_migrations(
+      const std::vector<PeId>& new_assignment);
+  CLB_BARRIER_PHASE void migrate_chare(ChareId chare, PeId from, PeId to);
+  CLB_BARRIER_PHASE void attempt_migration(ChareId chare, PeId from, PeId to,
+                                           int attempt);
+  CLB_BARRIER_PHASE void retry_or_abandon(ChareId chare, PeId from, PeId to,
+                                          int attempt);
+  CLB_BARRIER_PHASE void migration_done();
+  /// The post-LB resume burst: per-chare continuations ranked by chare
+  /// index so the sharded heaps replay them in legacy order.
+  CLB_BARRIER_PHASE CLB_RANKED_FANOUT void resume_all();
+  CLB_CANONICAL_COMBINE LbStats collect_stats() const;
+  CLB_BARRIER_PHASE void reset_lb_window();
 
   // Sharded collective-phase helpers (driving thread or global events).
-  void maybe_complete_sync_wave(SimTime t);
-  void maybe_complete_reduction(SimTime t);
-  void begin_lb_barrier(SimTime t);
-  void complete_reduction(SimTime t, double result);
-  void refresh_barrier_summaries();
+  CLB_BARRIER_PHASE void maybe_complete_sync_wave(SimTime t);
+  CLB_BARRIER_PHASE void maybe_complete_reduction(SimTime t);
+  CLB_BARRIER_PHASE void begin_lb_barrier(SimTime t);
+  /// Reduction broadcast fan-out: ranked like resume_all().
+  CLB_BARRIER_PHASE CLB_RANKED_FANOUT void complete_reduction(SimTime t,
+                                                              double result);
+  CLB_BARRIER_PHASE CLB_CANONICAL_COMBINE void refresh_barrier_summaries();
 
   Simulator* sim_ = nullptr;          ///< legacy mode
   ShardedRuntimeHost* host_ = nullptr;  ///< sharded mode
@@ -309,9 +322,9 @@ class RuntimeJob {
   /// One flag per chare. uint8_t, not vector<bool>: in sharded mode each
   /// shard writes its own chares' flags during parallel windows, and a
   /// packed bitfield would make those writes race on shared words.
-  std::vector<std::uint8_t> chare_done_;
-  std::vector<PeId> assignment_;  ///< chare -> PE
-  std::vector<Pe> pes_;
+  CLB_SHARD_CONFINED std::vector<std::uint8_t> chare_done_;
+  std::vector<PeId> assignment_;  ///< chare -> PE (stable during windows)
+  CLB_SHARD_CONFINED std::vector<Pe> pes_;
   LbDatabase db_;  ///< legacy mode; sharded mode uses the partition's segments
   ExecutionObserver* observer_ = nullptr;
 
@@ -332,7 +345,7 @@ class RuntimeJob {
   /// enables contention). Presized in start(): per-node entries are only
   /// ever touched by the owning node's shard, so no lazy growth may move
   /// the storage mid-window.
-  std::vector<SimTime> nic_free_at_;
+  CLB_SHARD_CONFINED std::vector<SimTime> nic_free_at_;
 
   std::vector<int> iteration_reports_;  ///< per-iteration completion counts
   std::vector<SimTime> iteration_times_;

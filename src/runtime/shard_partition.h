@@ -6,6 +6,7 @@
 
 #include "runtime/lb_database.h"
 #include "util/check.h"
+#include "util/shard_annotations.h"
 #include "util/sim_time.h"
 
 namespace cloudlb {
@@ -20,7 +21,7 @@ namespace cloudlb {
 /// over segments is the same for every worker count.
 ///
 /// Cache-line aligned so two shards' hot counters never share a line.
-struct alignas(64) ShardSegment {
+struct alignas(64) CLB_SHARD_CONFINED ShardSegment {
   /// Shard-local LB database slice: records tasks of chares hosted on
   /// this shard's PEs. Sized to the full chare count — a chare's row is
   /// nonzero in at most one segment per window (migrations happen only at
@@ -85,7 +86,7 @@ class ShardPartition {
     reset(num_chares);
   }
 
-  void reset(std::size_t num_chares) {
+  CLB_BARRIER_PHASE void reset(std::size_t num_chares) {
     for (auto& s : segs_) s.reset(num_chares);
   }
 
@@ -99,46 +100,46 @@ class ShardPartition {
 
   // --- Shard-local reduction subtrees, combined in shard-index order ---
 
-  [[nodiscard]] std::size_t sync_total() const {
+  [[nodiscard]] CLB_BARRIER_PHASE std::size_t sync_total() const {
     std::size_t n = 0;
     for (const auto& s : segs_) n += s.sync_count;
     return n;
   }
-  [[nodiscard]] std::size_t red_total() const {
+  [[nodiscard]] CLB_BARRIER_PHASE std::size_t red_total() const {
     std::size_t n = 0;
     for (const auto& s : segs_) n += s.red_count;
     return n;
   }
-  [[nodiscard]] std::size_t finished_total() const {
+  [[nodiscard]] CLB_BARRIER_PHASE std::size_t finished_total() const {
     std::size_t n = 0;
     for (const auto& s : segs_) n += s.finished_chares;
     return n;
   }
-  [[nodiscard]] std::int64_t tasks_total() const {
+  [[nodiscard]] CLB_BARRIER_PHASE std::int64_t tasks_total() const {
     std::int64_t n = 0;
     for (const auto& s : segs_) n += s.tasks_executed;
     return n;
   }
-  [[nodiscard]] std::int64_t messages_total() const {
+  [[nodiscard]] CLB_BARRIER_PHASE std::int64_t messages_total() const {
     std::int64_t n = 0;
     for (const auto& s : segs_) n += s.messages_sent;
     return n;
   }
 
-  [[nodiscard]] SimTime max_sync_time() const {
+  [[nodiscard]] CLB_BARRIER_PHASE SimTime max_sync_time() const {
     SimTime t = SimTime::zero();
     for (const auto& s : segs_)
       if (s.sync_count > 0 && s.last_sync_time > t) t = s.last_sync_time;
     return t;
   }
-  [[nodiscard]] SimTime max_contribution_time() const {
+  [[nodiscard]] CLB_BARRIER_PHASE SimTime max_contribution_time() const {
     SimTime t = SimTime::zero();
     for (const auto& s : segs_)
       for (const auto& [ct, value] : s.contributions)
         if (ct > t) t = ct;
     return t;
   }
-  [[nodiscard]] SimTime max_finish_time() const {
+  [[nodiscard]] CLB_BARRIER_PHASE SimTime max_finish_time() const {
     SimTime t = SimTime::zero();
     for (const auto& s : segs_)
       if (s.finished_chares > 0 && s.last_finish_time > t)
@@ -152,7 +153,7 @@ class ShardPartition {
   /// it is bit-identical to the legacy arrival-order sum exactly when no
   /// two cross-shard contributions are concurrent (see
   /// docs/sharded-engine.md for the caveat).
-  [[nodiscard]] double reduction_sum() const {
+  [[nodiscard]] CLB_CANONICAL_COMBINE double reduction_sum() const {
     double total = 0.0;
     for (const auto& s : segs_) {
       double partial = 0.0;
@@ -164,13 +165,13 @@ class ShardPartition {
 
   /// Merged per-chare window CPU: the chare's row summed across segments
   /// (at most one nonzero, so this is exact).
-  [[nodiscard]] double chare_cpu(ChareId chare) const {
+  [[nodiscard]] CLB_CANONICAL_COMBINE double chare_cpu(ChareId chare) const {
     double total = 0.0;
     for (const auto& s : segs_) total += s.db.chare_cpu(chare);
     return total;
   }
 
-  void clear_windows() {
+  CLB_BARRIER_PHASE void clear_windows() {
     for (auto& s : segs_) {
       s.db.clear_window();
       s.window_cpu_sec = 0.0;
@@ -178,7 +179,7 @@ class ShardPartition {
   }
 
   /// Clears the barrier-wave state after an AtSync wave completes.
-  void clear_sync() {
+  CLB_BARRIER_PHASE void clear_sync() {
     for (auto& s : segs_) {
       s.sync_count = 0;
       s.last_sync_time = SimTime::zero();
@@ -186,7 +187,7 @@ class ShardPartition {
   }
 
   /// Clears the open reduction after its broadcast is scheduled.
-  void clear_reduction() {
+  CLB_BARRIER_PHASE void clear_reduction() {
     for (auto& s : segs_) {
       s.red_count = 0;
       s.contributions.clear();

@@ -6,6 +6,7 @@
 #include "runtime/job.h"
 #include "util/check.h"
 #include "util/log.h"
+#include "util/shard_annotations.h"
 
 namespace cloudlb {
 

@@ -6,6 +6,7 @@
 
 #include "machine/machine.h"
 #include "sim/sharded_simulator.h"
+#include "util/shard_annotations.h"
 #include "util/sim_time.h"
 
 namespace cloudlb {
@@ -91,17 +92,18 @@ class ShardedRuntimeHost {
   /// Cross-shard send on the windowed channel (delegates to
   /// ShardedSimulator::post): delivery latency must be >= the window
   /// width when src != dst.
-  void post(int src_shard, int dst_shard, SimTime latency,
-            EngineCore::Callback cb);
+  CLB_SHARD_CONFINED void post(int src_shard, int dst_shard, SimTime latency,
+                               EngineCore::Callback cb);
 
   /// Runs `fn` at global time `t` from the driving thread, ordered
   /// *before* any simulation event at the same instant (matching the
   /// legacy convention that setup-scheduled work precedes same-time
   /// application events). This is how scenarios start jobs mid-run.
-  void schedule_action(SimTime t, std::function<void()> fn);
+  CLB_BARRIER_PHASE void schedule_action(SimTime t, std::function<void()> fn);
 
   /// Applies a clock-fault policy to every shard engine (fault plans).
-  void set_clock_fault_policy(EngineCore::ClockFaultPolicy policy);
+  CLB_BARRIER_PHASE void set_clock_fault_policy(
+      EngineCore::ClockFaultPolicy policy);
 
   /// Invoked from a global phase the moment a registered job finishes,
   /// with the exact finish instant (scenarios hang the tickless power
@@ -111,12 +113,12 @@ class ShardedRuntimeHost {
   }
 
   /// Registered automatically by the RuntimeJob sharded constructor.
-  void register_job(RuntimeJob* job);
+  CLB_BARRIER_PHASE void register_job(RuntimeJob* job);
 
   /// Advances all jobs until every registered job has finished, or fails
   /// loudly at `max_events` (runaway guard). Must be called once, after
   /// setup, from the thread that built the host.
-  void drive(std::uint64_t max_events);
+  CLB_BARRIER_PHASE void drive(std::uint64_t max_events);
 
   // --- Called back by RuntimeJob (host-internal protocol). ---
 
@@ -126,10 +128,10 @@ class ShardedRuntimeHost {
   /// clocks); otherwise every engine must prove it executed nothing
   /// after `t`, or the run fails loudly (LB cadence shorter than the
   /// window — see class comment).
-  void recover_to(SimTime t);
+  CLB_BARRIER_PHASE void recover_to(SimTime t);
 
   /// Exact-finish notification from a job's global phase.
-  void note_job_finished(RuntimeJob& job);
+  CLB_BARRIER_PHASE void note_job_finished(RuntimeJob& job);
 
   [[nodiscard]] std::uint64_t windows_run() const {
     return sharded_.windows_run();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/shard_annotations.h"
 #include "util/sim_time.h"
 #include "util/small_function.h"
 #include "util/validate.h"
@@ -270,7 +271,7 @@ class EngineCore {
   /// Runs all events with timestamp <= `t` (including events they schedule
   /// at times <= `t`), then sets the clock to `t`. Postcondition: no
   /// pending event is earlier than now().
-  void run_until(SimTime t);
+  CLB_SHARD_CONFINED void run_until(SimTime t);
 
   /// Runs all events with timestamp strictly *before* `t`, then sets the
   /// clock to `t`. This is the conservative-window execution primitive
@@ -278,7 +279,7 @@ class EngineCore {
   /// event at exactly `t` belongs to the next window, after the barrier at
   /// which cross-shard messages timestamped `t` are injected. `t` must be
   /// >= now().
-  void run_before(SimTime t);
+  CLB_SHARD_CONFINED void run_before(SimTime t);
 
   /// Time at which the most recent event executed (the clock it ran
   /// under, so a kRecover late event reports its recovery time, not its
@@ -301,7 +302,7 @@ class EngineCore {
   /// (guaranteed by the window postcondition, checked anyway). Machine
   /// state cannot disagree — every lazily-accruing model (core fluid
   /// shares, power) anchors at its last *event*, never at the bare clock.
-  void rewind_clock(SimTime t) {
+  CLB_BARRIER_PHASE void rewind_clock(SimTime t) {
     CLB_CHECK_MSG(t <= now_, "rewind_clock forward: t=" << t.to_string()
                                                         << " now="
                                                         << now_.to_string());

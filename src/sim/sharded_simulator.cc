@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/shard_annotations.h"
 #include "util/thread_pool.h"
 #include "util/validate.h"
 

@@ -10,6 +10,7 @@
 
 #include "sim/engine_core.h"
 #include "sim/shard_router.h"
+#include "util/shard_annotations.h"
 #include "util/sim_time.h"
 
 namespace cloudlb {
@@ -128,26 +129,29 @@ class ShardedSimulator {
 
   /// Schedules `cb` on `shard` at absolute time `t`. During a window only
   /// the shard's owning worker may call this (shared-nothing contract).
-  ShardEventHandle schedule_at(int shard, SimTime t, Callback cb);
+  CLB_SHARD_CONFINED ShardEventHandle schedule_at(int shard, SimTime t,
+                                                  Callback cb);
 
   /// Schedules `cb` on `shard` at that shard's now() + delay.
-  ShardEventHandle schedule_after(int shard, SimTime delay, Callback cb);
+  CLB_SHARD_CONFINED ShardEventHandle schedule_after(int shard, SimTime delay,
+                                                     Callback cb);
 
   /// Cancels a pending event on its owning shard. During a window the
   /// caller must own that shard: presenting another shard's handle is the
   /// cross-shard misuse this handle type exists to catch, and fails a
   /// CLB_CHECK rather than corrupting the foreign arena.
-  [[nodiscard]] bool cancel(const ShardEventHandle& h);
+  [[nodiscard]] CLB_SHARD_CONFINED bool cancel(const ShardEventHandle& h);
 
   /// Cross-shard send: delivers `cb` on shard `dst` at src's now() +
   /// latency. Cross-shard posts require latency >= lookahead() — the
   /// conservative-window safety condition — and buffer into the src
   /// mailbox until the next barrier; a post to the own shard (src == dst)
   /// schedules directly with no latency floor, like same-node traffic.
-  void post(int src, int dst, SimTime latency, Callback cb);
+  CLB_SHARD_CONFINED void post(int src, int dst, SimTime latency, Callback cb);
 
   /// Presize hints forwarded to every shard (EngineCore::reserve).
-  void reserve(std::size_t events_per_shard, std::size_t slots_per_shard);
+  CLB_BARRIER_PHASE void reserve(std::size_t events_per_shard,
+                                 std::size_t slots_per_shard);
 
   /// Runs windows until every shard and mailbox drains.
   void run();
@@ -155,7 +159,7 @@ class ShardedSimulator {
   /// Runs every event with timestamp <= `t`, then advances all clocks to
   /// `t`. Cross-shard messages still in flight past `t` stay buffered for
   /// a later run()/run_until().
-  void run_until(SimTime t);
+  CLB_BARRIER_PHASE void run_until(SimTime t);
 
   // --- Externally driven execution (the sharded runtime host). The
   // methods below let a driver interleave conservative windows with
@@ -186,29 +190,32 @@ class ShardedSimulator {
   /// reductions, finish detection) run under: it is exactly a merged
   /// single-engine execution, so cross-shard state reads are safe and
   /// every timestamp is exact.
-  std::optional<SimTime> step_global();
+  CLB_BARRIER_PHASE std::optional<SimTime> step_global();
 
   /// Barrier recovery (see EngineCore::rewind_clock): rewinds every
   /// shard clock and the barrier clock to `t`, after a window that turned
   /// out to have executed nothing past `t`. Each engine proves the
   /// rewind's legality itself.
-  void rewind_clocks(SimTime t);
+  CLB_BARRIER_PHASE void rewind_clocks(SimTime t);
 
   /// Events executed through step_global (monitoring).
   [[nodiscard]] std::uint64_t global_steps() const { return global_steps_; }
 
-  void set_trace_hook(TraceHook hook);
+  // The per-event append the installed hook performs runs inside shard
+  // execution, hence the shard-confined context on the installer.
+  CLB_SHARD_CONFINED void set_trace_hook(TraceHook hook);
 
   /// Direct access to one shard's engine, for plumbing and monitoring.
   /// Scheduling through it mid-window bypasses the mailbox protocol —
   /// callers inside callbacks should use schedule_at/post instead.
-  [[nodiscard]] EngineCore& shard_engine(int shard);
-  [[nodiscard]] const EngineCore& shard_engine(int shard) const;
+  [[nodiscard]] CLB_SHARD_CONFINED EngineCore& shard_engine(int shard);
+  [[nodiscard]] CLB_BARRIER_PHASE const EngineCore& shard_engine(
+      int shard) const;
 
   /// Total events executed across all shards.
-  [[nodiscard]] std::uint64_t executed() const;
+  [[nodiscard]] CLB_BARRIER_PHASE std::uint64_t executed() const;
   /// Pending events across all shards plus undelivered mailbox envelopes.
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] CLB_BARRIER_PHASE std::size_t pending() const;
   /// Cross-shard envelopes posted so far (monitoring).
   [[nodiscard]] std::uint64_t cross_posts() const {
     return cross_posts_.load(std::memory_order_relaxed);
@@ -223,10 +230,10 @@ class ShardedSimulator {
   [[nodiscard]] std::uint64_t windows_run() const { return windows_run_; }
 
   /// Deep audit of every shard engine (EngineCore::validate_integrity).
-  void validate_integrity() const;
+  CLB_BARRIER_PHASE void validate_integrity() const;
 
  private:
-  struct ShardState {
+  struct CLB_SHARD_CONFINED ShardState {
     EngineCore engine;
     std::vector<ShardEnvelope> outbox;  ///< written only by the owner
     std::uint64_t chan_seq = 0;         ///< per-source channel counter
@@ -241,11 +248,14 @@ class ShardedSimulator {
 
   /// Range-checks `shard` and, inside a window, enforces that the calling
   /// thread owns it.
-  void check_shard_access(int shard, const char* what) const;
-  [[nodiscard]] std::optional<SimTime> earliest_pending();
-  void flush_mailboxes();
-  void run_window(SimTime end, bool inclusive);
-  void emit_trace();
+  // The ownership guard itself runs in the (possibly misusing) caller's
+  // shard context.
+  CLB_SHARD_CONFINED void check_shard_access(int shard,
+                                             const char* what) const;
+  [[nodiscard]] CLB_BARRIER_PHASE std::optional<SimTime> earliest_pending();
+  CLB_BARRIER_PHASE void flush_mailboxes();
+  CLB_SHARD_CONFINED void run_window(SimTime end, bool inclusive);
+  CLB_BARRIER_PHASE void emit_trace();
   [[nodiscard]] SimTime window_end_for(SimTime t) const;
 
   Config config_;

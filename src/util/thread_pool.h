@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/shard_annotations.h"
+
 namespace cloudlb {
 
 /// Number of concurrent hardware threads, at least 1.
@@ -70,9 +72,9 @@ class ThreadPool {
 /// calling thread participates as a worker. If any invocation throws, the
 /// first exception (in completion order) is rethrown on the caller after
 /// all workers have drained, and remaining unclaimed indices are skipped.
-void parallel_for(std::size_t n, int jobs,
-                  const std::function<void(std::size_t)>& fn,
-                  std::size_t chunk = 1);
+CLB_SHARD_CONFINED void parallel_for(std::size_t n, int jobs,
+                                     const std::function<void(std::size_t)>& fn,
+                                     std::size_t chunk = 1);
 
 /// A persistent team of workers advancing in caller-driven lock-step
 /// rounds — the barrier primitive under the sharded engine's conservative
@@ -105,7 +107,7 @@ class WorkerTeam {
   /// Runs fn(w) for every worker index w in [0, workers()) concurrently;
   /// blocks until all invocations return. Not reentrant: only the owning
   /// thread drives rounds, one at a time.
-  void run_round(const std::function<void(int)>& fn);
+  CLB_SHARD_CONFINED void run_round(const std::function<void(int)>& fn);
 
  private:
   void worker_main(int index);
@@ -126,8 +128,8 @@ class WorkerTeam {
 /// is bit-identical for every `jobs` value. T must be default- and
 /// move-constructible.
 template <typename T>
-[[nodiscard]] std::vector<T> parallel_map(std::size_t n, int jobs,
-                            const std::function<T(std::size_t)>& fn) {
+[[nodiscard]] CLB_SHARD_CONFINED std::vector<T> parallel_map(
+    std::size_t n, int jobs, const std::function<T(std::size_t)>& fn) {
   std::vector<T> out(n);
   parallel_for(n, jobs, [&](std::size_t i) { out[i] = fn(i); });
   return out;

@@ -11,6 +11,15 @@
 
 typedef decltype(sizeof(0)) cloudlb_mock_size_t;
 
+// The shard-safety effect annotations (src/util/shard_annotations.h).
+// The analyzer always parses as clang, so the attribute is spelled
+// directly — no compiler gate needed in the hermetic mock.
+#define CLB_SHARD_ANNOTATE(text) __attribute__((annotate(text)))
+#define CLB_SHARD_CONFINED CLB_SHARD_ANNOTATE("clb::shard_confined")
+#define CLB_BARRIER_PHASE CLB_SHARD_ANNOTATE("clb::barrier_phase")
+#define CLB_CANONICAL_COMBINE CLB_SHARD_ANNOTATE("clb::canonical_combine")
+#define CLB_RANKED_FANOUT CLB_SHARD_ANNOTATE("clb::ranked_fanout")
+
 namespace std {
 
 template <class T>
@@ -135,6 +144,48 @@ class ShardedSimulator {
   [[nodiscard]] bool cancel(const ShardEventHandle&);
   SimTime now() const;
   void run();
+};
+
+class EngineCore {
+ public:
+  template <class F>
+  EventHandle schedule_at(SimTime, F) {
+    return EventHandle{};
+  }
+  template <class F>
+  EventHandle schedule_after(SimTime, F) {
+    return EventHandle{};
+  }
+  template <class F>
+  EventHandle schedule_at_ranked(SimTime, SimTime, unsigned long long, F) {
+    return EventHandle{};
+  }
+  template <class F>
+  EventHandle schedule_at_stamped(SimTime, SimTime, F) {
+    return EventHandle{};
+  }
+  [[nodiscard]] bool cancel(EventHandle);
+  void set_current_rank(unsigned long long);
+  SimTime now() const;
+};
+
+class ShardedRuntimeHost {
+ public:
+  EngineCore& engine_of_shard(int);
+  EngineCore& engine_of_pe(int);
+  EngineCore& engine_of_node(int);
+  EngineCore& engine_of_core(int);
+  bool in_window() const;
+};
+
+class WorkerTeam {
+ public:
+  explicit WorkerTeam(int);
+  int workers() const;
+  template <class F>
+  CLB_SHARD_CONFINED void run_round(F fn) {
+    fn(0);
+  }
 };
 
 struct FaultPlan {

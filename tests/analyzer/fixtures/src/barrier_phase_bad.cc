@@ -1,0 +1,32 @@
+// Fixture: analyzer-barrier-phase must fire when a CLB_BARRIER_PHASE
+// function is entered from shard-window execution context — a
+// CLB_SHARD_CONFINED function or a WorkerTeam::run_round task body —
+// without an in_window() guard, at the exact line of the call.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+CLB_BARRIER_PHASE void run_lb_step();
+
+// Confined handler crossing straight into the barrier phase.
+CLB_SHARD_CONFINED void on_message(cloudlb::ShardedRuntimeHost& host) {
+  (void)host;
+  run_lb_step();  // EXPECT-ANALYZER(barrier-phase)
+}
+
+// Worker-team task bodies execute inside a window by construction.
+void window_loop(cloudlb::WorkerTeam& team) {
+  team.run_round([](int worker) {
+    (void)worker;
+    run_lb_step();  // EXPECT-ANALYZER(barrier-phase)
+  });
+}
+
+// A guard on unrelated state is not an in_window() guard.
+CLB_SHARD_CONFINED void guarded_wrong(bool drained) {
+  if (drained) {
+    run_lb_step();  // EXPECT-ANALYZER(barrier-phase)
+  }
+}
+
+}  // namespace fixture

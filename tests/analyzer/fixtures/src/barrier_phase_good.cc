@@ -1,0 +1,46 @@
+// Fixture: patterns analyzer-barrier-phase must NOT flag — guarded
+// crossovers, barrier-to-barrier calls, coordinator-side calls, and
+// deferred lambdas (which run at a different simulated time).
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+CLB_BARRIER_PHASE void run_lb_step();
+CLB_BARRIER_PHASE void merge_windows();
+
+// Coordinator code (unannotated, no worker bodies) drives the barrier
+// phase freely.
+void coordinate() { run_lb_step(); }
+
+// Barrier-phase helpers compose.
+CLB_BARRIER_PHASE void full_sync() {
+  run_lb_step();
+  merge_windows();
+}
+
+// The blessed crossover: the last shard out of the window runs the
+// step, gated on in_window().
+CLB_SHARD_CONFINED void maybe_finish(cloudlb::ShardedRuntimeHost& host) {
+  if (!host.in_window()) {
+    run_lb_step();
+  }
+}
+
+// The guard may sit anywhere in the condition.
+CLB_SHARD_CONFINED void finish_if_idle(cloudlb::ShardedRuntimeHost& host,
+                                       bool idle) {
+  if (idle && !host.in_window()) merge_windows();
+}
+
+// A lambda scheduled from confined context runs between windows, not in
+// this one; the enclosing effect does not flow into its body.
+CLB_SHARD_CONFINED void defer_step(cloudlb::EngineCore& eng) {
+  eng.schedule_after(cloudlb::SimTime::millis(1), [] { run_lb_step(); });
+}
+
+// Suppression: a deliberate same-window crossover, documented in place.
+CLB_SHARD_CONFINED void forced_step() {
+  run_lb_step();  // NOLINT-CLOUDLB(analyzer-barrier-phase)
+}
+
+}  // namespace fixture

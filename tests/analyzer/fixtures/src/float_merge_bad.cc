@@ -1,0 +1,54 @@
+// Fixture: analyzer-float-merge must fire when a loop folds floating
+// state over per-shard data outside a CLB_CANONICAL_COMBINE helper —
+// float addition is not associative, so the fold order must be pinned.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+struct CLB_SHARD_CONFINED ShardSegment {
+  double cpu_seconds = 0.0;
+  int tasks_executed = 0;
+};
+
+class Partition {
+ public:
+  int shards() const { return 4; }
+  CLB_CANONICAL_COMBINE double combined_cpu() const;
+  ShardSegment segs[4];
+};
+
+// The canonical bug: a barrier-phase fold over confined state that
+// never went through a combiner.
+CLB_BARRIER_PHASE double naive_total(const Partition& part) {
+  double total = 0.0;
+  for (int s = 0; s < part.shards(); ++s) {
+    total += part.segs[s].cpu_seconds;  // EXPECT-ANALYZER(float-merge)
+  }
+  return total;
+}
+
+// Folding through a visible helper hides nothing.
+CLB_BARRIER_PHASE void accumulate_into(double& into,
+                                       const ShardSegment& seg) {
+  into += seg.cpu_seconds;
+}
+
+CLB_BARRIER_PHASE double helper_total(const Partition& part) {
+  double total = 0.0;
+  for (const ShardSegment& seg : part.segs) {
+    accumulate_into(total, seg);  // EXPECT-ANALYZER(float-merge)
+  }
+  return total;
+}
+
+// Re-folding combiner results per partition still floats the order of
+// the outer sum.
+CLB_BARRIER_PHASE double refold(const Partition* parts, int n) {
+  double grand = 0.0;
+  for (int i = 0; i < n; ++i) {
+    grand += parts[i].combined_cpu();  // EXPECT-ANALYZER(float-merge)
+  }
+  return grand;
+}
+
+}  // namespace fixture

@@ -1,0 +1,67 @@
+// Fixture: patterns analyzer-float-merge must NOT flag — combiners own
+// their fold order, integer accumulation is associative, and loop-local
+// floats never cross iterations.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+struct CLB_SHARD_CONFINED ShardSegment {
+  double cpu_seconds = 0.0;
+  int tasks_executed = 0;
+};
+
+class Partition {
+ public:
+  int shards() const { return 4; }
+  ShardSegment segs[4];
+};
+
+void consume(double value);
+
+// The blessed home for the fold: a CLB_CANONICAL_COMBINE helper, whose
+// annotation pins (and documents) the merge order.
+CLB_CANONICAL_COMBINE double combined_cpu(const Partition& part) {
+  double total = 0.0;
+  for (int s = 0; s < part.shards(); ++s) {
+    total += part.segs[s].cpu_seconds;
+  }
+  return total;
+}
+
+// Integer accumulation over the same data is associative and exempt.
+CLB_BARRIER_PHASE int combined_tasks(const Partition& part) {
+  int total = 0;
+  for (int s = 0; s < part.shards(); ++s) {
+    total += part.segs[s].tasks_executed;
+  }
+  return total;
+}
+
+// A float that lives and dies inside one iteration carries no
+// cross-shard order.
+CLB_BARRIER_PHASE void per_shard_report(const Partition& part) {
+  for (int s = 0; s < part.shards(); ++s) {
+    double scaled = part.segs[s].cpu_seconds;
+    scaled += 1.0;
+    consume(scaled);
+  }
+}
+
+// Loops with no per-shard touch are out of scope entirely.
+double plain_sum(const double* xs, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += xs[i];
+  return total;
+}
+
+// Suppression: a deliberately unordered debug estimate.
+CLB_BARRIER_PHASE double rough_cpu(const Partition& part) {
+  double total = 0.0;
+  for (int s = 0; s < part.shards(); ++s) {
+    total +=  // NOLINT-CLOUDLB(analyzer-float-merge)
+        part.segs[s].cpu_seconds;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// Fixture: patterns analyzer-shard-confined must NOT flag — annotated
+// window/barrier/combine entry points, their direct helpers, a confined
+// record's own methods, and suppressed coordinator-side probes.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+struct CLB_SHARD_CONFINED ShardSegment {
+  int tasks_executed = 0;
+  long long busy_ns = 0;
+  // A confined record's own methods touch their fields freely: the
+  // record-level annotation confines the object, not each accessor.
+  void reset() {
+    tasks_executed = 0;
+    busy_ns = 0;
+  }
+};
+
+class Runtime {
+ public:
+  CLB_SHARD_CONFINED void on_task();
+  CLB_BARRIER_PHASE void merge_segments();
+  CLB_CANONICAL_COMBINE long long combined_busy() const;
+  void coordinator_view();
+
+  ShardSegment seg;
+};
+
+// Each effect annotation marks a legitimate accessor of confined state:
+// window execution, the between-windows barrier, and the canonical
+// combine that reads per-shard results.
+CLB_SHARD_CONFINED void Runtime::on_task() { seg.tasks_executed += 1; }
+CLB_BARRIER_PHASE void Runtime::merge_segments() { seg.reset(); }
+long long Runtime::combined_busy() const { return seg.busy_ns; }
+
+// A direct helper of an annotated entry point inherits its effect.
+static void bump(ShardSegment& seg) { seg.tasks_executed += 1; }
+
+CLB_SHARD_CONFINED void window_tick(Runtime& rt) { bump(rt.seg); }
+
+// Suppression: the coordinator-side debug probe is deliberate.
+void Runtime::coordinator_view() {
+  (void)seg.tasks_executed;  // NOLINT-CLOUDLB(analyzer-shard-confined)
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: the cross-shard arm of analyzer-stale-handle — a plain
+// EventHandle scheduled on one statically-known per-shard engine and
+// cancelled through a different one acts on an unrelated slot.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+// The canonical bug: schedule on shard 0, cancel through shard 1.
+void cross_shard_cancel(cloudlb::ShardedRuntimeHost& host) {
+  cloudlb::EventHandle h = host.engine_of_shard(0).schedule_at(
+      cloudlb::SimTime::millis(5), [] {});
+  static_cast<void>(
+      host.engine_of_shard(1).cancel(h));  // EXPECT-ANALYZER(stale-handle)
+}
+
+// Assignment (not just initialization) records the origin too.
+void cross_pe_cancel(cloudlb::ShardedRuntimeHost& host,
+                     cloudlb::EventHandle h) {
+  h = host.engine_of_pe(2).schedule_after(cloudlb::SimTime::nanos(30),
+                                          [] {});
+  static_cast<void>(
+      host.engine_of_pe(3).cancel(h));  // EXPECT-ANALYZER(stale-handle)
+}
+
+}  // namespace fixture

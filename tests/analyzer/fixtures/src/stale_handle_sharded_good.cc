@@ -1,0 +1,53 @@
+// Fixture: cross-shard cancel patterns analyzer-stale-handle must NOT
+// flag — same-engine round trips, computed shard indices (statically
+// unknown), origins moved by reassignment, and mixed accessor kinds
+// (engine_of_pe(0) and engine_of_node(0) may name the same engine).
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+// Schedule and cancel through the same engine.
+void same_engine(cloudlb::ShardedRuntimeHost& host) {
+  cloudlb::EventHandle h = host.engine_of_shard(2).schedule_at(
+      cloudlb::SimTime::millis(5), [] {});
+  static_cast<void>(host.engine_of_shard(2).cancel(h));
+  h = cloudlb::EventHandle{};
+}
+
+// Computed indices are not statically comparable; stay silent.
+void computed_index(cloudlb::ShardedRuntimeHost& host, int s) {
+  cloudlb::EventHandle h = host.engine_of_shard(s).schedule_at(
+      cloudlb::SimTime::millis(5), [] {});
+  static_cast<void>(host.engine_of_shard(s + 1).cancel(h));
+  h = cloudlb::EventHandle{};
+}
+
+// Reassignment moves the origin with the handle.
+void rearmed(cloudlb::ShardedRuntimeHost& host) {
+  cloudlb::EventHandle h = host.engine_of_shard(0).schedule_at(
+      cloudlb::SimTime::millis(5), [] {});
+  h = host.engine_of_shard(1).schedule_at(cloudlb::SimTime::millis(9),
+                                          [] {});
+  static_cast<void>(host.engine_of_shard(1).cancel(h));
+  h = cloudlb::EventHandle{};
+}
+
+// Different accessor kinds can resolve to one engine; only a same-kind
+// index mismatch is statically certain.
+void pe_vs_node(cloudlb::ShardedRuntimeHost& host) {
+  cloudlb::EventHandle h = host.engine_of_pe(0).schedule_at(
+      cloudlb::SimTime::millis(5), [] {});
+  static_cast<void>(host.engine_of_node(0).cancel(h));
+  h = cloudlb::EventHandle{};
+}
+
+// Suppression: a deliberate foreign-engine sweep.
+void swept(cloudlb::ShardedRuntimeHost& host) {
+  cloudlb::EventHandle h = host.engine_of_core(0).schedule_at(
+      cloudlb::SimTime::millis(5), [] {});
+  static_cast<void>(
+      host.engine_of_core(1).cancel(h));  // NOLINT-CLOUDLB(analyzer-stale-handle)
+  h = cloudlb::EventHandle{};
+}
+
+}  // namespace fixture

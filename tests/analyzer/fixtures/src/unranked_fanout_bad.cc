@@ -1,0 +1,36 @@
+// Fixture: analyzer-unranked-fanout must fire on bare EngineCore
+// schedule calls inside the loops of a CLB_RANKED_FANOUT function —
+// heap insertion order stamps the tie-break rank there, and that order
+// varies with the shard count.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+// Fan-out across PE engines with the order-sensitive legacy call.
+CLB_RANKED_FANOUT void resume_all(cloudlb::ShardedRuntimeHost& host,
+                                  int pes) {
+  for (int pe = 0; pe < pes; ++pe) {
+    host.engine_of_pe(pe).schedule_at(  // EXPECT-ANALYZER(unranked-fanout)
+        cloudlb::SimTime::millis(2), [] {});
+  }
+}
+
+// schedule_after in a while-loop drain is the same defect.
+CLB_RANKED_FANOUT void drain(cloudlb::EngineCore& eng, int backlog) {
+  while (backlog > 0) {
+    eng.schedule_after(  // EXPECT-ANALYZER(unranked-fanout)
+        cloudlb::SimTime::nanos(50), [] {});
+    --backlog;
+  }
+}
+
+// Range-for fan-out over a shard id list.
+CLB_RANKED_FANOUT void kick_shards(cloudlb::ShardedRuntimeHost& host,
+                                   std::vector<int>& ids) {
+  for (int id : ids) {
+    host.engine_of_shard(id).schedule_at(  // EXPECT-ANALYZER(unranked-fanout)
+        cloudlb::SimTime::millis(1), [] {});
+  }
+}
+
+}  // namespace fixture

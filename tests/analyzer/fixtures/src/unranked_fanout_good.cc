@@ -1,0 +1,54 @@
+// Fixture: patterns analyzer-unranked-fanout must NOT flag — ranked and
+// stamped scheduling in fan-out loops, bare calls outside loops or
+// outside CLB_RANKED_FANOUT functions, and the single-engine facade.
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+// The blessed fan-out: pin the legacy rank explicitly...
+CLB_RANKED_FANOUT void resume_ranked(cloudlb::ShardedRuntimeHost& host,
+                                     int pes) {
+  for (int pe = 0; pe < pes; ++pe) {
+    host.engine_of_pe(pe).schedule_at_ranked(cloudlb::SimTime::millis(2),
+                                             cloudlb::SimTime::zero(),
+                                             7ULL, [] {});
+  }
+}
+
+// ...or inherit the scheduling context's stamp.
+CLB_RANKED_FANOUT void resume_stamped(cloudlb::EngineCore& eng, int n) {
+  for (int i = 0; i < n; ++i) {
+    eng.schedule_at_stamped(cloudlb::SimTime::millis(2),
+                            cloudlb::SimTime::zero(), [] {});
+  }
+}
+
+// A single bare schedule outside any loop admits one order.
+CLB_RANKED_FANOUT void kick_once(cloudlb::EngineCore& eng) {
+  eng.schedule_after(cloudlb::SimTime::nanos(10), [] {});
+}
+
+// Unannotated callers are outside the contract's scope.
+void legacy_loop(cloudlb::EngineCore& eng, int n) {
+  for (int i = 0; i < n; ++i) {
+    eng.schedule_after(cloudlb::SimTime::nanos(10), [] {});
+  }
+}
+
+// The Simulator facade owns a single engine: its heap order IS the
+// canonical order.
+CLB_RANKED_FANOUT void facade_loop(cloudlb::Simulator& sim, int n) {
+  for (int i = 0; i < n; ++i) {
+    sim.schedule_after(cloudlb::SimTime::nanos(10), [] {});
+  }
+}
+
+// Suppression: a deliberately order-insensitive broadcast.
+CLB_RANKED_FANOUT void broadcast(cloudlb::EngineCore& eng, int n) {
+  for (int i = 0; i < n; ++i) {
+    eng.schedule_at(  // NOLINT-CLOUDLB(analyzer-unranked-fanout)
+        cloudlb::SimTime::millis(3), [] {});
+  }
+}
+
+}  // namespace fixture

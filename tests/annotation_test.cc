@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "util/shard_annotations.h"
+
+// The shard-safety effect annotations are metadata for cloudlb-analyzer
+// only: they must not change layout, ABI, or behavior of anything they
+// mark. Each pair below differs only by annotation; any drift in size,
+// alignment, or triviality fails at compile time, and the runtime cases
+// pin behavioral equality. (The golden trace digest in
+// tests/determinism_test.cc covers the annotated production tree.)
+
+namespace cloudlb {
+namespace {
+
+struct PlainSegment {
+  long long busy_ns = 0;
+  double cpu_seconds = 0.0;
+  int tasks_executed = 0;
+};
+
+struct CLB_SHARD_CONFINED AnnotatedSegment {
+  long long busy_ns = 0;
+  double cpu_seconds = 0.0;
+  int tasks_executed = 0;
+};
+
+static_assert(sizeof(AnnotatedSegment) == sizeof(PlainSegment),
+              "type-level annotation must not change layout");
+static_assert(alignof(AnnotatedSegment) == alignof(PlainSegment),
+              "type-level annotation must not change alignment");
+static_assert(std::is_trivially_copyable<AnnotatedSegment>::value ==
+                  std::is_trivially_copyable<PlainSegment>::value,
+              "type-level annotation must not change triviality");
+static_assert(std::is_standard_layout<AnnotatedSegment>::value ==
+                  std::is_standard_layout<PlainSegment>::value,
+              "type-level annotation must not change layout category");
+
+struct PlainCounters {
+  int in_window;
+  int merged;
+};
+
+struct AnnotatedCounters {
+  CLB_SHARD_CONFINED int in_window;
+  int merged;
+};
+
+static_assert(sizeof(AnnotatedCounters) == sizeof(PlainCounters),
+              "field-level annotation must not change layout");
+static_assert(std::is_trivial<AnnotatedCounters>::value ==
+                  std::is_trivial<PlainCounters>::value,
+              "field-level annotation must not change triviality");
+
+int plain_sum(int a, int b) { return a + b; }
+CLB_CANONICAL_COMBINE int combine_sum(int a, int b) { return a + b; }
+CLB_BARRIER_PHASE int barrier_sum(int a, int b) { return a + b; }
+CLB_SHARD_CONFINED CLB_RANKED_FANOUT int stacked_sum(int a, int b) {
+  return a + b;
+}
+
+static_assert(std::is_same<decltype(&plain_sum), decltype(&combine_sum)>::value,
+              "function annotation must not change the function type");
+
+TEST(ShardAnnotations, AnnotatedFunctionsBehaveIdentically) {
+  for (int a = -3; a <= 3; ++a) {
+    for (int b = -3; b <= 3; ++b) {
+      EXPECT_EQ(plain_sum(a, b), combine_sum(a, b));
+      EXPECT_EQ(plain_sum(a, b), barrier_sum(a, b));
+      EXPECT_EQ(plain_sum(a, b), stacked_sum(a, b));
+    }
+  }
+}
+
+TEST(ShardAnnotations, AnnotatedTypesBehaveIdentically) {
+  AnnotatedSegment seg;
+  seg.busy_ns = 42;
+  seg.cpu_seconds = 1.5;
+  seg.tasks_executed = 7;
+  AnnotatedSegment copy = seg;
+  EXPECT_EQ(copy.busy_ns, 42);
+  EXPECT_EQ(copy.cpu_seconds, 1.5);
+  EXPECT_EQ(copy.tasks_executed, 7);
+}
+
+}  // namespace
+}  // namespace cloudlb

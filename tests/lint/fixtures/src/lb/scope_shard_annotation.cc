@@ -1,0 +1,9 @@
+// Lint fixture: the shard-annotation rule is scoped to src/runtime/ and
+// src/sim/; the same surface elsewhere in src/ stays quiet.
+namespace fixture {
+
+struct Window {
+  int per_shard_backlog[4];
+};
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Lint fixture: a partitioned-runtime file touching per-shard state
+// without pulling in the effect annotations header.
+namespace fixture {
+
+struct Window {
+  int per_shard_backlog[4];  // EXPECT-LINT(shard-annotation)
+};
+
+}  // namespace fixture

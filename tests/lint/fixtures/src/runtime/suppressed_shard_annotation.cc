@@ -1,0 +1,9 @@
+// Lint fixture: a deliberate opt-out of the annotations header,
+// suppressed in place.
+namespace fixture {
+
+struct Probe {
+  int per_shard_debug_taps[2];  // NOLINT-CLOUDLB(shard-annotation)
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: the same per-shard surface with the effect annotations
+// header included — the rule stays quiet however many triggers follow.
+#include "util/shard_annotations.h"
+
+namespace fixture {
+
+struct Window {
+  int per_shard_backlog[4];
+  long long window_shard_deadline_ns[4];
+};
+
+}  // namespace fixture

@@ -17,6 +17,20 @@
 //   analyzer-ambient-state     std::random_device / wall-clock calls,
 //                              type-checked (no false hits in strings)
 //
+// plus the shard-safety effect system (src/util/shard_annotations.h):
+//
+//   analyzer-shard-confined    CLB_SHARD_CONFINED member touched outside
+//                              the annotated window-execution entry
+//                              points (one level of calls followed)
+//   analyzer-barrier-phase     CLB_BARRIER_PHASE function called from
+//                              shard-window or worker-team task context
+//   analyzer-float-merge       float/double accumulation over per-shard
+//                              data outside a CLB_CANONICAL_COMBINE
+//                              helper
+//   analyzer-unranked-fanout   bare EngineCore::schedule_at/_after in a
+//                              fan-out loop of a CLB_RANKED_FANOUT
+//                              function
+//
 // Suppression: `// NOLINT-CLOUDLB(analyzer-<check>)` on the offending
 // line, the same syntax the Python linter uses (which in turn treats
 // `analyzer-*` names as owned by this tool and never reports them as
@@ -81,5 +95,13 @@ void register_unordered_accum(clang::ast_matchers::MatchFinder& finder,
                               AnalyzerContext& ctx);
 void register_stale_handle(clang::ast_matchers::MatchFinder& finder,
                            AnalyzerContext& ctx);
+void register_shard_confined(clang::ast_matchers::MatchFinder& finder,
+                             AnalyzerContext& ctx);
+void register_barrier_phase(clang::ast_matchers::MatchFinder& finder,
+                            AnalyzerContext& ctx);
+void register_float_merge(clang::ast_matchers::MatchFinder& finder,
+                          AnalyzerContext& ctx);
+void register_unranked_fanout(clang::ast_matchers::MatchFinder& finder,
+                              AnalyzerContext& ctx);
 
 }  // namespace cloudlb_analyzer

@@ -1,0 +1,183 @@
+// analyzer-barrier-phase: CLB_BARRIER_PHASE functions (LB steps, window
+// merges, partition totals, cross-shard audits) may only run between
+// windows, on the coordinating thread, where every shard's state is
+// quiescent and cross-shard reads are exact. Calling one from shard-
+// window execution context — a CLB_SHARD_CONFINED function, or the task
+// closure handed to WorkerTeam::run_round — reads other shards' private
+// state mid-window, racing their engines.
+//
+// Guarded calls are exempt: a call dominated by an `in_window()` test
+// (either branch — the runtime's idiom is `if (!host_->in_window())
+// maybe_complete_...(t)`, which proves the caller checked the regime
+// before crossing into barrier work) is the sanctioned crossover, and
+// the test in the condition itself (`!in_window() && finished_total()
+// == n`) is part of that guard. Lambdas created inside a confined
+// function do NOT inherit its context unless handed to run_round: a
+// scheduled closure runs whenever its engine executes it, so no context
+// fact about the creating body applies (same reasoning as
+// analyzer-stale-handle's treatment of lambda bodies). Calls from
+// CLB_BARRIER_PHASE or unannotated functions are never flagged.
+#include "analyzer.h"
+#include "annotations.h"
+
+#include <set>
+
+#include "clang/AST/RecursiveASTVisitor.h"
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+using namespace clang::ast_matchers;
+
+constexpr char kCheck[] = "analyzer-barrier-phase";
+
+// Does this expression subtree mention the window-regime probe
+// (`in_window()` or the backing flag)?
+class WindowProbeFinder
+    : public clang::RecursiveASTVisitor<WindowProbeFinder> {
+ public:
+  bool found = false;
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee != nullptr && callee->getName() == "in_window") found = true;
+    return !found;
+  }
+
+  bool VisitMemberExpr(clang::MemberExpr* member) {
+    const llvm::StringRef name = member->getMemberDecl()->getName();
+    if (name == "in_window" || name == "in_window_") found = true;
+    return !found;
+  }
+};
+
+bool mentions_in_window(const clang::Expr* cond) {
+  if (cond == nullptr) return false;
+  WindowProbeFinder finder;
+  finder.TraverseStmt(
+      const_cast<clang::Expr*>(cond));
+  return finder.found;
+}
+
+// Collects the bodies of lambdas handed to WorkerTeam::run_round — the
+// one entry that runs its closure as a shard-window task on every
+// worker. parallel_for / parallel_map are deliberately NOT included:
+// their grid cells own a private Simulator/Machine each, so driving a
+// whole run (start/drive, both barrier-phase) inside a cell is the
+// intended design, not a regime violation.
+class WorkerBodyCollector
+    : public clang::RecursiveASTVisitor<WorkerBodyCollector> {
+ public:
+  std::set<const clang::Stmt*> bodies;
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr || callee->getName() != "run_round") return true;
+    for (const clang::Expr* arg : call->arguments()) {
+      LambdaCollector lambdas{bodies};
+      lambdas.TraverseStmt(const_cast<clang::Expr*>(arg));
+    }
+    return true;
+  }
+
+ private:
+  class LambdaCollector
+      : public clang::RecursiveASTVisitor<LambdaCollector> {
+   public:
+    explicit LambdaCollector(std::set<const clang::Stmt*>& out)
+        : out_{out} {}
+    bool VisitLambdaExpr(clang::LambdaExpr* lambda) {
+      if (lambda->getBody() != nullptr) out_.insert(lambda->getBody());
+      return true;
+    }
+
+   private:
+    std::set<const clang::Stmt*>& out_;
+  };
+};
+
+class BarrierCallScanner
+    : public clang::RecursiveASTVisitor<BarrierCallScanner> {
+ public:
+  BarrierCallScanner(AnalyzerContext& ctx, clang::ASTContext& ast,
+                     bool confined,
+                     const std::set<const clang::Stmt*>& worker_bodies)
+      : ctx_{ctx},
+        ast_{ast},
+        confined_{confined},
+        worker_bodies_{worker_bodies} {}
+
+  bool TraverseIfStmt(clang::IfStmt* stmt) {
+    const bool guards = mentions_in_window(stmt->getCond());
+    if (guards) ++guard_depth_;
+    const bool keep =
+        clang::RecursiveASTVisitor<BarrierCallScanner>::TraverseIfStmt(
+            stmt);
+    if (guards) --guard_depth_;
+    return keep;
+  }
+
+  bool TraverseLambdaExpr(clang::LambdaExpr* lambda) {
+    const bool saved = confined_;
+    confined_ = worker_bodies_.count(lambda->getBody()) != 0;
+    const bool keep =
+        clang::RecursiveASTVisitor<BarrierCallScanner>::TraverseLambdaExpr(
+            lambda);
+    confined_ = saved;
+    return keep;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    if (!confined_ || guard_depth_ > 0) return true;
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr ||
+        !has_clb_annotation(callee, kBarrierPhaseAnnot))
+      return true;
+    ctx_.report(ast_, call->getBeginLoc(), kCheck,
+                "'" + callee->getNameAsString() +
+                    "' is barrier-phase (CLB_BARRIER_PHASE) but is "
+                    "called from shard-window execution context; run it "
+                    "between windows on the coordinating thread, or gate "
+                    "the crossover on in_window()");
+    return true;
+  }
+
+ private:
+  AnalyzerContext& ctx_;
+  clang::ASTContext& ast_;
+  bool confined_;
+  int guard_depth_ = 0;
+  const std::set<const clang::Stmt*>& worker_bodies_;
+};
+
+class BarrierPhaseCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit BarrierPhaseCallback(AnalyzerContext& ctx) : ctx_{ctx} {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* fn = result.Nodes.getNodeAs<clang::FunctionDecl>("fn");
+    if (fn == nullptr || !fn->doesThisDeclarationHaveABody()) return;
+    WorkerBodyCollector workers;
+    workers.TraverseStmt(fn->getBody());
+    const bool confined = has_clb_annotation(fn, kShardConfinedAnnot);
+    if (!confined && workers.bodies.empty()) return;
+    BarrierCallScanner scanner{ctx_, *result.Context, confined,
+                               workers.bodies};
+    scanner.TraverseStmt(fn->getBody());
+  }
+
+ private:
+  AnalyzerContext& ctx_;
+};
+
+}  // namespace
+
+void register_barrier_phase(MatchFinder& finder, AnalyzerContext& ctx) {
+  auto* callback = new BarrierPhaseCallback{ctx};
+  finder.addMatcher(
+      functionDecl(isDefinition(), hasBody(compoundStmt())).bind("fn"),
+      callback);
+}
+
+}  // namespace cloudlb_analyzer

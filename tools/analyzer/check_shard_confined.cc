@@ -1,0 +1,161 @@
+// analyzer-shard-confined: shard-confined state (CLB_SHARD_CONFINED
+// fields and records — per-PE ledgers, shard segments, per-shard engine
+// state) may only be touched from the owner shard's window-execution
+// entry points. Those entry points are the functions carrying a
+// shard-effect annotation (CLB_SHARD_CONFINED for window execution,
+// CLB_BARRIER_PHASE for the serialized between-windows regime,
+// CLB_CANONICAL_COMBINE for the blessed merge helpers); one level of
+// calls is followed, as in analyzer-unordered-accum, so an unannotated
+// helper invoked directly from an annotated function is still considered
+// reached from the contract. Any other function reading or writing a
+// confined member is operating on another shard's private state with no
+// ordering guarantee — the exact data race the sharded engine's
+// shared-nothing contract (docs/sharded-engine.md) exists to prevent.
+//
+// Member functions of a CLB_SHARD_CONFINED record are exempt for their
+// own fields (the record's methods are part of the confined object);
+// field-level annotations get no such exemption, because the point of
+// annotating a single field is to restrict the surrounding class.
+#include "analyzer.h"
+#include "annotations.h"
+
+#include <set>
+#include <vector>
+
+#include "clang/AST/RecursiveASTVisitor.h"
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+using namespace clang::ast_matchers;
+
+constexpr char kCheck[] = "analyzer-shard-confined";
+
+// Collects every function definition in the translation unit. Lambda
+// call operators are not collected separately: their bodies sit inside
+// the enclosing function's body and inherit its permission.
+class FunctionCollector
+    : public clang::RecursiveASTVisitor<FunctionCollector> {
+ public:
+  std::vector<const clang::FunctionDecl*> functions;
+
+  bool VisitFunctionDecl(clang::FunctionDecl* fn) {
+    if (fn->doesThisDeclarationHaveABody() && fn->getBody() != nullptr)
+      functions.push_back(fn);
+    return true;
+  }
+};
+
+// Records the direct callees of one function body (lambdas included —
+// work an entry point schedules is part of its execution).
+class CalleeCollector : public clang::RecursiveASTVisitor<CalleeCollector> {
+ public:
+  explicit CalleeCollector(std::set<const clang::FunctionDecl*>& out)
+      : out_{out} {}
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    if (const clang::FunctionDecl* callee = call->getDirectCallee())
+      out_.insert(
+          llvm::cast<clang::FunctionDecl>(callee->getCanonicalDecl()));
+    return true;
+  }
+
+ private:
+  std::set<const clang::FunctionDecl*>& out_;
+};
+
+// Flags confined-member accesses inside one (non-entry) function body.
+class ConfinedAccessScanner
+    : public clang::RecursiveASTVisitor<ConfinedAccessScanner> {
+ public:
+  ConfinedAccessScanner(AnalyzerContext& ctx, clang::ASTContext& ast,
+                        const clang::FunctionDecl* fn)
+      : ctx_{ctx}, ast_{ast}, fn_{fn} {}
+
+  bool VisitMemberExpr(clang::MemberExpr* member) {
+    const auto* field =
+        llvm::dyn_cast<clang::FieldDecl>(member->getMemberDecl());
+    bool via_record = false;
+    if (!field_is_shard_confined(field, &via_record)) return true;
+    // A confined record's own methods operate on their own shard copy.
+    if (via_record && method_of(field->getParent())) return true;
+    ctx_.report(ast_, member->getMemberLoc(), kCheck,
+                "member '" + field->getNameAsString() +
+                    "' is shard-confined (CLB_SHARD_CONFINED) but '" +
+                    fn_->getQualifiedNameAsString() +
+                    "' is not reached from a shard's window-execution "
+                    "entry points; annotate the accessor's effect "
+                    "(CLB_SHARD_CONFINED / CLB_BARRIER_PHASE / "
+                    "CLB_CANONICAL_COMBINE) or route the access through "
+                    "the owning shard");
+    return true;
+  }
+
+ private:
+  bool method_of(const clang::RecordDecl* record) const {
+    const auto* method = llvm::dyn_cast<clang::CXXMethodDecl>(fn_);
+    return method != nullptr && record != nullptr &&
+           method->getParent()->getCanonicalDecl() ==
+               record->getCanonicalDecl();
+  }
+
+  AnalyzerContext& ctx_;
+  clang::ASTContext& ast_;
+  const clang::FunctionDecl* fn_;
+};
+
+class ShardConfinedCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit ShardConfinedCallback(AnalyzerContext& ctx) : ctx_{ctx} {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* tu =
+        result.Nodes.getNodeAs<clang::TranslationUnitDecl>("tu");
+    if (tu == nullptr) return;
+
+    FunctionCollector collector;
+    collector.TraverseDecl(const_cast<clang::TranslationUnitDecl*>(tu));
+
+    // The allowed set: annotated entry points plus their direct callees
+    // (one level, lenient — one annotated caller is proof enough that
+    // the helper participates in the contract).
+    std::set<const clang::FunctionDecl*> allowed;
+    for (const clang::FunctionDecl* fn : collector.functions) {
+      if (!is_entry_point(fn)) continue;
+      allowed.insert(
+          llvm::cast<clang::FunctionDecl>(fn->getCanonicalDecl()));
+      CalleeCollector callees{allowed};
+      callees.TraverseStmt(fn->getBody());
+    }
+    // Entry points whose bodies live in another TU still bless nothing
+    // here, but their own annotation keeps them out of the scan below.
+
+    for (const clang::FunctionDecl* fn : collector.functions) {
+      if (is_entry_point(fn)) continue;
+      if (allowed.count(
+              llvm::cast<clang::FunctionDecl>(fn->getCanonicalDecl())))
+        continue;
+      ConfinedAccessScanner scanner{ctx_, *result.Context, fn};
+      scanner.TraverseStmt(fn->getBody());
+    }
+  }
+
+ private:
+  static bool is_entry_point(const clang::FunctionDecl* fn) {
+    return has_clb_annotation(fn, kShardConfinedAnnot) ||
+           has_clb_annotation(fn, kBarrierPhaseAnnot) ||
+           has_clb_annotation(fn, kCanonicalCombineAnnot);
+  }
+
+  AnalyzerContext& ctx_;
+};
+
+}  // namespace
+
+void register_shard_confined(MatchFinder& finder, AnalyzerContext& ctx) {
+  auto* callback = new ShardConfinedCallback{ctx};
+  finder.addMatcher(translationUnitDecl().bind("tu"), callback);
+}
+
+}  // namespace cloudlb_analyzer

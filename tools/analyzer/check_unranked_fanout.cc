@@ -1,0 +1,105 @@
+// analyzer-unranked-fanout: a CLB_RANKED_FANOUT function schedules a
+// synchronized per-chare (or per-shard) burst — many events at the same
+// instant whose downstream sends can tie on (time, stamp) at a common
+// destination. Bit-identity with the legacy single-engine execution
+// then rests on every event carrying an explicit rank: schedule_at_ranked
+// pins one, schedule_at_stamped inherits the scheduling context's, but
+// bare EngineCore::schedule_at / schedule_after stamp the current heap
+// order, which varies with shard count. Inside a loop in a ranked-fanout
+// function, a bare schedule on an EngineCore is therefore a determinism
+// bug, not a style nit.
+//
+// The receiver's *static* type decides: the legacy facade (Simulator)
+// inherits these methods from EngineCore but runs single-engine, where
+// heap order IS the canonical order — `sim_->schedule_after(...)` in the
+// legacy branch of a fan-out is correct and exempt.
+#include "analyzer.h"
+#include "annotations.h"
+
+#include "clang/AST/RecursiveASTVisitor.h"
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+using namespace clang::ast_matchers;
+
+constexpr char kCheck[] = "analyzer-unranked-fanout";
+
+class FanoutScanner : public clang::RecursiveASTVisitor<FanoutScanner> {
+ public:
+  FanoutScanner(AnalyzerContext& ctx, clang::ASTContext& ast)
+      : ctx_{ctx}, ast_{ast} {}
+
+  bool TraverseForStmt(clang::ForStmt* s) { return loop(s); }
+  bool TraverseCXXForRangeStmt(clang::CXXForRangeStmt* s) {
+    return loop(s);
+  }
+  bool TraverseWhileStmt(clang::WhileStmt* s) { return loop(s); }
+  bool TraverseDoStmt(clang::DoStmt* s) { return loop(s); }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* call) {
+    if (loop_depth_ == 0) return true;
+    const clang::CXXMethodDecl* method = call->getMethodDecl();
+    if (method == nullptr) return true;
+    const llvm::StringRef name = method->getName();
+    if (name != "schedule_at" && name != "schedule_after") return true;
+    const clang::Expr* object = call->getImplicitObjectArgument();
+    if (object == nullptr) return true;
+    clang::QualType type =
+        object->IgnoreParenImpCasts()->getType().getNonReferenceType();
+    if (type->isPointerType()) type = type->getPointeeType();
+    const auto* record = type->getAsCXXRecordDecl();
+    if (record == nullptr || record->getName() != "EngineCore")
+      return true;
+    ctx_.report(ast_, call->getBeginLoc(), kCheck,
+                "bare EngineCore::" + name.str() +
+                    " in a fan-out loop of a CLB_RANKED_FANOUT function "
+                    "stamps heap order, which varies with the shard "
+                    "count; use schedule_at_ranked (pin the legacy rank) "
+                    "or schedule_at_stamped (inherit it)");
+    return true;
+  }
+
+ private:
+  // Only the body schedules per-element events; the init / condition /
+  // increment run outside the burst and are not scanned.
+  template <typename Loop>
+  bool loop(Loop* s) {
+    ++loop_depth_;
+    const bool keep = s->getBody() == nullptr || TraverseStmt(s->getBody());
+    --loop_depth_;
+    return keep;
+  }
+
+  AnalyzerContext& ctx_;
+  clang::ASTContext& ast_;
+  int loop_depth_ = 0;
+};
+
+class RankedFanoutCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit RankedFanoutCallback(AnalyzerContext& ctx) : ctx_{ctx} {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* fn = result.Nodes.getNodeAs<clang::FunctionDecl>("fn");
+    if (fn == nullptr || !fn->doesThisDeclarationHaveABody()) return;
+    if (!has_clb_annotation(fn, kRankedFanoutAnnot)) return;
+    FanoutScanner scanner{ctx_, *result.Context};
+    scanner.TraverseStmt(fn->getBody());
+  }
+
+ private:
+  AnalyzerContext& ctx_;
+};
+
+}  // namespace
+
+void register_unranked_fanout(MatchFinder& finder, AnalyzerContext& ctx) {
+  auto* callback = new RankedFanoutCallback{ctx};
+  finder.addMatcher(
+      functionDecl(isDefinition(), hasBody(compoundStmt())).bind("fn"),
+      callback);
+}
+
+}  // namespace cloudlb_analyzer

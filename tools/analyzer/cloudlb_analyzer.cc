@@ -22,9 +22,11 @@ namespace {
 llvm::cl::OptionCategory g_category{"cloudlb-analyzer options"};
 
 constexpr const char* kChecks[] = {
-    "analyzer-ambient-state",  "analyzer-discarded-status",
-    "analyzer-sim-time",       "analyzer-stale-handle",
-    "analyzer-unordered-accum",
+    "analyzer-ambient-state",  "analyzer-barrier-phase",
+    "analyzer-discarded-status", "analyzer-float-merge",
+    "analyzer-shard-confined", "analyzer-sim-time",
+    "analyzer-stale-handle",   "analyzer-unordered-accum",
+    "analyzer-unranked-fanout",
 };
 
 }  // namespace
@@ -60,6 +62,10 @@ int main(int argc, const char** argv) {
   cloudlb_analyzer::register_sim_time(finder, ctx);
   cloudlb_analyzer::register_unordered_accum(finder, ctx);
   cloudlb_analyzer::register_stale_handle(finder, ctx);
+  cloudlb_analyzer::register_shard_confined(finder, ctx);
+  cloudlb_analyzer::register_barrier_phase(finder, ctx);
+  cloudlb_analyzer::register_float_merge(finder, ctx);
+  cloudlb_analyzer::register_unranked_fanout(finder, ctx);
 
   const int rc =
       tool.run(clang::tooling::newFrontendActionFactory(&finder).get());

@@ -13,6 +13,9 @@ invariant loud (docs/static-analysis.md):
   float-literal    no bare 0.05*wall slack literals; use wall_slack()
   pragma-once      headers start with #pragma once
   using-namespace  no `using namespace` at header scope
+  shard-annotation partitioned-runtime files (src/runtime/, src/sim/)
+                   with per-shard members or ranked scheduling include
+                   util/shard_annotations.h
 
 Diagnostics are `path:line: [rule] message`, one per finding; the exit
 code is 0 when the tree is clean and 1 otherwise. A finding is suppressed
@@ -246,6 +249,37 @@ def _check_unordered_iter(rule: Rule, path: pathlib.Path, raw: list[str],
     return found
 
 
+def _check_shard_annotation(rule: Rule, path: pathlib.Path, raw: list[str],
+                            code: list[str]) -> list[Diagnostic]:
+    """Files in the partitioned runtime (src/runtime/, src/sim/) that
+    declare per-shard members or call the ranked scheduling API must pull
+    in the effect annotations (util/shard_annotations.h), so the AST
+    analyzer's shard-safety checks can see the file's contracts. Matching
+    on adjacent path components (not a root-relative prefix) keeps the
+    rule testable from the fixture corpus."""
+    parts = path.parts
+    if not any(parts[i:i + 2] in (("src", "runtime"), ("src", "sim"))
+               for i in range(len(parts) - 1)):
+        return []
+    # The include path is a quoted literal, which `code` blanks out;
+    # match it on the raw text.
+    include = re.compile(r'#\s*include\s+"util/shard_annotations\.h"')
+    if any(include.search(text) for text in raw):
+        return []
+    trigger = re.compile(
+        r"\b(?:\w+_shard_\w+|per_shard_\w+"
+        r"|schedule_at_ranked|schedule_at_stamped)\b")
+    for lineno, text in enumerate(code, 1):
+        if trigger.search(text):
+            return [Diagnostic(
+                path, lineno, rule.name,
+                "per-shard state or ranked scheduling without "
+                '#include "util/shard_annotations.h"; include the effect '
+                "annotations so cloudlb-analyzer can check this file's "
+                "shard-safety contracts")]
+    return []
+
+
 RULES: list[Rule] = [
     Rule(
         name="wall-clock",
@@ -360,6 +394,16 @@ RULES: list[Rule] = [
         headers_only=True,
         description="Headers open with #pragma once.",
         check=_check_pragma_once,
+    ),
+    Rule(
+        name="shard-annotation",
+        scopes=("src",),
+        headers_only=False,
+        description="Partitioned-runtime files (src/runtime/, src/sim/) "
+                    "declaring per-shard members or using the ranked "
+                    "scheduling API include util/shard_annotations.h so "
+                    "the analyzer sees their effect contracts.",
+        check=_check_shard_annotation,
     ),
     Rule(
         name="using-namespace",
