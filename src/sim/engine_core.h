@@ -110,7 +110,7 @@ class EngineCore {
   /// orders identically to a plain (time, seq) heap. The stamp exists for
   /// the sharded runtime, where events reach one engine from several
   /// clocks: see schedule_at_stamped.
-  EventHandle schedule_at(SimTime t, Callback cb) {
+  CLB_WARM_PATH EventHandle schedule_at(SimTime t, Callback cb) {
     return schedule_at_ranked(t, now_, current_rank_, std::move(cb));
   }
 
@@ -126,7 +126,8 @@ class EngineCore {
   /// clock (the sender's window lags the barrier) but never ahead of `t`.
   /// The event inherits the executing event's rank (see
   /// schedule_at_ranked).
-  EventHandle schedule_at_stamped(SimTime t, SimTime stamp, Callback cb) {
+  CLB_WARM_PATH EventHandle schedule_at_stamped(SimTime t, SimTime stamp,
+                                                Callback cb) {
     return schedule_at_ranked(t, stamp, current_rank_, std::move(cb));
   }
 
@@ -143,8 +144,9 @@ class EngineCore {
   /// both tie across shards. The legacy path never assigns a rank, so
   /// every entry carries 0 there and ordering degenerates to the
   /// historical (time, stamp, seq).
-  EventHandle schedule_at_ranked(SimTime t, SimTime stamp, std::uint64_t rank,
-                                 Callback cb) {
+  CLB_WARM_PATH EventHandle schedule_at_ranked(SimTime t, SimTime stamp,
+                                               std::uint64_t rank,
+                                               Callback cb) {
     CLB_CHECK_MSG(t >= now_, "event scheduled in the past: t="
                                  << t.to_string()
                                  << " now=" << now_.to_string());
@@ -174,7 +176,7 @@ class EngineCore {
   void set_current_rank(std::uint64_t rank) { current_rank_ = rank; }
 
   /// Schedules `cb` at now() + delay (delay must be >= 0).
-  EventHandle schedule_after(SimTime delay, Callback cb) {
+  CLB_WARM_PATH EventHandle schedule_after(SimTime delay, Callback cb) {
     CLB_CHECK(!delay.is_negative());
     return schedule_at(now_ + delay, std::move(cb));
   }
@@ -183,7 +185,7 @@ class EngineCore {
   /// or inert handle is a no-op; returns whether something was cancelled.
   /// Stale handles (their slot was recycled by a later event) are detected
   /// by the generation check and refused.
-  [[nodiscard]] bool cancel(EventHandle h) {
+  [[nodiscard]] CLB_WARM_PATH bool cancel(EventHandle h) {
     if (!h.valid()) return false;
     if (h.slot_ >= slots_.size() || slots_[h.slot_].gen != h.gen_)
       return false;  // already fired or cancelled; the slot may be reused
@@ -198,7 +200,7 @@ class EngineCore {
   }
 
   /// Executes the next pending event. Returns false if none remain.
-  [[nodiscard]] bool step() {
+  [[nodiscard]] CLB_WARM_PATH bool step() {
     while (!queue_.empty()) {
       const QueueEntry entry = queue_.front();
       if (slots_[entry.slot].gen != entry.gen) {  // cancelled
@@ -396,7 +398,7 @@ class EngineCore {
   // --- 4-ary min-heap over queue_ (manual layout so cancellation can
   // compact stale entries in place, which a std::priority_queue cannot).
 
-  void push_entry(const QueueEntry& e) {
+  CLB_WARM_PATH void push_entry(const QueueEntry& e) {
     queue_.push_back(e);
     std::size_t i = queue_.size() - 1;
     while (i > 0) {
@@ -408,7 +410,7 @@ class EngineCore {
     queue_[i] = e;
   }
 
-  void pop_entry() {
+  CLB_WARM_PATH void pop_entry() {
     queue_.front() = queue_.back();
     queue_.pop_back();
     if (queue_.size() > 1) sift_down(0);
@@ -421,7 +423,7 @@ class EngineCore {
   /// undercount ride silently until compaction resynced it; now it is an
   /// integrity failure in every build type, same as validate_integrity()
   /// would report.
-  void drop_stale_head() {
+  CLB_WARM_PATH void drop_stale_head() {
     pop_entry();
     CLB_CHECK_MSG(stale_ > 0,
                   "stale-entry ledger underflow: skipping a cancelled head "
@@ -429,7 +431,7 @@ class EngineCore {
     --stale_;
   }
 
-  void sift_down(std::size_t i) {
+  CLB_WARM_PATH void sift_down(std::size_t i) {
     const std::size_t n = queue_.size();
     const QueueEntry item = queue_[i];
     for (;;) {
@@ -446,9 +448,9 @@ class EngineCore {
     queue_[i] = item;
   }
 
-  void compact_queue();
+  CLB_WARM_PATH void compact_queue();
 
-  std::uint32_t acquire_slot() {
+  CLB_WARM_PATH std::uint32_t acquire_slot() {
     if (free_head_ != kNoSlot) {
       const std::uint32_t slot = free_head_;
       free_head_ = slots_[slot].next_free;
@@ -460,7 +462,7 @@ class EngineCore {
     return slot;
   }
 
-  void release_slot(std::uint32_t slot) {
+  CLB_WARM_PATH void release_slot(std::uint32_t slot) {
     Slot& s = slots_[slot];
     s.cb = nullptr;
     ++s.gen;  // invalidates every outstanding handle/entry

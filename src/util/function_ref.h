@@ -1,0 +1,54 @@
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace cloudlb {
+
+/// Non-owning reference to a callable — the parameter-passing complement
+/// of SmallFunction (util/small_function.h). Where SmallFunction owns its
+/// callable (inline up to a budget, heap beyond it), a FunctionRef is two
+/// words pointing at a callable that outlives the call: constructing,
+/// copying and invoking one can never allocate, which makes it the right
+/// signature for warm-path entry points that run a caller-provided
+/// closure synchronously and must not type-erase it through std::function
+/// (whose construction heap-allocates for captures past its small-buffer
+/// size). WorkerTeam::run_round is the motivating site: one closure per
+/// window round, invoked before run_round returns, previously forced
+/// through a std::function materialized at every call.
+///
+/// The referenced callable must outlive every invocation; binding a
+/// temporary lambda as a function argument is the intended use (the
+/// temporary lives until the full expression — and the call — ends).
+/// Never store a FunctionRef beyond the call that received it.
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, std::remove_reference_t<F>&,
+                                      Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : target_{const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))},
+        invoke_{&invoke_impl<std::remove_reference_t<F>>} {}
+
+  R operator()(Args... args) const {
+    return invoke_(target_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R invoke_impl(void* target, Args... args) {
+    return (*static_cast<F*>(target))(std::forward<Args>(args)...);
+  }
+
+  void* target_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace cloudlb

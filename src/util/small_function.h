@@ -7,6 +7,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/shard_annotations.h"
+
 namespace cloudlb {
 
 /// Move-only callable wrapper with small-buffer optimization.
@@ -49,14 +51,20 @@ class SmallFunction<R(Args...), InlineBytes> {
     }
   }
 
-  SmallFunction(SmallFunction&& other) noexcept : ops_{other.ops_} {
+  // The move ops, reset and operator() are warm-path: for inline
+  // callables (the engine's contract for every runtime callback) they
+  // never touch the heap. Only the converting constructor's over-budget
+  // fallback allocates, and the whole-program warm check flags any
+  // over-SBO construction it can see on an annotated path.
+  CLB_WARM_PATH SmallFunction(SmallFunction&& other) noexcept
+      : ops_{other.ops_} {
     if (ops_ != nullptr) {
       ops_->relocate(other.buffer_, buffer_);
       other.ops_ = nullptr;
     }
   }
 
-  SmallFunction& operator=(SmallFunction&& other) noexcept {
+  CLB_WARM_PATH SmallFunction& operator=(SmallFunction&& other) noexcept {
     if (this != &other) {
       reset();
       ops_ = other.ops_;
@@ -79,7 +87,7 @@ class SmallFunction<R(Args...), InlineBytes> {
   ~SmallFunction() { reset(); }
 
   /// Destroys the held callable, if any.
-  void reset() noexcept {
+  CLB_WARM_PATH void reset() noexcept {
     if (ops_ != nullptr) {
       ops_->destroy(buffer_);
       ops_ = nullptr;
@@ -91,7 +99,7 @@ class SmallFunction<R(Args...), InlineBytes> {
     return !static_cast<bool>(f);
   }
 
-  R operator()(Args... args) {
+  CLB_WARM_PATH R operator()(Args... args) {
     return ops_->invoke(buffer_, std::forward<Args>(args)...);
   }
 

@@ -89,18 +89,17 @@ WorkerTeam::~WorkerTeam() {
     if (t.joinable()) t.join();
 }
 
-void WorkerTeam::run_round(const std::function<void(int)>& fn) {
-  CLB_CHECK(fn != nullptr);
+void WorkerTeam::run_round(FunctionRef<void(int)> fn) {
   std::unique_lock<std::mutex> lock{mu_};
-  CLB_CHECK_MSG(running_ == 0 && task_ == nullptr,
+  CLB_CHECK_MSG(running_ == 0 && !task_.has_value(),
                 "run_round is not reentrant");
-  task_ = &fn;
+  task_ = fn;
   running_ = workers();
   std::fill(errors_.begin(), errors_.end(), nullptr);
   ++round_;
   start_cv_.notify_all();
   done_cv_.wait(lock, [this] { return running_ == 0; });
-  task_ = nullptr;
+  task_.reset();
   for (std::exception_ptr& err : errors_)
     if (err != nullptr) std::rethrow_exception(err);
 }
@@ -108,7 +107,7 @@ void WorkerTeam::run_round(const std::function<void(int)>& fn) {
 void WorkerTeam::worker_main(int index) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(int)>* task = nullptr;
+    std::optional<FunctionRef<void(int)>> task;
     {
       std::unique_lock<std::mutex> lock{mu_};
       start_cv_.wait(lock, [&] { return stop_ || round_ > seen; });

@@ -6,10 +6,12 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/function_ref.h"
 #include "util/shard_annotations.h"
 
 namespace cloudlb {
@@ -106,8 +108,14 @@ class WorkerTeam {
 
   /// Runs fn(w) for every worker index w in [0, workers()) concurrently;
   /// blocks until all invocations return. Not reentrant: only the owning
-  /// thread drives rounds, one at a time.
-  CLB_SHARD_CONFINED void run_round(const std::function<void(int)>& fn);
+  /// thread drives rounds, one at a time. The closure is borrowed, not
+  /// owned (FunctionRef): it lives on the caller's frame for the whole
+  /// round, so handing a round to the team never allocates — this runs
+  /// once per conservative window and is warm-path (its own mutex and
+  /// condition-variable waits ARE the round barrier, the audited
+  /// exemption CLB_WARM_PATH's contract carves out for annotated
+  /// bodies).
+  CLB_SHARD_CONFINED CLB_WARM_PATH void run_round(FunctionRef<void(int)> fn);
 
  private:
   void worker_main(int index);
@@ -115,7 +123,7 @@ class WorkerTeam {
   std::mutex mu_;
   std::condition_variable start_cv_;  ///< workers wait for a new round
   std::condition_variable done_cv_;   ///< the caller waits for completion
-  const std::function<void(int)>* task_ = nullptr;
+  std::optional<FunctionRef<void(int)>> task_;  ///< borrowed for one round
   std::uint64_t round_ = 0;  ///< bumped per round; workers chase it
   int running_ = 0;          ///< workers still inside the current round
   bool stop_ = false;

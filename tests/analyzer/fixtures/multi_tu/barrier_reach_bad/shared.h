@@ -1,0 +1,17 @@
+// Multi-TU fixture (bad twin): cross-TU barrier-phase reachability.
+// window_tick (tu1, CLB_SHARD_CONFINED) delegates to relay (tu2,
+// unannotated), which calls the CLB_BARRIER_PHASE merge_totals (tu3)
+// with no in_window() guard anywhere on the chain. The per-TU check
+// sees only direct calls; the link step propagates confined context
+// through relay and anchors the finding at relay's call site.
+#pragma once
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+CLB_BARRIER_PHASE void merge_totals();                      // tu3
+void relay(cloudlb::ShardedRuntimeHost& host);              // tu2
+CLB_SHARD_CONFINED void window_tick(
+    cloudlb::ShardedRuntimeHost& host);                     // tu1
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#include "shared.h"
+
+namespace fixture {
+
+// Shard-window handler: confined execution context starts here and
+// flows into relay unguarded.
+CLB_SHARD_CONFINED void window_tick(cloudlb::ShardedRuntimeHost& host) {
+  relay(host);
+}
+
+}  // namespace fixture

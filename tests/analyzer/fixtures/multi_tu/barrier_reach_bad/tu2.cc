@@ -1,0 +1,12 @@
+#include "shared.h"
+
+namespace fixture {
+
+// The laundering hop: unannotated, so confined context flows through,
+// and the barrier-phase call below has no in_window() guard.
+void relay(cloudlb::ShardedRuntimeHost& host) {
+  (void)host;
+  merge_totals();  // EXPECT-ANALYZER(barrier-phase)
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Multi-TU fixture (good twin of barrier_reach): the same cross-TU
+// chain, but relay checks in_window() before entering the barrier
+// phase. A guard at ANY hop of the whole-program chain clears the
+// finding — the link step must stay silent.
+#pragma once
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+CLB_BARRIER_PHASE void merge_totals();                      // tu3
+void relay(cloudlb::ShardedRuntimeHost& host);              // tu2
+CLB_SHARD_CONFINED void window_tick(
+    cloudlb::ShardedRuntimeHost& host);                     // tu1
+
+}  // namespace fixture

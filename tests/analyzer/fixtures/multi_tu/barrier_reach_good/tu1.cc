@@ -1,0 +1,9 @@
+#include "shared.h"
+
+namespace fixture {
+
+CLB_SHARD_CONFINED void window_tick(cloudlb::ShardedRuntimeHost& host) {
+  relay(host);
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+#include "shared.h"
+
+namespace fixture {
+
+// Guarded hop: the window-regime probe licenses the barrier entry even
+// though the confined context originated a TU away.
+void relay(cloudlb::ShardedRuntimeHost& host) {
+  if (!host.in_window()) {
+    merge_totals();  // legitimately outside the window regime
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+#include "shared.h"
+
+namespace fixture {
+
+CLB_BARRIER_PHASE void merge_totals() {}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Multi-TU fixture (bad twin): depth-3 cross-TU confined-state
+// laundering. start_report (tu1) is an UNANNOTATED entry point; the
+// chain start_report -> relay_report -> fold_tasks crosses three
+// translation units before touching CLB_SHARD_CONFINED state in tu3.
+// No single-TU pass can see past the first hop — only the link step's
+// whole-program closure proves no shard-context root reaches the touch.
+#pragma once
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+struct CLB_SHARD_CONFINED ShardTotals {
+  int tasks = 0;
+  long long busy_ns = 0;
+};
+
+void start_report(ShardTotals& totals);  // tu1: unannotated root
+void relay_report(ShardTotals& totals);  // tu2: pass-through helper
+void fold_tasks(ShardTotals& totals);    // tu3: touches confined state
+
+}  // namespace fixture

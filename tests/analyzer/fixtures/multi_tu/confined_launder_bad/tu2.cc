@@ -1,0 +1,9 @@
+#include "shared.h"
+
+namespace fixture {
+
+// Innocent-looking pass-through: per-TU analysis of this file alone
+// sees neither the unannotated root nor the confined touch.
+void relay_report(ShardTotals& totals) { fold_tasks(totals); }
+
+}  // namespace fixture

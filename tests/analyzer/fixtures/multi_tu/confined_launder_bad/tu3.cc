@@ -1,0 +1,9 @@
+#include "shared.h"
+
+namespace fixture {
+
+void fold_tasks(ShardTotals& totals) {
+  totals.tasks += 1;  // EXPECT-ANALYZER(shard-confined)
+}
+
+}  // namespace fixture

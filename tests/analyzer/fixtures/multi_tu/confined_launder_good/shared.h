@@ -1,0 +1,19 @@
+// Multi-TU fixture (good twin of confined_launder): the same depth-3
+// cross-TU chain, but the tu1 entry point carries CLB_SHARD_CONFINED —
+// the whole-program closure blesses every function it reaches, so the
+// confined touch in tu3 is licensed and the link must stay silent.
+#pragma once
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+struct CLB_SHARD_CONFINED ShardTotals {
+  int tasks = 0;
+  long long busy_ns = 0;
+};
+
+CLB_SHARD_CONFINED void start_report(ShardTotals& totals);  // tu1: rooted
+void relay_report(ShardTotals& totals);                     // tu2
+void fold_tasks(ShardTotals& totals);                       // tu3
+
+}  // namespace fixture

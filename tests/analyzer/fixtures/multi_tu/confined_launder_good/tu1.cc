@@ -1,0 +1,11 @@
+#include "shared.h"
+
+namespace fixture {
+
+// Shard-context root: the annotation here licenses the touch two TUs
+// away, through the link step's transitive closure.
+CLB_SHARD_CONFINED void start_report(ShardTotals& totals) {
+  relay_report(totals);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Multi-TU fixture (bad twin): warm-path allocation via an out-of-line
+// helper. fire_fast (tu1, CLB_WARM_PATH) -> stage (tu2) -> make_buffer
+// (tu3), which heap-allocates. Warmth is transitive with no annotation
+// stop, so the link step flags the allocation in tu3 with the full
+// fire_fast -> stage -> make_buffer chain.
+#pragma once
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+CLB_WARM_PATH void fire_fast(int n);  // tu1: steady-state hot entry
+void stage(int n);                    // tu2: out-of-line helper
+int* make_buffer(int n);              // tu3: allocates
+
+}  // namespace fixture

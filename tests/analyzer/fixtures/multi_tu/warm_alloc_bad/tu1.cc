@@ -1,0 +1,7 @@
+#include "shared.h"
+
+namespace fixture {
+
+CLB_WARM_PATH void fire_fast(int n) { stage(n); }
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#include "shared.h"
+
+namespace fixture {
+
+// Per-TU analysis of this helper alone sees neither the warm root nor
+// the allocation it reaches.
+void stage(int n) { (void)make_buffer(n); }
+
+}  // namespace fixture

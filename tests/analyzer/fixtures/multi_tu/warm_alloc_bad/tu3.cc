@@ -1,0 +1,9 @@
+#include "shared.h"
+
+namespace fixture {
+
+int* make_buffer(int n) {
+  return new int[static_cast<unsigned long>(n)];  // EXPECT-ANALYZER(warm-path)
+}
+
+}  // namespace fixture

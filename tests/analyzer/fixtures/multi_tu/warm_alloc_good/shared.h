@@ -1,0 +1,13 @@
+// Multi-TU fixture (good twin of warm_alloc): the same warm chain, but
+// the tu3 helper serves requests from a preallocated pool — nothing on
+// the transitive warm path allocates, so the link must stay silent.
+#pragma once
+#include "cloudlb_mock.h"
+
+namespace fixture {
+
+CLB_WARM_PATH void fire_fast(int n);  // tu1
+void stage(int n);                    // tu2
+int* make_buffer(int n);              // tu3: pool-backed, no allocation
+
+}  // namespace fixture

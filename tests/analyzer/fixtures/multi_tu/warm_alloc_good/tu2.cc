@@ -1,0 +1,7 @@
+#include "shared.h"
+
+namespace fixture {
+
+void stage(int n) { (void)make_buffer(n); }
+
+}  // namespace fixture

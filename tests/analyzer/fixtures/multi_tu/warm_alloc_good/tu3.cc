@@ -1,0 +1,12 @@
+#include "shared.h"
+
+namespace fixture {
+
+// Pool-backed: the warm path hands out slots from static storage, the
+// pattern the slot arena uses in the real engine.
+int* make_buffer(int n) {
+  static int pool[64];
+  return n < 64 ? &pool[n] : &pool[0];
+}
+
+}  // namespace fixture

@@ -1,0 +1,669 @@
+// Unit tests for the whole-program link step's LLVM-free half: the
+// summary model + JSON codec + content hashing (tools/analyzer/summary.h)
+// and the propagation engine (tools/analyzer/linker.h). These run on
+// every machine — no clang frontend needed — so the cross-TU analysis
+// logic stays pinned even where only CI can build the emitter.
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "linker.h"
+#include "summary.h"
+
+namespace cloudlb_analyzer {
+namespace {
+
+// --- Builders ---------------------------------------------------------
+
+FunctionSummary make_fn(const std::string& name,
+                        std::vector<std::string> annotations = {}) {
+  FunctionSummary fn;
+  fn.usr = "c:@F@" + name;
+  fn.name = name;
+  fn.file = "/repo/src/" + name + ".cc";
+  fn.line = 10;
+  fn.annotations = std::move(annotations);
+  return fn;
+}
+
+CallEdge edge_to(const std::string& callee, int line = 20) {
+  CallEdge edge;
+  edge.usr = "c:@F@" + callee;
+  edge.name = callee;
+  edge.line = line;
+  edge.col = 3;
+  return edge;
+}
+
+Fact make_fact(const char* kind, const std::string& detail, int line = 30) {
+  Fact fact;
+  fact.kind = kind;
+  fact.detail = detail;
+  fact.line = line;
+  fact.col = 5;
+  return fact;
+}
+
+TuSummary make_tu(const std::string& tu,
+                  std::vector<FunctionSummary> functions) {
+  TuSummary summary;
+  summary.tool = "cloudlb-analyzer";
+  summary.tu = tu;
+  summary.functions = std::move(functions);
+  return summary;
+}
+
+/// Links one synthetic TU set with filesystem access stubbed out (no
+/// NOLINT lines exist for synthetic paths).
+LinkResult link_tus(std::vector<TuSummary> tus, LinkOptions options = {}) {
+  Linker linker;
+  for (const TuSummary& tu : tus) linker.add_summary(tu);
+  if (!options.read_line)
+    options.read_line = [](const std::string&, int, std::string*) {
+      return false;
+    };
+  return linker.link(options);
+}
+
+std::vector<LinkFinding> findings_for(const LinkResult& result,
+                                      const std::string& check) {
+  std::vector<LinkFinding> out;
+  for (const LinkFinding& f : result.findings)
+    if (f.check == check) out.push_back(f);
+  return out;
+}
+
+std::string write_temp(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out << bytes;
+  return path;
+}
+
+// --- JSON round-trip --------------------------------------------------
+
+TEST(SummaryJson, RoundTripPreservesEverything) {
+  FunctionSummary fn = make_fn("hot_loop", {annot::kWarmPath});
+  CallEdge edge = edge_to("helper");
+  edge.in_loop = true;
+  edge.guarded = true;
+  edge.cold = false;
+  edge.in_lambda = true;
+  fn.calls.push_back(edge);
+  Fact fact = make_fact(fact_kind::kAlloc, "operator new");
+  fact.in_loop = true;
+  fact.amortized = true;
+  fn.facts.push_back(fact);
+
+  TuSummary tu = make_tu("/repo/src/sim/engine.cc", {fn});
+  tu.content_hash = 0xdeadbeefULL;
+  tu.deps.push_back(DepHash{"/repo/src/sim/engine.cc", 42});
+  tu.deps.push_back(DepHash{"/repo/src/sim/engine_core.h", 7});
+
+  TuSummary parsed;
+  std::string error;
+  ASSERT_TRUE(from_json(to_json(tu), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, tu);
+}
+
+TEST(SummaryJson, EscapesSpecialCharacters) {
+  FunctionSummary fn = make_fn("weird");
+  fn.facts.push_back(
+      make_fact(fact_kind::kBlock, "say \"hi\"\n\tback\\slash"));
+  TuSummary tu = make_tu("/repo/a.cc", {fn});
+  TuSummary parsed;
+  std::string error;
+  ASSERT_TRUE(from_json(to_json(tu), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.functions[0].facts[0].detail, "say \"hi\"\n\tback\\slash");
+}
+
+// --- Robustness: stale/corrupt summaries fail loudly ------------------
+
+TEST(SummaryJson, RejectsWrongSchemaVersion) {
+  TuSummary tu = make_tu("/repo/a.cc", {});
+  std::string json = to_json(tu);
+  const std::string needle = "\"schema_version\":1";
+  const std::size_t at = json.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, needle.size(), "\"schema_version\":999");
+  TuSummary parsed;
+  std::string error;
+  EXPECT_FALSE(from_json(json, &parsed, &error));
+  EXPECT_NE(error.find("999"), std::string::npos) << error;
+  EXPECT_NE(error.find("1"), std::string::npos) << error;
+}
+
+TEST(SummaryJson, RejectsTruncation) {
+  FunctionSummary fn = make_fn("f");
+  fn.calls.push_back(edge_to("g"));
+  const std::string json = to_json(make_tu("/repo/a.cc", {fn}));
+  // Cutting before the closing brace must be refused — truncation
+  // anywhere structural is loud. (The document ends "}\n"; losing only
+  // trailing whitespace is legitimately still complete.)
+  const std::size_t last_brace = json.rfind('}');
+  ASSERT_NE(last_brace, std::string::npos);
+  for (std::size_t len : {json.size() / 4, json.size() / 2, last_brace}) {
+    TuSummary parsed;
+    std::string error;
+    EXPECT_FALSE(from_json(json.substr(0, len), &parsed, &error))
+        << "accepted a summary truncated to " << len << " bytes";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(SummaryJson, RejectsBitFlips) {
+  FunctionSummary fn = make_fn("f");
+  fn.facts.push_back(make_fact(fact_kind::kConfinedTouch, "load_"));
+  const std::string json = to_json(make_tu("/repo/a.cc", {fn}));
+  int rejected = 0;
+  int accepted = 0;
+  for (std::size_t i = 0; i < json.size(); i += 7) {
+    std::string mutated = json;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x04);
+    if (mutated == json) continue;
+    TuSummary parsed;
+    std::string error;
+    if (from_json(mutated, &parsed, &error)) {
+      // A flip inside a string literal's payload is legitimately still
+      // valid JSON; it must at least not equal the original summary.
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  // Structural bytes dominate this document; most flips must be refused.
+  EXPECT_GT(rejected, accepted);
+}
+
+TEST(SummaryJson, RejectsTrailingGarbage) {
+  const std::string json = to_json(make_tu("/repo/a.cc", {})) + "{}";
+  TuSummary parsed;
+  std::string error;
+  EXPECT_FALSE(from_json(json, &parsed, &error));
+}
+
+TEST(SummaryFile, ReadErrorNamesThePath) {
+  const std::string path =
+      write_temp("cloudlb_corrupt_summary.json", "{\"schema_version\":");
+  TuSummary parsed;
+  std::string error;
+  ASSERT_FALSE(read_summary_file(path, &parsed, &error));
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+}
+
+TEST(SummaryFile, WriteThenReadRoundTrips) {
+  TuSummary tu = make_tu("/repo/a.cc", {make_fn("f")});
+  tu.content_hash = 99;
+  const std::string path =
+      ::testing::TempDir() + "cloudlb_roundtrip_summary.json";
+  std::string error;
+  ASSERT_TRUE(write_summary_file(path, tu, &error)) << error;
+  TuSummary parsed;
+  ASSERT_TRUE(read_summary_file(path, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, tu);
+}
+
+// --- Content hashing and freshness ------------------------------------
+
+TEST(SummaryHash, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64-bit test vector: "a" -> 0xaf63dc4c8601ec8c.
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a(""), kFnvOffset);
+}
+
+TEST(SummaryHash, FreshnessTracksDepContent) {
+  const std::string dep =
+      write_temp("cloudlb_fresh_dep.h", "struct A { int x; };\n");
+  TuSummary tu = make_tu("/repo/a.cc", {});
+  DepHash dep_hash{dep, 0};
+  ASSERT_TRUE(hash_file(dep, &dep_hash.hash));
+  tu.deps.push_back(dep_hash);
+  const std::string command = "clang++ -std=c++20 -c a.cc";
+  tu.content_hash = summary_content_hash(command, tu.deps);
+
+  EXPECT_TRUE(summary_is_fresh(tu, command));
+  EXPECT_FALSE(summary_is_fresh(tu, command + " -DEXTRA"));
+
+  {
+    std::ofstream out{dep, std::ios::binary | std::ios::trunc};
+    out << "struct A { int x; int y; };\n";
+  }
+  EXPECT_FALSE(summary_is_fresh(tu, command));
+}
+
+TEST(SummaryHash, FreshnessFailsOnMissingDepOrStaleSchema) {
+  TuSummary tu = make_tu("/repo/a.cc", {});
+  tu.deps.push_back(DepHash{::testing::TempDir() + "cloudlb_no_such_dep.h", 1});
+  tu.content_hash = summary_content_hash("cmd", tu.deps);
+  EXPECT_FALSE(summary_is_fresh(tu, "cmd"));
+
+  TuSummary stale = make_tu("/repo/a.cc", {});
+  stale.schema_version = kSummarySchemaVersion + 1;
+  stale.content_hash = summary_content_hash("cmd", stale.deps);
+  EXPECT_FALSE(summary_is_fresh(stale, "cmd"));
+}
+
+TEST(SummaryFile, FileNameFlattensSeparators) {
+  EXPECT_EQ(summary_file_name("/repo/src/sim/engine.cc"),
+            "_repo_src_sim_engine.cc.json");
+}
+
+// --- Propagation: shard-confined --------------------------------------
+
+TEST(LinkShardConfined, BlessesDepthThreeChains) {
+  // root(CLB_SHARD_CONFINED) -> a -> b -> touches confined state: clean.
+  FunctionSummary root = make_fn("root", {annot::kShardConfined});
+  root.calls.push_back(edge_to("a"));
+  FunctionSummary a = make_fn("a");
+  a.calls.push_back(edge_to("b"));
+  FunctionSummary b = make_fn("b");
+  b.facts.push_back(make_fact(fact_kind::kConfinedTouch, "load_"));
+
+  const LinkResult clean = link_tus({make_tu("/repo/t1.cc", {root}),
+                                     make_tu("/repo/t2.cc", {a}),
+                                     make_tu("/repo/t3.cc", {b})});
+  EXPECT_TRUE(findings_for(clean, "analyzer-shard-confined").empty());
+
+  // Remove the root annotation: the same touch is now laundered.
+  FunctionSummary bad_root = make_fn("root");
+  bad_root.calls.push_back(edge_to("a"));
+  const LinkResult dirty = link_tus({make_tu("/repo/t1.cc", {bad_root}),
+                                     make_tu("/repo/t2.cc", {a}),
+                                     make_tu("/repo/t3.cc", {b})});
+  const auto found = findings_for(dirty, "analyzer-shard-confined");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].file, b.file);
+  EXPECT_EQ(found[0].line, 30);
+  EXPECT_NE(found[0].message.find("load_"), std::string::npos);
+}
+
+TEST(LinkShardConfined, ColdTouchesAreExempt) {
+  FunctionSummary orphan = make_fn("orphan");
+  Fact fact = make_fact(fact_kind::kConfinedTouch, "load_");
+  fact.cold = true;
+  orphan.facts.push_back(fact);
+  const LinkResult result = link_tus({make_tu("/repo/t.cc", {orphan})});
+  EXPECT_TRUE(findings_for(result, "analyzer-shard-confined").empty());
+}
+
+// --- Propagation: barrier-phase ---------------------------------------
+
+TEST(LinkBarrierPhase, FlagsUnguardedCrossTuChain) {
+  // confined -> relay -> barrier, no guard anywhere: the finding anchors
+  // at relay's call into the barrier function and names the whole chain.
+  FunctionSummary confined = make_fn("window_tick", {annot::kShardConfined});
+  confined.calls.push_back(edge_to("relay"));
+  FunctionSummary relay = make_fn("relay");
+  relay.calls.push_back(edge_to("merge_totals", 44));
+  FunctionSummary barrier = make_fn("merge_totals", {annot::kBarrierPhase});
+
+  const LinkResult result = link_tus({make_tu("/repo/t1.cc", {confined}),
+                                      make_tu("/repo/t2.cc", {relay}),
+                                      make_tu("/repo/t3.cc", {barrier})});
+  const auto found = findings_for(result, "analyzer-barrier-phase");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].file, relay.file);
+  EXPECT_EQ(found[0].line, 44);
+  EXPECT_NE(found[0].message.find("window_tick -> relay -> merge_totals"),
+            std::string::npos)
+      << found[0].message;
+}
+
+TEST(LinkBarrierPhase, GuardAtAnyHopClears) {
+  FunctionSummary confined = make_fn("window_tick", {annot::kShardConfined});
+  CallEdge guarded_edge = edge_to("relay");
+  guarded_edge.guarded = true;  // in_window() checked before delegating
+  confined.calls.push_back(guarded_edge);
+  FunctionSummary relay = make_fn("relay");
+  relay.calls.push_back(edge_to("merge_totals"));
+  FunctionSummary barrier = make_fn("merge_totals", {annot::kBarrierPhase});
+
+  const LinkResult result = link_tus({make_tu("/repo/t1.cc", {confined}),
+                                      make_tu("/repo/t2.cc", {relay}),
+                                      make_tu("/repo/t3.cc", {barrier})});
+  EXPECT_TRUE(findings_for(result, "analyzer-barrier-phase").empty());
+}
+
+TEST(LinkBarrierPhase, LambdaAndColdEdgesDoNotPropagateContext) {
+  FunctionSummary confined = make_fn("window_tick", {annot::kShardConfined});
+  CallEdge deferred = edge_to("relay");
+  deferred.in_lambda = true;  // runs later, outside this window
+  confined.calls.push_back(deferred);
+  FunctionSummary relay = make_fn("relay");
+  relay.calls.push_back(edge_to("merge_totals"));
+  FunctionSummary barrier = make_fn("merge_totals", {annot::kBarrierPhase});
+
+  const LinkResult result = link_tus({make_tu("/repo/t1.cc", {confined}),
+                                      make_tu("/repo/t2.cc", {relay}),
+                                      make_tu("/repo/t3.cc", {barrier})});
+  EXPECT_TRUE(findings_for(result, "analyzer-barrier-phase").empty());
+}
+
+TEST(LinkBarrierPhase, AnnotatedIntermediateStopsPropagation) {
+  // A CLB_BARRIER_PHASE intermediate is itself barrier context — calls
+  // it makes into other barrier functions are legitimate.
+  FunctionSummary confined = make_fn("tick", {annot::kShardConfined});
+  CallEdge g = edge_to("flush");
+  g.guarded = true;
+  confined.calls.push_back(g);
+  FunctionSummary flush = make_fn("flush", {annot::kBarrierPhase});
+  flush.calls.push_back(edge_to("merge"));
+  FunctionSummary merge = make_fn("merge", {annot::kBarrierPhase});
+
+  const LinkResult result = link_tus(
+      {make_tu("/repo/t.cc", {confined, flush, merge})});
+  EXPECT_TRUE(findings_for(result, "analyzer-barrier-phase").empty());
+}
+
+// --- Propagation: float-merge -----------------------------------------
+
+TEST(LinkFloatMerge, CombineBlessesTransitively) {
+  FunctionSummary combine = make_fn("combine", {annot::kCanonicalCombine});
+  combine.calls.push_back(edge_to("fold_helper"));
+  FunctionSummary helper = make_fn("fold_helper");
+  helper.facts.push_back(
+      make_fact(fact_kind::kFloatFold, "compound assignment"));
+
+  const LinkResult clean = link_tus({make_tu("/repo/t1.cc", {combine}),
+                                     make_tu("/repo/t2.cc", {helper})});
+  EXPECT_TRUE(findings_for(clean, "analyzer-float-merge").empty());
+
+  const LinkResult dirty = link_tus({make_tu("/repo/t2.cc", {helper})});
+  EXPECT_EQ(findings_for(dirty, "analyzer-float-merge").size(), 1u);
+}
+
+// --- Propagation: unranked fan-out ------------------------------------
+
+TEST(LinkUnrankedFanout, BareScheduleInHelperCalledFromLoop) {
+  FunctionSummary fanout = make_fn("rebalance", {annot::kRankedFanout});
+  CallEdge loop_edge = edge_to("send_one", 55);
+  loop_edge.in_loop = true;
+  fanout.calls.push_back(loop_edge);
+  FunctionSummary helper = make_fn("send_one");
+  helper.facts.push_back(
+      make_fact(fact_kind::kBareSchedule, "EngineCore::schedule_at"));
+
+  const LinkResult result = link_tus({make_tu("/repo/t1.cc", {fanout}),
+                                      make_tu("/repo/t2.cc", {helper})});
+  const auto found = findings_for(result, "analyzer-unranked-fanout");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].line, 55);
+  EXPECT_NE(found[0].message.find("send_one"), std::string::npos);
+}
+
+TEST(LinkUnrankedFanout, PropagatesThroughHelperCycles) {
+  // send_one <-> send_other form an SCC; the bare schedule in either
+  // must surface at the fan-out loop.
+  FunctionSummary fanout = make_fn("rebalance", {annot::kRankedFanout});
+  CallEdge loop_edge = edge_to("send_one");
+  loop_edge.in_loop = true;
+  fanout.calls.push_back(loop_edge);
+  FunctionSummary one = make_fn("send_one");
+  one.calls.push_back(edge_to("send_other"));
+  FunctionSummary other = make_fn("send_other");
+  other.calls.push_back(edge_to("send_one"));
+  other.facts.push_back(
+      make_fact(fact_kind::kBareSchedule, "EngineCore::schedule_after"));
+
+  const LinkResult result = link_tus(
+      {make_tu("/repo/t.cc", {fanout, one, other})});
+  EXPECT_EQ(findings_for(result, "analyzer-unranked-fanout").size(), 1u);
+}
+
+TEST(LinkUnrankedFanout, AnnotatedCalleeStopsPropagation) {
+  // Warm-annotated engine internals legitimately contain schedule calls;
+  // they must not leak "has a bare schedule" upward.
+  FunctionSummary fanout = make_fn("rebalance", {annot::kRankedFanout});
+  CallEdge loop_edge = edge_to("engine_step");
+  loop_edge.in_loop = true;
+  fanout.calls.push_back(loop_edge);
+  FunctionSummary engine_step = make_fn("engine_step", {annot::kWarmPath});
+  engine_step.facts.push_back(
+      make_fact(fact_kind::kBareSchedule, "EngineCore::schedule_at"));
+
+  const LinkResult result = link_tus(
+      {make_tu("/repo/t.cc", {fanout, engine_step})});
+  EXPECT_TRUE(findings_for(result, "analyzer-unranked-fanout").empty());
+}
+
+// --- Propagation: warm path -------------------------------------------
+
+TEST(LinkWarmPath, FlagsTransitiveAllocationWithChain) {
+  FunctionSummary fire = make_fn("fire_fast", {annot::kWarmPath});
+  fire.calls.push_back(edge_to("stage"));
+  FunctionSummary stage = make_fn("stage");
+  stage.calls.push_back(edge_to("make_buffer"));
+  FunctionSummary make_buffer = make_fn("make_buffer");
+  make_buffer.facts.push_back(make_fact(fact_kind::kAlloc, "operator new"));
+
+  const LinkResult result = link_tus({make_tu("/repo/t1.cc", {fire}),
+                                      make_tu("/repo/t2.cc", {stage}),
+                                      make_tu("/repo/t3.cc", {make_buffer})});
+  const auto found = findings_for(result, "analyzer-warm-path");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].file, make_buffer.file);
+  EXPECT_NE(found[0].message.find("fire_fast -> stage -> make_buffer"),
+            std::string::npos)
+      << found[0].message;
+}
+
+TEST(LinkWarmPath, AmortizedGrowthAndColdAllocationsAreExempt) {
+  FunctionSummary fire = make_fn("fire_fast", {annot::kWarmPath});
+  Fact amortized = make_fact(fact_kind::kAlloc, "vector::push_back");
+  amortized.amortized = true;
+  fire.facts.push_back(amortized);
+  Fact cold = make_fact(fact_kind::kAlloc, "operator new", 31);
+  cold.cold = true;
+  fire.facts.push_back(cold);
+
+  const LinkResult result = link_tus({make_tu("/repo/t.cc", {fire})});
+  EXPECT_TRUE(findings_for(result, "analyzer-warm-path").empty());
+}
+
+TEST(LinkWarmPath, OwnBodyBlockingExemptButCalleeBlockingFlagged) {
+  // run_round's own cv wait IS the round barrier (annotated, audited);
+  // the same wait inside an unannotated callee is a stall on the warm
+  // path.
+  FunctionSummary run_round = make_fn("run_round", {annot::kWarmPath});
+  run_round.facts.push_back(
+      make_fact(fact_kind::kBlock, "condition_variable::wait"));
+  const LinkResult own = link_tus({make_tu("/repo/t.cc", {run_round})});
+  EXPECT_TRUE(findings_for(own, "analyzer-warm-path").empty());
+
+  FunctionSummary warm = make_fn("step", {annot::kWarmPath});
+  warm.calls.push_back(edge_to("log_sync"));
+  FunctionSummary blocking = make_fn("log_sync");
+  blocking.facts.push_back(make_fact(fact_kind::kBlock, "mutex::lock"));
+  const LinkResult callee = link_tus({make_tu("/repo/t.cc", {warm, blocking})});
+  EXPECT_EQ(findings_for(callee, "analyzer-warm-path").size(), 1u);
+}
+
+TEST(LinkWarmPath, LambdaEdgesAreDeferredNotWarm) {
+  // schedule_at(cb) stores cb for later; constructing the closure is
+  // warm, running it is a future step() — its own warmth comes from
+  // step() being a warm root, not from this edge.
+  FunctionSummary warm = make_fn("schedule_at", {annot::kWarmPath});
+  CallEdge deferred = edge_to("expensive_callback");
+  deferred.in_lambda = true;
+  warm.calls.push_back(deferred);
+  FunctionSummary cb = make_fn("expensive_callback");
+  cb.facts.push_back(make_fact(fact_kind::kAlloc, "operator new"));
+
+  const LinkResult result = link_tus({make_tu("/repo/t.cc", {warm, cb})});
+  EXPECT_TRUE(findings_for(result, "analyzer-warm-path").empty());
+}
+
+TEST(LinkWarmPath, OverSboConstructionFlagged) {
+  FunctionSummary warm = make_fn("schedule_at", {annot::kWarmPath});
+  warm.facts.push_back(make_fact(
+      fact_kind::kOverSbo, "capture of 80 bytes exceeds the 64-byte "
+                           "SmallFunction budget"));
+  const LinkResult result = link_tus({make_tu("/repo/t.cc", {warm})});
+  const auto found = findings_for(result, "analyzer-warm-path");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].message.find("spills to the heap"), std::string::npos);
+}
+
+// --- Graph merging ----------------------------------------------------
+
+TEST(LinkGraph, HeaderInlineFunctionsMergeAcrossTus) {
+  // The same header-inline function seen by two TUs: annotations union,
+  // and the copy with more context wins. Only one finding results.
+  FunctionSummary decl_side = make_fn("helper");
+  FunctionSummary def_side = make_fn("helper", {annot::kWarmPath});
+  def_side.facts.push_back(make_fact(fact_kind::kAlloc, "operator new"));
+
+  const LinkResult result = link_tus({make_tu("/repo/t1.cc", {decl_side}),
+                                      make_tu("/repo/t2.cc", {def_side})});
+  EXPECT_EQ(result.stats.functions, 1u);
+  EXPECT_EQ(findings_for(result, "analyzer-warm-path").size(), 1u);
+}
+
+TEST(LinkGraph, FindingsAreSortedAndDeduped) {
+  FunctionSummary warm = make_fn("warm", {annot::kWarmPath});
+  warm.facts.push_back(make_fact(fact_kind::kAlloc, "operator new", 50));
+  warm.facts.push_back(make_fact(fact_kind::kAlloc, "malloc", 40));
+  // The same TU summary added twice (e.g. duplicated cache entries)
+  // must not double-report.
+  const LinkResult result = link_tus({make_tu("/repo/t.cc", {warm}),
+                                      make_tu("/repo/t.cc", {warm})});
+  const auto found = findings_for(result, "analyzer-warm-path");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_LT(found[0].line, found[1].line);
+}
+
+// --- NOLINT and baseline filtering ------------------------------------
+
+TEST(LinkSuppression, NolintOnFlaggedLineSuppresses) {
+  FunctionSummary warm = make_fn("warm", {annot::kWarmPath});
+  warm.facts.push_back(make_fact(fact_kind::kAlloc, "operator new", 30));
+  LinkOptions options;
+  options.read_line = [](const std::string&, int line, std::string* text) {
+    if (line != 30) return false;
+    // Assembled so the linter's stale-suppression scan does not read
+    // this literal as a suppression of this test file itself.
+    *text = std::string{"  grab_slot();  // NOLINT-CLOUDLB"} +
+            "(warm-path)";
+    return true;
+  };
+  const LinkResult result =
+      link_tus({make_tu("/repo/t.cc", {warm})}, std::move(options));
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.stats.suppressed, 1u);
+}
+
+TEST(LinkSuppression, NolintWithFullCheckNameAndListSuppresses) {
+  FunctionSummary warm = make_fn("warm", {annot::kWarmPath});
+  warm.facts.push_back(make_fact(fact_kind::kAlloc, "operator new", 30));
+  LinkOptions options;
+  options.read_line = [](const std::string&, int, std::string* text) {
+    *text = std::string{"x;  // NOLINT-CLOUDLB"} +
+            "(shard-confined, analyzer-warm-path)";
+    return true;
+  };
+  const LinkResult result =
+      link_tus({make_tu("/repo/t.cc", {warm})}, std::move(options));
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(LinkBaseline, SuffixMatchedEntryFiltersAndIsNotStale) {
+  FunctionSummary warm = make_fn("warm", {annot::kWarmPath});
+  warm.facts.push_back(make_fact(fact_kind::kAlloc, "operator new", 30));
+  LinkOptions options;
+  options.baseline.push_back(
+      BaselineEntry{"analyzer-warm-path", "src/warm.cc", 30});
+  options.baseline.push_back(
+      BaselineEntry{"analyzer-warm-path", "src/other.cc", -1});
+  const LinkResult result =
+      link_tus({make_tu("/repo/t.cc", {warm})}, std::move(options));
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.stats.baselined, 1u);
+  ASSERT_EQ(result.unmatched_baseline.size(), 1u);
+  EXPECT_EQ(result.unmatched_baseline[0].file, "src/other.cc");
+}
+
+TEST(LinkBaseline, ParseAcceptsValidAndRejectsMalformed) {
+  std::vector<BaselineEntry> entries;
+  std::string error;
+  ASSERT_TRUE(parse_baseline(
+      R"({"schema_version":1,"findings":[)"
+      R"({"check":"warm-path","file":"src/a.cc","line":12},)"
+      R"({"check":"analyzer-barrier-phase","file":"src/b.cc"}]})",
+      &entries, &error))
+      << error;
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].line, 12);
+  EXPECT_EQ(entries[1].line, -1);
+
+  entries.clear();
+  EXPECT_FALSE(parse_baseline(R"({"findings":[]})", &entries, &error));
+  EXPECT_FALSE(parse_baseline(R"({"schema_version":2,"findings":[]})",
+                              &entries, &error));
+  EXPECT_FALSE(
+      parse_baseline(R"({"schema_version":1,"findings":[{"check":"x"}]})",
+                     &entries, &error));
+}
+
+// --- Output rendering -------------------------------------------------
+
+TEST(LinkOutput, TextFormatMatchesPerTuAnalyzer) {
+  FunctionSummary warm = make_fn("warm", {annot::kWarmPath});
+  warm.facts.push_back(make_fact(fact_kind::kAlloc, "operator new", 30));
+  const LinkResult result = link_tus({make_tu("/repo/t.cc", {warm})});
+  std::string text;
+  EXPECT_EQ(print_link_result(result, &text), 1u);
+  EXPECT_NE(text.find("/repo/src/warm.cc:30:5: warning:"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[analyzer-warm-path]"), std::string::npos);
+  EXPECT_NE(text.find("cloudlb-analyzer --link: 1 finding(s)"),
+            std::string::npos);
+}
+
+TEST(LinkOutput, SarifIsParseableAndRootRelative) {
+  FunctionSummary warm = make_fn("warm", {annot::kWarmPath});
+  warm.facts.push_back(make_fact(fact_kind::kAlloc, "say \"hi\"", 30));
+  const LinkResult result = link_tus({make_tu("/repo/t.cc", {warm})});
+  const std::string sarif = to_sarif(result, "/repo");
+
+  // The emitted SARIF must itself survive our strict JSON parser.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(sarif, &doc, &error)) << error;
+  const JsonValue* runs = doc.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array.size(), 1u);
+  const JsonValue* results = runs->array[0].find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), 1u);
+  const JsonValue* rule = results->array[0].find("ruleId");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->string_value, "analyzer-warm-path");
+
+  // Root-relative URI: the /repo prefix is stripped.
+  EXPECT_NE(sarif.find("\"uri\":\"src/warm.cc\""), std::string::npos)
+      << sarif;
+  // All five rules enumerated even though one fired.
+  EXPECT_NE(sarif.find("analyzer-barrier-phase"), std::string::npos);
+}
+
+// --- JSON parser edge cases -------------------------------------------
+
+TEST(JsonParser, RejectsFloatsAndUnknownEscapes) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(parse_json("{\"x\": 1.5}", &value, &error));
+  EXPECT_FALSE(parse_json("{\"x\": \"\\q\"}", &value, &error));
+  EXPECT_TRUE(parse_json("{\"x\": -3, \"y\": [true, false, null]}", &value,
+                         &error))
+      << error;
+  const JsonValue* x = value.find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->int_value, -3);
+}
+
+}  // namespace
+}  // namespace cloudlb_analyzer

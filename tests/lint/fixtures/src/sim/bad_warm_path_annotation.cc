@@ -1,0 +1,15 @@
+// Lint fixture: a src/sim/ file defining a hot-path function without
+// pulling in the effect annotations header — the warm-path contract is
+// invisible to the whole-program analyzer.
+namespace fixture {
+
+struct MiniEngine {
+  int pending = 0;
+};
+
+int schedule_at(MiniEngine& e, long long t) {  // EXPECT-LINT(warm-path-annotation)
+  (void)t;
+  return ++e.pending;
+}
+
+}  // namespace fixture

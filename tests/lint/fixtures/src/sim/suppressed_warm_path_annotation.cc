@@ -1,0 +1,13 @@
+// Lint fixture: a deliberate opt-out of the annotations header for a
+// cold diagnostic helper, suppressed in place.
+namespace fixture {
+
+struct DebugProbe {
+  int fired = 0;
+};
+
+void fire_debug_probe(DebugProbe& p) {  // NOLINT-CLOUDLB(warm-path-annotation)
+  ++p.fired;
+}
+
+}  // namespace fixture

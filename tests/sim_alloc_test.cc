@@ -12,6 +12,7 @@
 #include <new>
 
 #include "sim/simulator.h"
+#include "util/thread_pool.h"
 #include "util/validate.h"
 
 namespace {
@@ -173,6 +174,34 @@ TEST(SimAllocTest, OverBudgetCaptureFallsBackToHeap) {
   const std::size_t allocs = probe_disarm();
   EXPECT_GE(allocs, 1u);
   sim.run();
+}
+
+TEST(SimAllocTest, WorkerTeamRoundsAreAllocationFree) {
+  // Regression pin for the run_round signature change: the per-window
+  // worker closure is borrowed through a FunctionRef, never type-erased
+  // into an owning std::function (which heap-allocates for captures past
+  // its small-buffer size). A warm team must run any number of rounds
+  // with an arbitrarily wide capture without touching the allocator.
+  WorkerTeam team{3};
+  struct Wide {
+    std::uint64_t lanes[16] = {};  // 128 bytes: past any SBO budget
+  } wide;
+  // One unmeasured round lets the OS finish any lazy thread setup.
+  team.run_round([&wide](int worker) {
+    wide.lanes[static_cast<std::size_t>(worker)] += 1;
+  });
+
+  probe_arm();
+  for (int round = 0; round < 50; ++round) {
+    team.run_round([&wide](int worker) {
+      wide.lanes[static_cast<std::size_t>(worker)] += 1;
+    });
+  }
+  const std::size_t allocs = probe_disarm();
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(wide.lanes[0], 51u);
+  EXPECT_EQ(wide.lanes[1], 51u);
+  EXPECT_EQ(wide.lanes[2], 51u);
 }
 
 }  // namespace

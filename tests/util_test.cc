@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/check.h"
+#include "util/function_ref.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -503,6 +504,77 @@ TEST(ThreadPoolTest, NonPositiveJobsUsesHardware) {
   const std::vector<int> out =
       parallel_map<int>(16, 0, [](std::size_t i) { return static_cast<int>(i); });
   for (int i = 0; i < 16; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+// ------------------------------------------------------------ FunctionRef
+
+TEST(FunctionRefTest, InvokesCapturingLambda) {
+  int hits = 0;
+  auto bump = [&hits](int by) { hits += by; };
+  const FunctionRef<void(int)> ref = bump;
+  ref(3);
+  ref(4);
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(FunctionRefTest, InvokesMutableCallableInPlace) {
+  // The reference aliases the callable rather than copying it, so state
+  // mutated through one invocation is visible to the next — and to the
+  // original object.
+  struct Counter {
+    int calls = 0;
+    int operator()() { return ++calls; }
+  };
+  Counter counter;
+  const FunctionRef<int()> ref = counter;
+  EXPECT_EQ(ref(), 1);
+  EXPECT_EQ(ref(), 2);
+  EXPECT_EQ(counter.calls, 2);
+}
+
+TEST(FunctionRefTest, ForwardsReturnValueAndArguments) {
+  auto add = [](int a, int b) { return a + b; };
+  const FunctionRef<int(int, int)> ref = add;
+  EXPECT_EQ(ref(19, 23), 42);
+}
+
+TEST(FunctionRefTest, BindsTemporaryForTheFullExpression) {
+  // The intended calling convention: a lambda temporary passed straight
+  // into a function taking FunctionRef lives until the call returns.
+  const auto call_through = [](FunctionRef<int(int)> fn) { return fn(5); };
+  int base = 100;
+  EXPECT_EQ(call_through([&base](int x) { return base + x; }), 105);
+}
+
+// ------------------------------------------------------------- WorkerTeam
+
+TEST(WorkerTeamTest, RunRoundCoversEveryWorkerIndexEachRound) {
+  constexpr int kWorkers = 4;
+  WorkerTeam team{kWorkers};
+  ASSERT_EQ(team.workers(), kWorkers);
+  std::vector<std::atomic<int>> hits(kWorkers);
+  for (int round = 1; round <= 3; ++round) {
+    team.run_round(
+        [&hits](int worker) { hits[static_cast<std::size_t>(worker)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), round);
+  }
+}
+
+TEST(WorkerTeamTest, RunRoundBorrowsTheClosureWithoutCopying) {
+  // Regression pin for the run_round signature: the worker task is a
+  // FunctionRef — borrowed, never copied or type-erased into an owning
+  // wrapper — so per-worker effects land in the caller's own closure
+  // state, however large the capture is.
+  WorkerTeam team{3};
+  struct Wide {
+    long long lanes[12] = {};  // far past any small-buffer budget
+  } wide;
+  team.run_round([&wide](int worker) {
+    wide.lanes[static_cast<std::size_t>(worker)] = worker + 1;
+  });
+  EXPECT_EQ(wide.lanes[0], 1);
+  EXPECT_EQ(wide.lanes[1], 2);
+  EXPECT_EQ(wide.lanes[2], 3);
 }
 
 }  // namespace

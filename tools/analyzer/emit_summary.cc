@@ -1,0 +1,761 @@
+#include "emit_summary.h"
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "annotations.h"
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Index/USRGeneration.h"
+#include "clang/Lex/Lexer.h"
+#include "clang/Lex/PPCallbacks.h"
+#include "clang/Lex/Preprocessor.h"
+#include "llvm/ADT/SmallString.h"
+#include "llvm/Support/FileSystem.h"
+#include "llvm/Support/Path.h"
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+bool name_starts_with(llvm::StringRef name, llvm::StringRef prefix) {
+  // StringRef::startswith was removed in newer LLVM; substr+== parses
+  // identically from 14 through 18.
+  return name.size() >= prefix.size() &&
+         name.substr(0, prefix.size()) == prefix;
+}
+
+std::string absolute_path(llvm::StringRef path) {
+  llvm::SmallString<256> abs{path};
+  llvm::sys::fs::make_absolute(abs);
+  llvm::sys::path::remove_dots(abs, /*remove_dot_dot=*/true);
+  return std::string{abs.str()};
+}
+
+bool in_clb_macro(clang::SourceLocation loc, const clang::SourceManager& sm,
+                  const clang::LangOptions& lang) {
+  while (loc.isMacroID()) {
+    const llvm::StringRef name =
+        clang::Lexer::getImmediateMacroName(loc, sm, lang);
+    if (name_starts_with(name, "CLB_")) return true;
+    loc = sm.getImmediateMacroCallerLoc(loc);
+  }
+  return false;
+}
+
+/// Mirrors check_barrier_phase.cc's WindowProbeFinder: does the
+/// expression mention the window-regime probe?
+class WindowProbeFinder
+    : public clang::RecursiveASTVisitor<WindowProbeFinder> {
+ public:
+  bool found = false;
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee != nullptr && callee->getDeclName().isIdentifier() &&
+        callee->getName() == "in_window")
+      found = true;
+    return !found;
+  }
+
+  bool VisitMemberExpr(clang::MemberExpr* member) {
+    const clang::NamedDecl* decl = member->getMemberDecl();
+    if (decl->getDeclName().isIdentifier()) {
+      const llvm::StringRef name = decl->getName();
+      if (name == "in_window" || name == "in_window_") found = true;
+    }
+    return !found;
+  }
+};
+
+bool mentions_name(const clang::Expr* cond, llvm::StringRef name) {
+  if (cond == nullptr) return false;
+  class Finder : public clang::RecursiveASTVisitor<Finder> {
+   public:
+    explicit Finder(llvm::StringRef n) : name_{n} {}
+    bool found = false;
+    bool VisitCallExpr(clang::CallExpr* call) {
+      const clang::FunctionDecl* callee = call->getDirectCallee();
+      if (callee != nullptr && callee->getDeclName().isIdentifier() &&
+          callee->getName() == name_)
+        found = true;
+      return !found;
+    }
+
+   private:
+    llvm::StringRef name_;
+  };
+  Finder finder{name};
+  finder.TraverseStmt(const_cast<clang::Expr*>(cond));
+  return finder.found;
+}
+
+bool mentions_in_window(const clang::Expr* cond) {
+  if (cond == nullptr) return false;
+  WindowProbeFinder finder;
+  finder.TraverseStmt(const_cast<clang::Expr*>(cond));
+  return finder.found;
+}
+
+/// Lambda bodies handed to WorkerTeam::run_round execute as shard
+/// worker tasks — their contents keep the enclosing function's context
+/// instead of being treated as deferred closures.
+class WorkerBodyCollector
+    : public clang::RecursiveASTVisitor<WorkerBodyCollector> {
+ public:
+  std::set<const clang::Stmt*> bodies;
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr || !callee->getDeclName().isIdentifier() ||
+        callee->getName() != "run_round")
+      return true;
+    for (const clang::Expr* arg : call->arguments()) {
+      LambdaCollector lambdas{bodies};
+      lambdas.TraverseStmt(const_cast<clang::Expr*>(arg));
+    }
+    return true;
+  }
+
+ private:
+  class LambdaCollector
+      : public clang::RecursiveASTVisitor<LambdaCollector> {
+   public:
+    explicit LambdaCollector(std::set<const clang::Stmt*>& out)
+        : out_{out} {}
+    bool VisitLambdaExpr(clang::LambdaExpr* lambda) {
+      if (lambda->getBody() != nullptr) out_.insert(lambda->getBody());
+      return true;
+    }
+
+   private:
+    std::set<const clang::Stmt*>& out_;
+  };
+};
+
+const clang::CXXRecordDecl* receiver_record(
+    const clang::CXXMemberCallExpr* call) {
+  const clang::Expr* object = call->getImplicitObjectArgument();
+  if (object == nullptr) return nullptr;
+  clang::QualType type =
+      object->IgnoreParenImpCasts()->getType().getNonReferenceType();
+  if (type->isPointerType()) type = type->getPointeeType();
+  return type->getAsCXXRecordDecl();
+}
+
+bool record_named(const clang::CXXRecordDecl* record, llvm::StringRef name) {
+  return record != nullptr && record->getDeclName().isIdentifier() &&
+         record->getName() == name;
+}
+
+bool is_blocking_receiver(const clang::CXXRecordDecl* record) {
+  if (record == nullptr || !record->getDeclName().isIdentifier())
+    return false;
+  const llvm::StringRef name = record->getName();
+  return name == "mutex" || name == "timed_mutex" ||
+         name == "recursive_mutex" || name == "shared_mutex" ||
+         name == "condition_variable" || name == "condition_variable_any" ||
+         name == "thread";
+}
+
+/// Container growth entry points. Vector/string growth over reserved
+/// capacity is amortized (the engine's reserve() contract); node-based
+/// containers allocate per element, unconditionally.
+bool is_container_grow(llvm::StringRef method, llvm::StringRef record,
+                       bool* amortized) {
+  const bool grows = method == "push_back" || method == "emplace_back" ||
+                     method == "insert" || method == "emplace" ||
+                     method == "resize" || method == "reserve" ||
+                     method == "push_front" || method == "emplace_front" ||
+                     method == "push";
+  if (!grows) return false;
+  if (record == "vector" || record == "basic_string") {
+    *amortized = true;
+    return true;
+  }
+  if (record == "map" || record == "set" || record == "multimap" ||
+      record == "multiset" || record == "unordered_map" ||
+      record == "unordered_set" || record == "unordered_multimap" ||
+      record == "unordered_multiset" || record == "deque" ||
+      record == "list" || record == "forward_list" ||
+      record == "priority_queue" || record == "queue" ||
+      record == "stack") {
+    *amortized = false;
+    return true;
+  }
+  return false;
+}
+
+bool is_blocking_free_function(llvm::StringRef name) {
+  return name == "sleep_for" || name == "sleep_until" ||
+         name == "fopen" || name == "fread" || name == "fwrite" ||
+         name == "fclose" || name == "printf" || name == "fprintf" ||
+         name == "fflush" || name == "getline";
+}
+
+bool is_alloc_free_function(llvm::StringRef name) {
+  return name == "malloc" || name == "calloc" || name == "realloc" ||
+         name == "strdup" || name == "make_unique" || name == "make_shared" ||
+         name == "allocate_shared";
+}
+
+bool is_lock_type(llvm::StringRef name) {
+  return name == "lock_guard" || name == "unique_lock" ||
+         name == "scoped_lock" || name == "shared_lock";
+}
+
+// --- One function body's scan -----------------------------------------
+
+class BodyScanner : public clang::RecursiveASTVisitor<BodyScanner> {
+ public:
+  BodyScanner(clang::ASTContext& ast, FunctionSummary* out,
+              const clang::FunctionDecl* fn,
+              const std::set<const clang::Stmt*>& worker_bodies)
+      : ast_{ast}, out_{out}, fn_{fn}, worker_bodies_{worker_bodies} {}
+
+  bool shouldVisitImplicitCode() const { return false; }
+
+  bool TraverseForStmt(clang::ForStmt* s) { return loop(s); }
+  bool TraverseCXXForRangeStmt(clang::CXXForRangeStmt* s) {
+    return loop(s);
+  }
+  bool TraverseWhileStmt(clang::WhileStmt* s) { return loop(s); }
+  bool TraverseDoStmt(clang::DoStmt* s) { return loop(s); }
+
+  bool TraverseIfStmt(clang::IfStmt* stmt) {
+    const bool guards = mentions_in_window(stmt->getCond());
+    const bool cold = mentions_name(stmt->getCond(), "validation_enabled");
+    if (guards) ++guard_depth_;
+    if (cold) ++cold_depth_;
+    const bool keep =
+        clang::RecursiveASTVisitor<BodyScanner>::TraverseIfStmt(stmt);
+    if (cold) --cold_depth_;
+    if (guards) --guard_depth_;
+    return keep;
+  }
+
+  bool TraverseLambdaExpr(clang::LambdaExpr* lambda) {
+    const bool worker = worker_bodies_.count(lambda->getBody()) != 0;
+    if (!worker) ++lambda_depth_;
+    const bool keep =
+        clang::RecursiveASTVisitor<BodyScanner>::TraverseLambdaExpr(lambda);
+    if (!worker) --lambda_depth_;
+    return keep;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) return true;
+    const clang::SourceManager& sm = ast_.getSourceManager();
+
+    // Bare fan-out schedules: member calls on a static-type EngineCore
+    // receiver (the Simulator facade is exempt — single-engine heap
+    // order IS the canonical order there).
+    if (const auto* member = llvm::dyn_cast<clang::CXXMemberCallExpr>(call)) {
+      const clang::CXXMethodDecl* method = member->getMethodDecl();
+      if (method != nullptr && method->getDeclName().isIdentifier()) {
+        const llvm::StringRef name = method->getName();
+        const clang::CXXRecordDecl* receiver = receiver_record(member);
+        if ((name == "schedule_at" || name == "schedule_after") &&
+            record_named(receiver, "EngineCore"))
+          add_fact(fact_kind::kBareSchedule, ("EngineCore::" + name).str(),
+                   call->getBeginLoc(), false);
+        if (is_blocking_receiver(receiver) &&
+            (name == "lock" || name == "try_lock" || name == "wait" ||
+             name == "wait_for" || name == "wait_until" || name == "join"))
+          add_fact(fact_kind::kBlock,
+                   (receiver->getName() + "::" + name).str(),
+                   call->getBeginLoc(), false);
+        bool amortized = false;
+        if (receiver != nullptr && receiver->getDeclName().isIdentifier() &&
+            is_container_grow(name, receiver->getName(), &amortized) &&
+            sm.isInSystemHeader(receiver->getLocation()))
+          add_fact(fact_kind::kAlloc,
+                   (receiver->getName() + "::" + name).str(),
+                   call->getBeginLoc(), amortized);
+      }
+    }
+
+    if (callee->getDeclName().isIdentifier()) {
+      const llvm::StringRef name = callee->getName();
+      if (is_blocking_free_function(name))
+        add_fact(fact_kind::kBlock, name.str(), call->getBeginLoc(), false);
+      if (is_alloc_free_function(name))
+        add_fact(fact_kind::kAlloc, name.str(), call->getBeginLoc(), false);
+    }
+
+    add_edge(callee, call->getBeginLoc());
+    return true;
+  }
+
+  bool VisitCXXNewExpr(clang::CXXNewExpr* expr) {
+    add_fact(fact_kind::kAlloc, "operator new", expr->getBeginLoc(), false);
+    return true;
+  }
+
+  bool VisitCXXConstructExpr(clang::CXXConstructExpr* expr) {
+    const clang::CXXConstructorDecl* ctor = expr->getConstructor();
+    if (ctor == nullptr) return true;
+    const clang::CXXRecordDecl* record = ctor->getParent();
+    if (record == nullptr || !record->getDeclName().isIdentifier())
+      return true;
+    const llvm::StringRef name = record->getName();
+    const clang::SourceManager& sm = ast_.getSourceManager();
+    if (name == "function" && sm.isInSystemHeader(record->getLocation()) &&
+        expr->getNumArgs() >= 1 &&
+        !expr->getArg(0)->getType()->isDependentType()) {
+      // Copy/move of another std::function moves the SBO buffer; only
+      // converting construction from a fresh callable can heap-allocate.
+      const clang::QualType arg =
+          expr->getArg(0)->getType().getNonReferenceType();
+      const auto* arg_record = arg->getAsCXXRecordDecl();
+      if (!record_named(arg_record, "function"))
+        add_fact(fact_kind::kAlloc, "std::function construction",
+                 expr->getBeginLoc(), false);
+    }
+    if (is_lock_type(name) && sm.isInSystemHeader(record->getLocation()))
+      add_fact(fact_kind::kBlock, ("lock acquisition (" + name + ")").str(),
+               expr->getBeginLoc(), false);
+    scan_small_function_construction(expr, record);
+    return true;
+  }
+
+  bool VisitMemberExpr(clang::MemberExpr* member) {
+    const auto* field =
+        llvm::dyn_cast<clang::FieldDecl>(member->getMemberDecl());
+    bool via_record = false;
+    if (!field_is_shard_confined(field, &via_record)) return true;
+    // A confined record's own methods operate on their own shard copy
+    // (mirrors check_shard_confined.cc).
+    if (via_record) {
+      const auto* method = llvm::dyn_cast<clang::CXXMethodDecl>(fn_);
+      if (method != nullptr && field->getParent() != nullptr &&
+          method->getParent()->getCanonicalDecl() ==
+              field->getParent()->getCanonicalDecl())
+        return true;
+    }
+    add_fact(fact_kind::kConfinedTouch, field->getNameAsString(),
+             member->getMemberLoc(), false);
+    return true;
+  }
+
+ private:
+  template <typename Loop>
+  bool loop(Loop* s) {
+    ++loop_depth_;
+    const bool keep = s->getBody() == nullptr || TraverseStmt(s->getBody());
+    --loop_depth_;
+    return keep;
+  }
+
+  void scan_small_function_construction(const clang::CXXConstructExpr* expr,
+                                        const clang::CXXRecordDecl* record) {
+    if (!record_named(record, "SmallFunction")) return;
+    const auto* spec =
+        llvm::dyn_cast<clang::ClassTemplateSpecializationDecl>(record);
+    if (spec == nullptr || expr->getNumArgs() != 1) return;
+    const clang::TemplateArgumentList& args = spec->getTemplateArgs();
+    if (args.size() < 2 ||
+        args[1].getKind() != clang::TemplateArgument::Integral)
+      return;
+    const std::uint64_t inline_bytes =
+        args[1].getAsIntegral().getZExtValue();
+    const clang::QualType arg =
+        expr->getArg(0)->getType().getNonReferenceType();
+    if (arg->isDependentType() || arg->isIncompleteType()) return;
+    if (arg->getAsCXXRecordDecl() == record) return;  // move/copy
+    const std::uint64_t size =
+        static_cast<std::uint64_t>(ast_.getTypeSizeInChars(arg).getQuantity());
+    const std::uint64_t align = static_cast<std::uint64_t>(
+        ast_.getTypeAlignInChars(arg).getQuantity());
+    const std::uint64_t max_align =
+        ast_.getTargetInfo().getSuitableAlign() / 8;
+    if (size > inline_bytes || align > max_align)
+      add_fact(fact_kind::kOverSbo,
+               "capture of " + std::to_string(size) + " bytes exceeds the " +
+                   std::to_string(inline_bytes) + "-byte SmallFunction budget",
+               expr->getBeginLoc(), false);
+  }
+
+  void add_fact(const char* kind, std::string detail,
+                clang::SourceLocation loc, bool amortized) {
+    const clang::SourceManager& sm = ast_.getSourceManager();
+    const bool macro_cold = in_clb_macro(loc, sm, ast_.getLangOpts());
+    const clang::PresumedLoc pl = sm.getPresumedLoc(sm.getFileLoc(loc));
+    if (pl.isInvalid()) return;
+    Fact fact;
+    fact.kind = kind;
+    fact.detail = std::move(detail);
+    fact.line = static_cast<int>(pl.getLine());
+    fact.col = static_cast<int>(pl.getColumn());
+    fact.in_loop = loop_depth_ > 0;
+    fact.cold = cold_depth_ > 0 || macro_cold;
+    fact.amortized = amortized;
+    out_->facts.push_back(std::move(fact));
+  }
+
+  void add_edge(const clang::FunctionDecl* callee,
+                clang::SourceLocation loc) {
+    const clang::SourceManager& sm = ast_.getSourceManager();
+    // Unresolvable or uninteresting targets: system headers and
+    // templates never get stable cross-TU summaries — their recognized
+    // effects were converted to facts above.
+    if (callee->getBuiltinID() != 0) return;
+    if (sm.isInSystemHeader(callee->getLocation())) return;
+    if (callee->isTemplated() || callee->isTemplateInstantiation() ||
+        callee->getPrimaryTemplate() != nullptr)
+      return;
+    if (const auto* method = llvm::dyn_cast<clang::CXXMethodDecl>(callee))
+      if (method->getParent()->isLambda()) return;
+    llvm::SmallString<128> usr;
+    if (clang::index::generateUSRForDecl(callee->getCanonicalDecl(), usr))
+      return;
+    const bool macro_cold = in_clb_macro(loc, sm, ast_.getLangOpts());
+    const clang::PresumedLoc pl = sm.getPresumedLoc(sm.getFileLoc(loc));
+    if (pl.isInvalid()) return;
+    CallEdge edge;
+    edge.usr = std::string{usr.str()};
+    edge.name = callee->getQualifiedNameAsString();
+    edge.line = static_cast<int>(pl.getLine());
+    edge.col = static_cast<int>(pl.getColumn());
+    edge.in_loop = loop_depth_ > 0;
+    edge.guarded = guard_depth_ > 0;
+    edge.cold = cold_depth_ > 0 || macro_cold;
+    edge.in_lambda = lambda_depth_ > 0;
+    out_->calls.push_back(std::move(edge));
+  }
+
+  clang::ASTContext& ast_;
+  FunctionSummary* out_;
+  const clang::FunctionDecl* fn_;
+  const std::set<const clang::Stmt*>& worker_bodies_;
+  int loop_depth_ = 0;
+  int guard_depth_ = 0;
+  int cold_depth_ = 0;
+  int lambda_depth_ = 0;
+};
+
+// --- Float-fold facts (mirrors check_float_merge.cc, minus the
+// combine-annotation bless — the linker blesses transitively) ----------
+
+bool is_floating(clang::QualType type) {
+  return type.getNonReferenceType()->isFloatingType();
+}
+
+bool declared_within(const clang::Decl* decl, const clang::SourceManager& sm,
+                     clang::SourceLocation begin, clang::SourceLocation end) {
+  if (decl == nullptr || begin.isInvalid()) return false;
+  const clang::SourceLocation loc = sm.getFileLoc(decl->getLocation());
+  return sm.getFileID(loc) == sm.getFileID(begin) &&
+         sm.getFileOffset(loc) >= sm.getFileOffset(begin) &&
+         sm.getFileOffset(loc) < sm.getFileOffset(end);
+}
+
+class ShardTouchScanner
+    : public clang::RecursiveASTVisitor<ShardTouchScanner> {
+ public:
+  explicit ShardTouchScanner(int helper_depth)
+      : helper_depth_{helper_depth} {}
+
+  bool touched = false;
+
+  bool VisitMemberExpr(clang::MemberExpr* member) {
+    const auto* field =
+        llvm::dyn_cast<clang::FieldDecl>(member->getMemberDecl());
+    if (field_is_shard_confined(field)) touched = true;
+    return !touched;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) return true;
+    if (has_clb_annotation(callee, kCanonicalCombineAnnot)) {
+      touched = true;
+      return false;
+    }
+    if (helper_depth_ <= 0) return true;
+    const clang::FunctionDecl* def = nullptr;
+    if (!callee->hasBody(def) || def->getBody() == nullptr) return true;
+    ShardTouchScanner inner{helper_depth_ - 1};
+    inner.TraverseStmt(def->getBody());
+    if (inner.touched) touched = true;
+    return !touched;
+  }
+
+ private:
+  int helper_depth_;
+};
+
+class FloatFoldScanner
+    : public clang::RecursiveASTVisitor<FloatFoldScanner> {
+ public:
+  FloatFoldScanner(clang::ASTContext& ast, FunctionSummary* out,
+                   clang::SourceLocation body_begin,
+                   clang::SourceLocation body_end, int helper_depth)
+      : ast_{ast},
+        out_{out},
+        body_begin_{body_begin},
+        body_end_{body_end},
+        helper_depth_{helper_depth} {}
+
+  bool found = false;
+
+  bool VisitBinaryOperator(clang::BinaryOperator* op) {
+    if (!op->isCompoundAssignmentOp()) return true;
+    const clang::Expr* lhs = op->getLHS()->IgnoreParenImpCasts();
+    if (!is_floating(lhs->getType())) return true;
+    if (target_is_loop_local(lhs)) return true;
+    record("compound assignment", op->getBeginLoc());
+    return true;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    if (helper_depth_ <= 0) return true;
+    if (llvm::isa<clang::CXXMemberCallExpr>(call)) return true;
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr ||
+        has_clb_annotation(callee, kCanonicalCombineAnnot))
+      return true;
+    const clang::FunctionDecl* def = nullptr;
+    if (!callee->hasBody(def) || def->getBody() == nullptr) return true;
+    FloatFoldScanner inner{ast_, nullptr, clang::SourceLocation{},
+                           clang::SourceLocation{}, helper_depth_ - 1};
+    inner.TraverseStmt(def->getBody());
+    if (inner.found)
+      record("call to '" + callee->getNameAsString() + "'",
+             call->getBeginLoc());
+    return true;
+  }
+
+ private:
+  void record(std::string detail, clang::SourceLocation loc) {
+    found = true;
+    if (out_ == nullptr) return;  // probe mode (helper bodies)
+    const clang::SourceManager& sm = ast_.getSourceManager();
+    const clang::PresumedLoc pl = sm.getPresumedLoc(sm.getFileLoc(loc));
+    if (pl.isInvalid()) return;
+    Fact fact;
+    fact.kind = fact_kind::kFloatFold;
+    fact.detail = std::move(detail);
+    fact.line = static_cast<int>(pl.getLine());
+    fact.col = static_cast<int>(pl.getColumn());
+    fact.in_loop = true;
+    out_->facts.push_back(std::move(fact));
+  }
+
+  bool target_is_loop_local(const clang::Expr* target) const {
+    if (const auto* ref = llvm::dyn_cast<clang::DeclRefExpr>(target))
+      return declared_within(ref->getDecl(), ast_.getSourceManager(),
+                             body_begin_, body_end_);
+    return false;
+  }
+
+  clang::ASTContext& ast_;
+  FunctionSummary* out_;
+  clang::SourceLocation body_begin_;
+  clang::SourceLocation body_end_;
+  int helper_depth_;
+};
+
+class LoopCollector : public clang::RecursiveASTVisitor<LoopCollector> {
+ public:
+  std::vector<const clang::Stmt*> bodies;
+
+  bool VisitForStmt(clang::ForStmt* s) { return add(s->getBody()); }
+  bool VisitCXXForRangeStmt(clang::CXXForRangeStmt* s) {
+    return add(s->getBody());
+  }
+  bool VisitWhileStmt(clang::WhileStmt* s) { return add(s->getBody()); }
+  bool VisitDoStmt(clang::DoStmt* s) { return add(s->getBody()); }
+
+ private:
+  bool add(const clang::Stmt* body) {
+    if (body != nullptr) bodies.push_back(body);
+    return true;
+  }
+};
+
+void emit_float_folds(clang::ASTContext& ast, const clang::FunctionDecl* fn,
+                      FunctionSummary* out) {
+  LoopCollector loops;
+  loops.TraverseStmt(fn->getBody());
+  const clang::SourceManager& sm = ast.getSourceManager();
+  for (const clang::Stmt* body : loops.bodies) {
+    ShardTouchScanner touch{/*helper_depth=*/1};
+    touch.TraverseStmt(const_cast<clang::Stmt*>(body));
+    if (!touch.touched) continue;
+    FloatFoldScanner scanner{ast, out, sm.getFileLoc(body->getBeginLoc()),
+                             sm.getFileLoc(body->getEndLoc()),
+                             /*helper_depth=*/1};
+    scanner.TraverseStmt(const_cast<clang::Stmt*>(body));
+  }
+}
+
+// --- TU walk ----------------------------------------------------------
+
+class SummaryVisitor : public clang::RecursiveASTVisitor<SummaryVisitor> {
+ public:
+  SummaryVisitor(clang::ASTContext& ast, TuSummary* out)
+      : ast_{ast}, out_{out} {}
+
+  bool VisitFunctionDecl(clang::FunctionDecl* fn) {
+    if (!fn->doesThisDeclarationHaveABody() || fn->getBody() == nullptr)
+      return true;
+    if (fn->isImplicit()) return true;
+    const clang::SourceManager& sm = ast_.getSourceManager();
+    if (sm.isInSystemHeader(fn->getLocation())) return true;
+    // Templates (and members of class templates) have no stable single
+    // identity across TUs; their recognized effects surface as facts at
+    // the instantiation sites that call them.
+    if (fn->isTemplated() || fn->isTemplateInstantiation() ||
+        fn->getPrimaryTemplate() != nullptr)
+      return true;
+    if (const auto* method = llvm::dyn_cast<clang::CXXMethodDecl>(fn)) {
+      if (method->getParent()->isLambda()) return true;  // inlined below
+      if (method->getParent()->getDescribedClassTemplate() != nullptr)
+        return true;
+    }
+    llvm::SmallString<128> usr;
+    if (clang::index::generateUSRForDecl(fn->getCanonicalDecl(), usr))
+      return true;
+    const clang::PresumedLoc pl =
+        sm.getPresumedLoc(sm.getFileLoc(fn->getLocation()));
+    if (pl.isInvalid()) return true;
+
+    FunctionSummary summary;
+    summary.usr = std::string{usr.str()};
+    summary.name = fn->getQualifiedNameAsString();
+    summary.file = absolute_path(pl.getFilename());
+    summary.line = static_cast<int>(pl.getLine());
+    if (has_clb_annotation(fn, kShardConfinedAnnot))
+      summary.annotations.emplace_back(annot::kShardConfined);
+    if (has_clb_annotation(fn, kBarrierPhaseAnnot))
+      summary.annotations.emplace_back(annot::kBarrierPhase);
+    if (has_clb_annotation(fn, kCanonicalCombineAnnot))
+      summary.annotations.emplace_back(annot::kCanonicalCombine);
+    if (has_clb_annotation(fn, kRankedFanoutAnnot))
+      summary.annotations.emplace_back(annot::kRankedFanout);
+    if (has_clb_annotation(fn, kWarmPathAnnot))
+      summary.annotations.emplace_back(annot::kWarmPath);
+
+    WorkerBodyCollector workers;
+    workers.TraverseStmt(fn->getBody());
+    BodyScanner scanner{ast_, &summary, fn, workers.bodies};
+    scanner.TraverseStmt(fn->getBody());
+    emit_float_folds(ast_, fn, &summary);
+
+    dedupe(&summary);
+    out_->functions.push_back(std::move(summary));
+    return true;
+  }
+
+ private:
+  static void dedupe(FunctionSummary* summary) {
+    // Macro expansions can visit one spelled call several times; keep
+    // the first occurrence of each identical edge/fact.
+    std::set<std::tuple<std::string, int, int, bool, bool, bool, bool>>
+        seen_edges;
+    std::vector<CallEdge> calls;
+    for (CallEdge& edge : summary->calls)
+      if (seen_edges
+              .emplace(edge.usr, edge.line, edge.col, edge.in_loop,
+                       edge.guarded, edge.cold, edge.in_lambda)
+              .second)
+        calls.push_back(std::move(edge));
+    summary->calls = std::move(calls);
+    std::set<std::tuple<std::string, std::string, int, int>> seen_facts;
+    std::vector<Fact> facts;
+    for (Fact& fact : summary->facts)
+      if (seen_facts.emplace(fact.kind, fact.detail, fact.line, fact.col)
+              .second)
+        facts.push_back(std::move(fact));
+    summary->facts = std::move(facts);
+  }
+
+  clang::ASTContext& ast_;
+  TuSummary* out_;
+};
+
+/// Records every non-system file the preprocessor enters — the dep list
+/// whose content hashes decide summary freshness.
+class DepCollector : public clang::PPCallbacks {
+ public:
+  DepCollector(const clang::SourceManager& sm, TuSummary* out)
+      : sm_{sm}, out_{out} {}
+
+  void FileChanged(clang::SourceLocation loc, FileChangeReason reason,
+                   clang::SrcMgr::CharacteristicKind kind,
+                   clang::FileID) override {
+    if (reason != EnterFile) return;
+    if (kind != clang::SrcMgr::C_User) return;
+    const clang::FileID fid = sm_.getFileID(loc);
+    const clang::FileEntry* entry = sm_.getFileEntryForID(fid);
+    if (entry == nullptr) return;
+    const std::string path = absolute_path(entry->getName());
+    for (const DepHash& dep : out_->deps)
+      if (dep.file == path) return;
+    out_->deps.push_back(DepHash{path, 0});
+  }
+
+ private:
+  const clang::SourceManager& sm_;
+  TuSummary* out_;
+};
+
+class SummaryConsumer : public clang::ASTConsumer {
+ public:
+  explicit SummaryConsumer(TuSummary* out) : out_{out} {}
+
+  void HandleTranslationUnit(clang::ASTContext& ast) override {
+    SummaryVisitor visitor{ast, out_};
+    visitor.TraverseDecl(ast.getTranslationUnitDecl());
+  }
+
+ private:
+  TuSummary* out_;
+};
+
+class SummaryAction : public clang::ASTFrontendAction {
+ public:
+  explicit SummaryAction(TuSummary* out) : out_{out} {}
+
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance& compiler, llvm::StringRef file) override {
+    out_->tool = "cloudlb-analyzer";
+    out_->tu = absolute_path(file);
+    compiler.getPreprocessor().addPPCallbacks(std::make_unique<DepCollector>(
+        compiler.getSourceManager(), out_));
+    return std::make_unique<SummaryConsumer>(out_);
+  }
+
+ private:
+  TuSummary* out_;
+};
+
+class SummaryActionFactory : public clang::tooling::FrontendActionFactory {
+ public:
+  explicit SummaryActionFactory(TuSummary* out) : out_{out} {}
+
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<SummaryAction>(out_);
+  }
+
+ private:
+  TuSummary* out_;
+};
+
+}  // namespace
+
+std::unique_ptr<clang::tooling::FrontendActionFactory>
+make_summary_action_factory(TuSummary* out) {
+  return std::make_unique<SummaryActionFactory>(out);
+}
+
+}  // namespace cloudlb_analyzer

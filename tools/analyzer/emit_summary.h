@@ -1,0 +1,25 @@
+// Phase 1 of the whole-program analyzer: per-TU effect-summary
+// extraction (`cloudlb-analyzer --emit-summary=<dir>`). The emitter
+// walks one translation unit's AST and fills a TuSummary (summary.h)
+// with the local call graph and per-function effect facts; the driver
+// (cloudlb_analyzer.cc) hashes the dep files and serializes. Everything
+// clang-specific about the whole-program analysis lives here — the link
+// step (linker.h) never sees an AST.
+#pragma once
+
+#include "clang/Tooling/Tooling.h"
+
+#include <memory>
+
+#include "summary.h"
+
+namespace cloudlb_analyzer {
+
+/// Creates frontend actions that append the processed TU's functions
+/// and dep file paths into *out (dep hashes and the content hash are
+/// the driver's job — they need the compile command, which the action
+/// does not see). `out` must outlive the returned factory's use.
+std::unique_ptr<clang::tooling::FrontendActionFactory>
+make_summary_action_factory(TuSummary* out);
+
+}  // namespace cloudlb_analyzer

@@ -1,0 +1,649 @@
+#include "linker.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <unordered_map>
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+// --- Merged whole-program call graph ----------------------------------
+
+struct ResolvedEdge {
+  std::size_t target = 0;
+  const CallEdge* edge = nullptr;
+};
+
+struct Graph {
+  std::vector<FunctionSummary> nodes;
+  std::unordered_map<std::string, std::size_t> by_usr;
+  /// out[i] = edges of nodes[i] whose callee USR resolved to a node.
+  std::vector<std::vector<ResolvedEdge>> out;
+};
+
+bool has_annot(const FunctionSummary& fn, std::string_view name) {
+  for (const std::string& a : fn.annotations)
+    if (a == name) return true;
+  return false;
+}
+
+bool has_any_annot(const FunctionSummary& fn) {
+  return !fn.annotations.empty();
+}
+
+/// Merges every TU's functions by USR. Header-inline functions reappear
+/// in several TUs with identical bodies; keep the richest copy (most
+/// calls + facts — a TU that saw more context) and union annotations,
+/// which may be split between a header declaration and a definition.
+Graph build_graph(const std::vector<TuSummary>& tus) {
+  Graph g;
+  for (const TuSummary& tu : tus) {
+    for (const FunctionSummary& fn : tu.functions) {
+      const auto it = g.by_usr.find(fn.usr);
+      if (it == g.by_usr.end()) {
+        g.by_usr.emplace(fn.usr, g.nodes.size());
+        g.nodes.push_back(fn);
+        continue;
+      }
+      FunctionSummary& have = g.nodes[it->second];
+      for (const std::string& a : fn.annotations)
+        if (!has_annot(have, a)) have.annotations.push_back(a);
+      if (fn.calls.size() + fn.facts.size() >
+          have.calls.size() + have.facts.size()) {
+        const std::vector<std::string> annotations = have.annotations;
+        have = fn;
+        for (const std::string& a : annotations)
+          if (!has_annot(have, a)) have.annotations.push_back(a);
+      }
+    }
+  }
+  g.out.resize(g.nodes.size());
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    for (const CallEdge& edge : g.nodes[i].calls) {
+      const auto it = g.by_usr.find(edge.usr);
+      if (it != g.by_usr.end())
+        g.out[i].push_back(ResolvedEdge{it->second, &edge});
+    }
+  }
+  return g;
+}
+
+// --- Tarjan SCC (iterative), emitting components callees-first --------
+
+struct SccResult {
+  std::vector<std::size_t> component;  ///< node -> component id
+  /// Components in emission order: every component precedes the
+  /// components that call into it (reverse topological order of the
+  /// condensation), so one forward pass is a bottom-up fixpoint.
+  std::vector<std::vector<std::size_t>> members;
+};
+
+SccResult tarjan_scc(const Graph& g) {
+  const std::size_t n = g.nodes.size();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    std::size_t node;
+    std::size_t edge;  ///< next out-edge to examine
+  };
+  std::vector<Frame> frames;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back(Frame{root, 0});
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::size_t v = frame.node;
+      if (frame.edge < g.out[v].size()) {
+        const std::size_t w = g.out[v][frame.edge].target;
+        ++frame.edge;
+        if (index[w] == kUnvisited) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+        continue;
+      }
+      if (low[v] == index[v]) {
+        std::vector<std::size_t> members;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = result.members.size();
+          members.push_back(w);
+          if (w == v) break;
+        }
+        result.members.push_back(std::move(members));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::size_t parent = frames.back().node;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+  return result;
+}
+
+// --- Propagation helpers ----------------------------------------------
+
+struct Reach {
+  std::vector<bool> in;
+  /// Discovery parents, for rendering root→…→sink chains. parent[i] is
+  /// the node we reached i from (kNoParent for seeds).
+  std::vector<std::size_t> parent;
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+};
+
+/// Forward closure from `seeds` over edges satisfying `follow`; a
+/// monotone fixpoint, so cycles are handled by the visited set.
+template <typename Follow>
+Reach closure(const Graph& g, const std::vector<std::size_t>& seeds,
+              Follow follow) {
+  Reach r;
+  r.in.assign(g.nodes.size(), false);
+  r.parent.assign(g.nodes.size(), Reach::kNoParent);
+  std::deque<std::size_t> queue;
+  for (const std::size_t s : seeds) {
+    if (!r.in[s]) {
+      r.in[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const ResolvedEdge& e : g.out[v]) {
+      if (r.in[e.target] || !follow(v, e)) continue;
+      r.in[e.target] = true;
+      r.parent[e.target] = v;
+      queue.push_back(e.target);
+    }
+  }
+  return r;
+}
+
+std::string chain_to(const Graph& g, const Reach& r, std::size_t node) {
+  std::vector<std::size_t> path;
+  for (std::size_t v = node; v != Reach::kNoParent; v = r.parent[v]) {
+    path.push_back(v);
+    if (path.size() > g.nodes.size()) break;  // defensive: cannot cycle
+  }
+  std::string out;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    if (!out.empty()) out += " -> ";
+    out += g.nodes[*it].name;
+  }
+  return out;
+}
+
+std::vector<std::size_t> seeds_with(const Graph& g,
+                                    std::initializer_list<const char*> names) {
+  std::vector<std::size_t> seeds;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i)
+    for (const char* name : names)
+      if (has_annot(g.nodes[i], name)) {
+        seeds.push_back(i);
+        break;
+      }
+  return seeds;
+}
+
+// --- The five whole-program checks ------------------------------------
+
+void check_shard_confined(const Graph& g, std::vector<LinkFinding>* out) {
+  // Blessed context: shard-annotated entry points and everything they
+  // transitively call. Lambda edges propagate too — a closure created in
+  // shard context runs as that shard's event callback, which is still
+  // shard context (matching the per-TU rule that an annotated function
+  // licenses its callees).
+  const Reach blessed =
+      closure(g,
+              seeds_with(g, {annot::kShardConfined, annot::kBarrierPhase,
+                             annot::kCanonicalCombine}),
+              [](std::size_t, const ResolvedEdge&) { return true; });
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (blessed.in[i]) continue;
+    for (const Fact& fact : g.nodes[i].facts) {
+      if (fact.kind != fact_kind::kConfinedTouch || fact.cold) continue;
+      out->push_back(LinkFinding{
+          "analyzer-shard-confined", g.nodes[i].file, fact.line, fact.col,
+          "confined state '" + fact.detail + "' touched in '" +
+              g.nodes[i].name +
+              "', which no shard-context call chain reaches "
+              "(whole-program); annotate the entry point "
+              "CLB_SHARD_CONFINED or route through one"});
+    }
+  }
+}
+
+void check_barrier_phase(const Graph& g, std::vector<LinkFinding>* out) {
+  // Confined execution context flows from CLB_SHARD_CONFINED functions
+  // through unannotated helpers across any edge that is not guarded by
+  // an in_window() check, not deferred through a lambda, and not on a
+  // cold (check/validation) path. An edge from that context into a
+  // CLB_BARRIER_PHASE function is the laundering the per-TU check
+  // cannot see past one helper.
+  const Reach confined = closure(
+      g, seeds_with(g, {annot::kShardConfined}),
+      [&g](std::size_t, const ResolvedEdge& e) {
+        return !e.edge->guarded && !e.edge->in_lambda && !e.edge->cold &&
+               !has_any_annot(g.nodes[e.target]);
+      });
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (!confined.in[i]) continue;
+    for (const ResolvedEdge& e : g.out[i]) {
+      if (e.edge->guarded || e.edge->in_lambda || e.edge->cold) continue;
+      if (!has_annot(g.nodes[e.target], annot::kBarrierPhase)) continue;
+      out->push_back(LinkFinding{
+          "analyzer-barrier-phase", g.nodes[i].file, e.edge->line,
+          e.edge->col,
+          "barrier-phase function '" + g.nodes[e.target].name +
+              "' reached from shard-confined context without an "
+              "in_window() guard (whole-program chain: " +
+              chain_to(g, confined, i) + " -> " + g.nodes[e.target].name +
+              ")"});
+    }
+  }
+}
+
+void check_float_merge(const Graph& g, std::vector<LinkFinding>* out) {
+  const Reach blessed =
+      closure(g, seeds_with(g, {annot::kCanonicalCombine}),
+              [](std::size_t, const ResolvedEdge&) { return true; });
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (blessed.in[i]) continue;
+    for (const Fact& fact : g.nodes[i].facts) {
+      if (fact.kind != fact_kind::kFloatFold || fact.cold) continue;
+      out->push_back(LinkFinding{
+          "analyzer-float-merge", g.nodes[i].file, fact.line, fact.col,
+          "floating-point fold (" + fact.detail + ") over shard data in '" +
+              g.nodes[i].name +
+              "', outside any canonical-combine call chain "
+              "(whole-program); merge through a CLB_CANONICAL_COMBINE "
+              "helper"});
+    }
+  }
+}
+
+void check_unranked_fanout(const Graph& g, const SccResult& scc,
+                           std::vector<LinkFinding>* out) {
+  // Bottom-up: does a function (or an unannotated helper it reaches)
+  // contain a bare schedule_at/schedule_after? Tarjan emitted callee
+  // components first, so one pass over components is the fixpoint;
+  // within a component, iterate until stable (cycles of helpers).
+  std::vector<bool> has_bare(g.nodes.size(), false);
+  for (const std::vector<std::size_t>& members : scc.members) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const std::size_t v : members) {
+        if (has_bare[v]) continue;
+        bool found = false;
+        for (const Fact& fact : g.nodes[v].facts)
+          if (fact.kind == fact_kind::kBareSchedule && !fact.cold) {
+            found = true;
+            break;
+          }
+        if (!found)
+          for (const ResolvedEdge& e : g.out[v])
+            if (!e.edge->in_lambda && !has_any_annot(g.nodes[e.target]) &&
+                has_bare[e.target]) {
+              found = true;
+              break;
+            }
+        if (found) {
+          has_bare[v] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (!has_annot(g.nodes[i], annot::kRankedFanout)) continue;
+    for (const Fact& fact : g.nodes[i].facts) {
+      if (fact.kind != fact_kind::kBareSchedule || !fact.in_loop ||
+          fact.cold)
+        continue;
+      out->push_back(LinkFinding{
+          "analyzer-unranked-fanout", g.nodes[i].file, fact.line, fact.col,
+          "bare '" + fact.detail + "' in a ranked fan-out loop in '" +
+              g.nodes[i].name +
+              "'; use schedule_at_ranked/schedule_at_stamped"});
+    }
+    for (const ResolvedEdge& e : g.out[i]) {
+      if (!e.edge->in_loop || e.edge->in_lambda || e.edge->cold) continue;
+      if (has_any_annot(g.nodes[e.target]) || !has_bare[e.target]) continue;
+      out->push_back(LinkFinding{
+          "analyzer-unranked-fanout", g.nodes[i].file, e.edge->line,
+          e.edge->col,
+          "helper '" + g.nodes[e.target].name +
+              "' called in a ranked fan-out loop performs a bare "
+              "schedule_at (whole-program); rank the schedule or "
+              "annotate the helper"});
+    }
+  }
+}
+
+void check_warm_path(const Graph& g, std::vector<LinkFinding>* out) {
+  // Warm reachability: everything synchronously reachable from a
+  // CLB_WARM_PATH function over non-cold, non-deferred edges. No
+  // annotation stops propagation — warmth is transitive.
+  const Reach warm =
+      closure(g, seeds_with(g, {annot::kWarmPath}),
+              [](std::size_t, const ResolvedEdge& e) {
+                return !e.edge->cold && !e.edge->in_lambda;
+              });
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (!warm.in[i]) continue;
+    const std::string chain = chain_to(g, warm, i);
+    for (const Fact& fact : g.nodes[i].facts) {
+      if (fact.cold) continue;
+      if (fact.kind == fact_kind::kAlloc && !fact.amortized) {
+        out->push_back(LinkFinding{
+            "analyzer-warm-path", g.nodes[i].file, fact.line, fact.col,
+            "heap allocation (" + fact.detail +
+                ") reachable on the warm path (chain: " + chain + ")"});
+      } else if (fact.kind == fact_kind::kBlock &&
+                 !has_annot(g.nodes[i], annot::kWarmPath)) {
+        // Blocking primitives in a CLB_WARM_PATH function's own body are
+        // its audited mechanism (a worker-team round barrier IS a
+        // condition-variable wait) — see shard_annotations.h.
+        out->push_back(LinkFinding{
+            "analyzer-warm-path", g.nodes[i].file, fact.line, fact.col,
+            "blocking call (" + fact.detail +
+                ") reachable on the warm path (chain: " + chain + ")"});
+      } else if (fact.kind == fact_kind::kOverSbo) {
+        out->push_back(LinkFinding{
+            "analyzer-warm-path", g.nodes[i].file, fact.line, fact.col,
+            "over-SBO callable (" + fact.detail +
+                ") constructed on the warm path — the capture spills to "
+                "the heap (chain: " + chain + ")"});
+      }
+    }
+  }
+}
+
+// --- Suppression and baseline filtering -------------------------------
+
+bool default_read_line(const std::string& path, int line, std::string* text) {
+  std::ifstream in{path};
+  if (!in) return false;
+  std::string current;
+  for (int i = 0; i < line; ++i)
+    if (!std::getline(in, current)) return false;
+  *text = current;
+  return true;
+}
+
+/// Same comma-separated syntax the per-TU analyzer and the Python
+/// linter parse; accepts the check name with or without its
+/// "analyzer-" prefix.
+bool line_suppresses(const std::string& text, const std::string& check) {
+  constexpr std::string_view kMarker{"NOLINT-CLOUDLB("};
+  const std::size_t at = text.find(kMarker);
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + kMarker.size();
+  const std::size_t close = text.find(')', begin);
+  if (close == std::string::npos) return false;
+  std::string_view names{text.data() + begin, close - begin};
+  std::string_view bare{check};
+  if (bare.rfind("analyzer-", 0) == 0) bare.remove_prefix(9);
+  while (!names.empty()) {
+    const std::size_t comma = names.find(',');
+    std::string_view part = names.substr(0, comma);
+    while (!part.empty() && (part.front() == ' ' || part.front() == '\t'))
+      part.remove_prefix(1);
+    while (!part.empty() && (part.back() == ' ' || part.back() == '\t'))
+      part.remove_suffix(1);
+    if (part == check || part == bare) return true;
+    if (comma == std::string_view::npos) break;
+    names.remove_prefix(comma + 1);
+  }
+  return false;
+}
+
+bool path_suffix_matches(const std::string& baseline_file,
+                         const std::string& finding_file) {
+  if (baseline_file.empty()) return false;
+  if (finding_file == baseline_file) return true;
+  if (finding_file.size() <= baseline_file.size()) return false;
+  return finding_file.compare(finding_file.size() - baseline_file.size(),
+                              baseline_file.size(), baseline_file) == 0 &&
+         finding_file[finding_file.size() - baseline_file.size() - 1] == '/';
+}
+
+}  // namespace
+
+bool parse_baseline(std::string_view json, std::vector<BaselineEntry>* out,
+                    std::string* error) {
+  JsonValue root;
+  if (!parse_json(json, &root, error)) return false;
+  if (root.kind != JsonValue::Kind::kObject) {
+    *error = "baseline root is not an object";
+    return false;
+  }
+  const JsonValue* version = root.find("schema_version");
+  if (version == nullptr || version->kind != JsonValue::Kind::kInt ||
+      version->int_value != 1) {
+    *error = "baseline schema_version missing or unsupported";
+    return false;
+  }
+  const JsonValue* findings = root.find("findings");
+  if (findings == nullptr || findings->kind != JsonValue::Kind::kArray) {
+    *error = "baseline \"findings\" array missing";
+    return false;
+  }
+  for (const JsonValue& f : findings->array) {
+    if (f.kind != JsonValue::Kind::kObject) {
+      *error = "baseline finding is not an object";
+      return false;
+    }
+    BaselineEntry entry;
+    const JsonValue* check = f.find("check");
+    const JsonValue* file = f.find("file");
+    if (check == nullptr || check->kind != JsonValue::Kind::kString ||
+        file == nullptr || file->kind != JsonValue::Kind::kString) {
+      *error = "baseline finding needs string \"check\" and \"file\"";
+      return false;
+    }
+    entry.check = check->string_value;
+    entry.file = file->string_value;
+    if (const JsonValue* line = f.find("line"); line != nullptr) {
+      if (line->kind != JsonValue::Kind::kInt) {
+        *error = "baseline \"line\" must be an integer";
+        return false;
+      }
+      entry.line = static_cast<int>(line->int_value);
+    }
+    out->push_back(std::move(entry));
+  }
+  return true;
+}
+
+void Linker::add_summary(const TuSummary& summary) {
+  tus_.push_back(summary);
+}
+
+LinkResult Linker::link(const LinkOptions& options) const {
+  LinkResult result;
+  const Graph g = build_graph(tus_);
+  const SccResult scc = tarjan_scc(g);
+  result.stats.tus = tus_.size();
+  result.stats.functions = g.nodes.size();
+  result.stats.sccs = scc.members.size();
+
+  std::vector<LinkFinding> raw;
+  check_shard_confined(g, &raw);
+  check_barrier_phase(g, &raw);
+  check_float_merge(g, &raw);
+  check_unranked_fanout(g, scc, &raw);
+  check_warm_path(g, &raw);
+
+  std::sort(raw.begin(), raw.end(), [](const LinkFinding& a,
+                                       const LinkFinding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    if (a.check != b.check) return a.check < b.check;
+    return a.message < b.message;
+  });
+  raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+
+  const auto read_line =
+      options.read_line ? options.read_line : default_read_line;
+  std::vector<bool> baseline_used(options.baseline.size(), false);
+  for (LinkFinding& finding : raw) {
+    std::string text;
+    if (read_line(finding.file, finding.line, &text) &&
+        line_suppresses(text, finding.check)) {
+      ++result.stats.suppressed;
+      continue;
+    }
+    bool baselined = false;
+    for (std::size_t b = 0; b < options.baseline.size(); ++b) {
+      const BaselineEntry& entry = options.baseline[b];
+      std::string_view bare{finding.check};
+      if (bare.rfind("analyzer-", 0) == 0) bare.remove_prefix(9);
+      if (entry.check != finding.check && entry.check != bare) continue;
+      if (!path_suffix_matches(entry.file, finding.file)) continue;
+      if (entry.line >= 0 && entry.line != finding.line) continue;
+      baseline_used[b] = true;
+      baselined = true;
+      break;
+    }
+    if (baselined) {
+      ++result.stats.baselined;
+      continue;
+    }
+    result.findings.push_back(std::move(finding));
+  }
+  for (std::size_t b = 0; b < options.baseline.size(); ++b)
+    if (!baseline_used[b])
+      result.unmatched_baseline.push_back(options.baseline[b]);
+  return result;
+}
+
+std::size_t print_link_result(const LinkResult& result, std::string* out) {
+  for (const LinkFinding& f : result.findings) {
+    *out += f.file + ':' + std::to_string(f.line) + ':' +
+            std::to_string(f.col) + ": warning: " + f.message + " [" +
+            f.check + "]\n";
+  }
+  for (const BaselineEntry& entry : result.unmatched_baseline) {
+    *out += "note: stale baseline entry matched nothing: " + entry.check +
+            " at " + entry.file;
+    if (entry.line >= 0) *out += ':' + std::to_string(entry.line);
+    *out += "\n";
+  }
+  *out += "cloudlb-analyzer --link: " +
+          std::to_string(result.findings.size()) + " finding(s) across " +
+          std::to_string(result.stats.functions) + " function(s) in " +
+          std::to_string(result.stats.tus) + " TU(s), " +
+          std::to_string(result.stats.sccs) + " SCC(s); " +
+          std::to_string(result.stats.suppressed) + " suppressed, " +
+          std::to_string(result.stats.baselined) + " baselined\n";
+  return result.findings.size();
+}
+
+namespace {
+
+void append_sarif_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+std::string relative_uri(const std::string& path, const std::string& root) {
+  if (!root.empty()) {
+    std::string prefix = root;
+    if (prefix.back() != '/') prefix.push_back('/');
+    if (path.size() > prefix.size() &&
+        path.compare(0, prefix.size(), prefix) == 0)
+      return path.substr(prefix.size());
+  }
+  return path;
+}
+
+}  // namespace
+
+std::string to_sarif(const LinkResult& result, const std::string& root) {
+  // The rule list enumerates every check that can appear, not just those
+  // that fired, so code-scanning UIs can show the full rule set.
+  static constexpr const char* kRules[] = {
+      "analyzer-shard-confined", "analyzer-barrier-phase",
+      "analyzer-float-merge", "analyzer-unranked-fanout",
+      "analyzer-warm-path"};
+  std::string out;
+  out +=
+      R"({"$schema":"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",)";
+  out += R"("version":"2.1.0","runs":[{"tool":{"driver":{)";
+  out += R"("name":"cloudlb-analyzer","informationUri":)";
+  append_sarif_escaped(out,
+                       "https://github.com/cloudlb/cloudlb/blob/main/docs/"
+                       "static-analysis.md");
+  out += R"(,"rules":[)";
+  bool first = true;
+  for (const char* rule : kRules) {
+    if (!first) out += ",";
+    first = false;
+    out += R"({"id":)";
+    append_sarif_escaped(out, rule);
+    out += "}";
+  }
+  out += R"(]}},"results":[)";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const LinkFinding& f = result.findings[i];
+    if (i != 0) out += ",";
+    out += "\n";
+    out += R"({"ruleId":)";
+    append_sarif_escaped(out, f.check);
+    out += R"(,"level":"warning","message":{"text":)";
+    append_sarif_escaped(out, f.message);
+    out += R"(},"locations":[{"physicalLocation":{"artifactLocation":{"uri":)";
+    append_sarif_escaped(out, relative_uri(f.file, root));
+    out += R"(},"region":{"startLine":)";
+    out += std::to_string(f.line > 0 ? f.line : 1);
+    out += R"(,"startColumn":)";
+    out += std::to_string(f.col > 0 ? f.col : 1);
+    out += "}}}]}";
+  }
+  out += "\n]}]}\n";
+  return out;
+}
+
+}  // namespace cloudlb_analyzer

@@ -1,0 +1,115 @@
+// Whole-program effect propagation over per-TU summaries — the `--link`
+// half of cloudlb-analyzer (docs/static-analysis.md, "whole-program
+// propagation"). LLVM-free by design: the linker consumes only the
+// serialized model in summary.h, so it builds and unit-tests everywhere.
+//
+// The pipeline: merge every TU's functions by USR into one program-wide
+// call graph, condense it with Tarjan's SCC algorithm, then run five
+// monotone propagations to fixpoint over the condensation:
+//
+//   analyzer-shard-confined  confined-state touches must be reachable
+//                            from a shard-annotated entry point
+//   analyzer-barrier-phase   CLB_BARRIER_PHASE calls reached from
+//                            confined context through any helper depth
+//                            must be in_window()-guarded at some hop
+//   analyzer-float-merge     float folds over shard data must be
+//                            reachable from a CLB_CANONICAL_COMBINE
+//   analyzer-unranked-fanout bare schedule_at loops in (or called in a
+//                            loop from) CLB_RANKED_FANOUT functions
+//   analyzer-warm-path       no allocation/blocking fact transitively
+//                            reachable from a CLB_WARM_PATH function
+//
+// Findings honor the shared NOLINT-CLOUDLB(...) suppression syntax (the
+// linker re-reads the flagged source line) and a reviewed baseline file,
+// and can be rendered as plain text or SARIF 2.1.0.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "summary.h"
+
+namespace cloudlb_analyzer {
+
+/// One whole-program finding, already anchored at an editable source
+/// line (the relevant call site or fact location).
+struct LinkFinding {
+  std::string check;  ///< "analyzer-barrier-phase", ...
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;  ///< includes the root→…→sink chain
+
+  friend bool operator==(const LinkFinding&, const LinkFinding&) = default;
+};
+
+/// One reviewed suppression from tools/analyzer/baseline.json. A
+/// finding matches when the check names agree, `file` is a path suffix
+/// of the finding's file (so baselines stay repo-relative), and — when
+/// `line` is >= 0 — the lines agree.
+struct BaselineEntry {
+  std::string check;
+  std::string file;
+  int line = -1;  ///< -1 matches any line
+
+  friend bool operator==(const BaselineEntry&, const BaselineEntry&) = default;
+};
+
+/// Parses the baseline file's `{"schema_version":1,"findings":[...]}`
+/// shape; false with *error on any deviation.
+[[nodiscard]] bool parse_baseline(std::string_view json,
+                                  std::vector<BaselineEntry>* out,
+                                  std::string* error);
+
+struct LinkOptions {
+  std::vector<BaselineEntry> baseline;
+  /// Reads line `line` (1-based) of `path` for NOLINT matching; the
+  /// default reads from disk. Injectable so unit tests can link
+  /// synthetic graphs without touching the filesystem.
+  std::function<bool(const std::string& path, int line, std::string* text)>
+      read_line;
+};
+
+struct LinkStats {
+  std::size_t tus = 0;
+  std::size_t functions = 0;
+  std::size_t sccs = 0;
+  std::size_t suppressed = 0;  ///< dropped by NOLINT comments
+  std::size_t baselined = 0;   ///< dropped by baseline entries
+};
+
+struct LinkResult {
+  /// Findings that survived NOLINT and baseline filtering, sorted by
+  /// (file, line, col, check) for deterministic output.
+  std::vector<LinkFinding> findings;
+  /// Baseline entries that matched nothing — stale suppressions the
+  /// report calls out so the file shrinks as fixes land.
+  std::vector<BaselineEntry> unmatched_baseline;
+  LinkStats stats;
+};
+
+/// Accumulates TU summaries and links them.
+class Linker {
+ public:
+  void add_summary(const TuSummary& summary);
+
+  /// Runs all five propagations and filters the findings.
+  [[nodiscard]] LinkResult link(const LinkOptions& options) const;
+
+ private:
+  std::vector<TuSummary> tus_;
+};
+
+/// Renders findings in the analyzer's one-line format
+/// (`path:line:col: warning: msg [check]`) plus stats and stale-baseline
+/// notes; returns the number of findings.
+std::size_t print_link_result(const LinkResult& result, std::string* out);
+
+/// Renders a SARIF 2.1.0 document. Paths under `root` (when non-empty)
+/// become root-relative URIs so GitHub code scanning can anchor them.
+[[nodiscard]] std::string to_sarif(const LinkResult& result,
+                                   const std::string& root);
+
+}  // namespace cloudlb_analyzer

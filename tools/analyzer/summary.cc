@@ -1,0 +1,649 @@
+#include "summary.h"
+
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+
+namespace cloudlb_analyzer {
+
+namespace {
+
+// --- JSON writing -----------------------------------------------------
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Control characters never appear in paths/names the emitter
+          // produces; escape defensively so the output stays valid JSON.
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+          out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_call(std::string& out, const CallEdge& e) {
+  out += R"({"usr":)";
+  append_escaped(out, e.usr);
+  out += R"(,"name":)";
+  append_escaped(out, e.name);
+  out += R"(,"line":)";
+  out += std::to_string(e.line);
+  out += R"(,"col":)";
+  out += std::to_string(e.col);
+  out += R"(,"in_loop":)";
+  out += e.in_loop ? "true" : "false";
+  out += R"(,"guarded":)";
+  out += e.guarded ? "true" : "false";
+  out += R"(,"cold":)";
+  out += e.cold ? "true" : "false";
+  out += R"(,"in_lambda":)";
+  out += e.in_lambda ? "true" : "false";
+  out += "}";
+}
+
+void append_fact(std::string& out, const Fact& f) {
+  out += R"({"kind":)";
+  append_escaped(out, f.kind);
+  out += R"(,"detail":)";
+  append_escaped(out, f.detail);
+  out += R"(,"line":)";
+  out += std::to_string(f.line);
+  out += R"(,"col":)";
+  out += std::to_string(f.col);
+  out += R"(,"in_loop":)";
+  out += f.in_loop ? "true" : "false";
+  out += R"(,"cold":)";
+  out += f.cold ? "true" : "false";
+  out += R"(,"amortized":)";
+  out += f.amortized ? "true" : "false";
+  out += "}";
+}
+
+// --- JSON parsing -----------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  bool parse(JsonValue* out, std::string* error) {
+    if (!parse_value(out)) {
+      if (error != nullptr) *error = error_at();
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the JSON document");
+      if (error != nullptr) *error = error_at();
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void fail(std::string message) {
+    if (message_.empty()) message_ = std::move(message);
+  }
+
+  [[nodiscard]] std::string error_at() const {
+    return message_ + " (at byte " + std::to_string(pos_) + ")";
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expect) {
+    if (pos_ < text_.size() && text_[pos_] == expect) {
+      ++pos_;
+      return true;
+    }
+    fail(std::string{"expected '"} + expect + "'");
+    return false;
+  }
+
+  bool parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    fail("unrecognized literal");
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          default:
+            fail("unsupported string escape");
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_int(std::int64_t* out) {
+    const std::size_t start = pos_;
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    std::uint64_t magnitude = 0;
+    bool any = false;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      // Summary hashes are full 64-bit values serialized unsigned; fold
+      // with wraparound and reinterpret below, which round-trips every
+      // value to_json can produce.
+      magnitude =
+          magnitude * 10 +
+          static_cast<std::uint64_t>(text_[pos_] - '0');
+      any = true;
+      ++pos_;
+    }
+    if (!any) {
+      pos_ = start;
+      fail("expected a number");
+      return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == '.' || text_[pos_] == 'e' ||
+                                text_[pos_] == 'E')) {
+      fail("floating-point numbers are not part of the schema");
+      return false;
+    }
+    *out = negative ? -static_cast<std::int64_t>(magnitude)
+                    : static_cast<std::int64_t>(magnitude);
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return parse_string(&out->string_value);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return parse_literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return parse_literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return parse_literal("null");
+    }
+    out->kind = JsonValue::Kind::kInt;
+    return parse_int(&out->int_value);
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      if (!parse_value(&item)) return false;
+      out->array.push_back(std::move(item));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string message_;
+};
+
+// --- Typed field extraction (loud on any shape deviation) -------------
+
+bool get_string(const JsonValue& obj, std::string_view key, std::string* out,
+                std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+    *error = "missing or mistyped string field \"" + std::string{key} + '"';
+    return false;
+  }
+  *out = v->string_value;
+  return true;
+}
+
+bool get_int(const JsonValue& obj, std::string_view key, std::int64_t* out,
+             std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kInt) {
+    *error = "missing or mistyped integer field \"" + std::string{key} + '"';
+    return false;
+  }
+  *out = v->int_value;
+  return true;
+}
+
+bool get_bool(const JsonValue& obj, std::string_view key, bool* out,
+              std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kBool) {
+    *error = "missing or mistyped boolean field \"" + std::string{key} + '"';
+    return false;
+  }
+  *out = v->bool_value;
+  return true;
+}
+
+bool get_array(const JsonValue& obj, std::string_view key,
+               const JsonValue** out, std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kArray) {
+    *error = "missing or mistyped array field \"" + std::string{key} + '"';
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_call(const JsonValue& obj, CallEdge* out, std::string* error) {
+  if (obj.kind != JsonValue::Kind::kObject) {
+    *error = "call edge is not an object";
+    return false;
+  }
+  std::int64_t line = 0;
+  std::int64_t col = 0;
+  if (!get_string(obj, "usr", &out->usr, error) ||
+      !get_string(obj, "name", &out->name, error) ||
+      !get_int(obj, "line", &line, error) ||
+      !get_int(obj, "col", &col, error) ||
+      !get_bool(obj, "in_loop", &out->in_loop, error) ||
+      !get_bool(obj, "guarded", &out->guarded, error) ||
+      !get_bool(obj, "cold", &out->cold, error) ||
+      !get_bool(obj, "in_lambda", &out->in_lambda, error))
+    return false;
+  out->line = static_cast<int>(line);
+  out->col = static_cast<int>(col);
+  return true;
+}
+
+bool parse_fact(const JsonValue& obj, Fact* out, std::string* error) {
+  if (obj.kind != JsonValue::Kind::kObject) {
+    *error = "fact is not an object";
+    return false;
+  }
+  std::int64_t line = 0;
+  std::int64_t col = 0;
+  if (!get_string(obj, "kind", &out->kind, error) ||
+      !get_string(obj, "detail", &out->detail, error) ||
+      !get_int(obj, "line", &line, error) ||
+      !get_int(obj, "col", &col, error) ||
+      !get_bool(obj, "in_loop", &out->in_loop, error) ||
+      !get_bool(obj, "cold", &out->cold, error) ||
+      !get_bool(obj, "amortized", &out->amortized, error))
+    return false;
+  out->line = static_cast<int>(line);
+  out->col = static_cast<int>(col);
+  return true;
+}
+
+bool parse_function(const JsonValue& obj, FunctionSummary* out,
+                    std::string* error) {
+  if (obj.kind != JsonValue::Kind::kObject) {
+    *error = "function summary is not an object";
+    return false;
+  }
+  std::int64_t line = 0;
+  const JsonValue* annotations = nullptr;
+  const JsonValue* calls = nullptr;
+  const JsonValue* facts = nullptr;
+  if (!get_string(obj, "usr", &out->usr, error) ||
+      !get_string(obj, "name", &out->name, error) ||
+      !get_string(obj, "file", &out->file, error) ||
+      !get_int(obj, "line", &line, error) ||
+      !get_array(obj, "annotations", &annotations, error) ||
+      !get_array(obj, "calls", &calls, error) ||
+      !get_array(obj, "facts", &facts, error))
+    return false;
+  out->line = static_cast<int>(line);
+  for (const JsonValue& a : annotations->array) {
+    if (a.kind != JsonValue::Kind::kString) {
+      *error = "annotation entry is not a string";
+      return false;
+    }
+    out->annotations.push_back(a.string_value);
+  }
+  for (const JsonValue& c : calls->array) {
+    CallEdge edge;
+    if (!parse_call(c, &edge, error)) return false;
+    out->calls.push_back(std::move(edge));
+  }
+  for (const JsonValue& f : facts->array) {
+    Fact fact;
+    if (!parse_fact(f, &fact, error)) return false;
+    out->facts.push_back(std::move(fact));
+  }
+  return true;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool parse_json(std::string_view text, JsonValue* out, std::string* error) {
+  Parser parser{text};
+  return parser.parse(out, error);
+}
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool hash_file(const std::string& path, std::uint64_t* out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  *out = fnv1a(buffer.str());
+  return true;
+}
+
+std::uint64_t summary_content_hash(std::string_view compile_command,
+                                   const std::vector<DepHash>& deps) {
+  std::uint64_t h = fnv1a(compile_command);
+  for (const DepHash& dep : deps) {
+    h = fnv1a(dep.file, h);
+    h = fnv1a(std::to_string(dep.hash), h);
+  }
+  return h;
+}
+
+bool summary_is_fresh(const TuSummary& summary,
+                      std::string_view compile_command) {
+  if (summary.schema_version != kSummarySchemaVersion) return false;
+  std::vector<DepHash> current;
+  current.reserve(summary.deps.size());
+  for (const DepHash& dep : summary.deps) {
+    std::uint64_t h = 0;
+    if (!hash_file(dep.file, &h) || h != dep.hash) return false;
+    current.push_back(DepHash{dep.file, h});
+  }
+  return summary_content_hash(compile_command, current) ==
+         summary.content_hash;
+}
+
+std::string to_json(const TuSummary& summary) {
+  std::string out;
+  out += "{\n";
+  out += R"("schema_version":)";
+  out += std::to_string(summary.schema_version);
+  out += ",\n";
+  out += R"("tool":)";
+  append_escaped(out, summary.tool);
+  out += ",\n";
+  out += R"("tu":)";
+  append_escaped(out, summary.tu);
+  out += ",\n";
+  out += R"("content_hash":)";
+  append_u64(out, summary.content_hash);
+  out += ",\n";
+  out += R"("deps":[)";
+  for (std::size_t i = 0; i < summary.deps.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n";
+    out += R"({"file":)";
+    append_escaped(out, summary.deps[i].file);
+    out += R"(,"hash":)";
+    append_u64(out, summary.deps[i].hash);
+    out += "}";
+  }
+  out += "],\n";
+  out += R"("functions":[)";
+  for (std::size_t i = 0; i < summary.functions.size(); ++i) {
+    const FunctionSummary& fn = summary.functions[i];
+    if (i != 0) out += ",";
+    out += "\n";
+    out += R"({"usr":)";
+    append_escaped(out, fn.usr);
+    out += R"(,"name":)";
+    append_escaped(out, fn.name);
+    out += R"(,"file":)";
+    append_escaped(out, fn.file);
+    out += R"(,"line":)";
+    out += std::to_string(fn.line);
+    out += R"(,"annotations":[)";
+    for (std::size_t a = 0; a < fn.annotations.size(); ++a) {
+      if (a != 0) out += ",";
+      append_escaped(out, fn.annotations[a]);
+    }
+    out += R"(],"calls":[)";
+    for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+      if (c != 0) out += ",";
+      append_call(out, fn.calls[c]);
+    }
+    out += R"(],"facts":[)";
+    for (std::size_t f = 0; f < fn.facts.size(); ++f) {
+      if (f != 0) out += ",";
+      append_fact(out, fn.facts[f]);
+    }
+    out += "]}";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+bool from_json(std::string_view json, TuSummary* out, std::string* error) {
+  std::string local_error;
+  if (error == nullptr) error = &local_error;
+  JsonValue root;
+  if (!parse_json(json, &root, error)) return false;
+  if (root.kind != JsonValue::Kind::kObject) {
+    *error = "summary root is not an object";
+    return false;
+  }
+  std::int64_t version = 0;
+  if (!get_int(root, "schema_version", &version, error)) return false;
+  if (version != kSummarySchemaVersion) {
+    *error = "unsupported schema_version " + std::to_string(version) +
+             " (this tool reads version " +
+             std::to_string(kSummarySchemaVersion) + ")";
+    return false;
+  }
+  out->schema_version = static_cast<int>(version);
+  const JsonValue* hash = root.find("content_hash");
+  if (hash == nullptr || hash->kind != JsonValue::Kind::kInt) {
+    *error = "missing or mistyped integer field \"content_hash\"";
+    return false;
+  }
+  out->content_hash = static_cast<std::uint64_t>(hash->int_value);
+  const JsonValue* deps = nullptr;
+  const JsonValue* functions = nullptr;
+  if (!get_string(root, "tool", &out->tool, error) ||
+      !get_string(root, "tu", &out->tu, error) ||
+      !get_array(root, "deps", &deps, error) ||
+      !get_array(root, "functions", &functions, error))
+    return false;
+  for (const JsonValue& d : deps->array) {
+    if (d.kind != JsonValue::Kind::kObject) {
+      *error = "dep entry is not an object";
+      return false;
+    }
+    DepHash dep;
+    std::int64_t h = 0;
+    if (!get_string(d, "file", &dep.file, error) ||
+        !get_int(d, "hash", &h, error))
+      return false;
+    dep.hash = static_cast<std::uint64_t>(h);
+    out->deps.push_back(std::move(dep));
+  }
+  for (const JsonValue& f : functions->array) {
+    FunctionSummary fn;
+    if (!parse_function(f, &fn, error)) return false;
+    out->functions.push_back(std::move(fn));
+  }
+  return true;
+}
+
+bool write_summary_file(const std::string& path, const TuSummary& summary,
+                        std::string* error) {
+  std::ofstream outf{path, std::ios::binary | std::ios::trunc};
+  if (!outf) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  outf << to_json(summary);
+  outf.flush();
+  if (!outf) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+bool read_summary_file(const std::string& path, TuSummary* out,
+                       std::string* error) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    if (error != nullptr) *error = "read failed for " + path;
+    return false;
+  }
+  std::string parse_error;
+  if (!from_json(buffer.str(), out, &parse_error)) {
+    if (error != nullptr) *error = path + ": " + parse_error;
+    return false;
+  }
+  return true;
+}
+
+std::string summary_file_name(std::string_view tu_path) {
+  std::string name;
+  name.reserve(tu_path.size() + 5);
+  for (const char c : tu_path) {
+    if (c == '/' || c == '\\' || c == ':') {
+      name.push_back('_');
+    } else {
+      name.push_back(c);
+    }
+  }
+  return name + ".json";
+}
+
+}  // namespace cloudlb_analyzer

@@ -1,0 +1,191 @@
+// Per-TU effect-summary model for the whole-program link step
+// (docs/static-analysis.md, "whole-program propagation").
+//
+// Phase 1 (`cloudlb-analyzer --emit-summary=<dir>`) serializes one
+// TuSummary per translation unit: the local call graph plus per-function
+// effect facts. Phase 2 (`--link <dir>`) loads them all and propagates
+// effects over the whole-program call graph (linker.h). This header and
+// its .cc are deliberately LLVM-free — the model, the JSON codec and the
+// content hashing build and unit-test everywhere, even when the clang
+// frontend libraries (needed only by the emitter) are absent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cloudlb_analyzer {
+
+/// Bump on any incompatible change to the serialized shape. The link
+/// step refuses summaries whose version does not match exactly — a stale
+/// cache directory must fail loudly (exit 2, naming the file), never
+/// degrade into silently weaker analysis.
+inline constexpr int kSummarySchemaVersion = 1;
+
+/// One file that contributed to a TU's analysis (the main file or a
+/// non-system header it included), with the FNV-1a hash of its bytes at
+/// emit time. The freshness check re-hashes every dep: any drift means
+/// the summary must be re-emitted.
+struct DepHash {
+  std::string file;
+  std::uint64_t hash = 0;
+
+  friend bool operator==(const DepHash&, const DepHash&) = default;
+};
+
+/// One resolved call site inside a function body. Edges carry the
+/// context flags the propagation needs to decide whether an effect flows
+/// across them; unresolved targets (templates, system headers) are not
+/// edges — the emitter converts recognized system calls into facts.
+struct CallEdge {
+  std::string usr;   ///< callee identity (clang USR), stable across TUs
+  std::string name;  ///< callee spelling, for human-readable chains
+  int line = 0;
+  int col = 0;
+  bool in_loop = false;   ///< lexically inside a loop body
+  bool guarded = false;   ///< under an `in_window()` conditional
+  bool cold = false;      ///< validation_enabled()-gated or CLB_* macro
+  bool in_lambda = false; ///< deferred: inside a lambda body (except
+                          ///< worker bodies handed to run_round)
+
+  friend bool operator==(const CallEdge&, const CallEdge&) = default;
+};
+
+/// Effect-fact kinds, serialized as strings so the schema stays
+/// readable and diffable in CI logs.
+namespace fact_kind {
+inline constexpr const char* kConfinedTouch = "confined_touch";
+inline constexpr const char* kFloatFold = "float_fold";
+inline constexpr const char* kBareSchedule = "bare_schedule";
+inline constexpr const char* kAlloc = "alloc";
+inline constexpr const char* kBlock = "block";
+inline constexpr const char* kOverSbo = "over_sbo";
+}  // namespace fact_kind
+
+/// One local effect observation: a confined-state touch, a float fold, a
+/// bare schedule_at, a heap allocation, a blocking call or an over-SBO
+/// SmallFunction construction. The link step decides which facts become
+/// findings once whole-program context is known.
+struct Fact {
+  std::string kind;    ///< one of fact_kind::*
+  std::string detail;  ///< human detail: field, callee or type name
+  int line = 0;
+  int col = 0;
+  bool in_loop = false;
+  bool cold = false;       ///< CLB_CHECK*/validation paths: exempt
+  bool amortized = false;  ///< alloc only: growth of a reserved vector
+
+  friend bool operator==(const Fact&, const Fact&) = default;
+};
+
+/// Annotation names as serialized (macro names minus the CLB_ prefix,
+/// lowercase): "shard_confined", "barrier_phase", "canonical_combine",
+/// "ranked_fanout", "warm_path".
+namespace annot {
+inline constexpr const char* kShardConfined = "shard_confined";
+inline constexpr const char* kBarrierPhase = "barrier_phase";
+inline constexpr const char* kCanonicalCombine = "canonical_combine";
+inline constexpr const char* kRankedFanout = "ranked_fanout";
+inline constexpr const char* kWarmPath = "warm_path";
+}  // namespace annot
+
+/// Everything the link step needs to know about one function with a
+/// visible body.
+struct FunctionSummary {
+  std::string usr;   ///< clang USR: cross-TU identity
+  std::string name;  ///< qualified name, for messages
+  std::string file;  ///< definition location
+  int line = 0;
+  std::vector<std::string> annotations;  ///< annot::* names
+  std::vector<CallEdge> calls;
+  std::vector<Fact> facts;
+
+  friend bool operator==(const FunctionSummary&,
+                         const FunctionSummary&) = default;
+};
+
+/// One translation unit's effect summary — the unit of caching: the
+/// summary file for a TU whose content_hash still matches the tree is
+/// reused without re-parsing the TU.
+struct TuSummary {
+  int schema_version = kSummarySchemaVersion;
+  std::string tool;  ///< "cloudlb-analyzer"
+  std::string tu;    ///< main source path
+  /// Combined hash of the compile command and every dep file's bytes,
+  /// folded in deps order (see summary_content_hash).
+  std::uint64_t content_hash = 0;
+  std::vector<DepHash> deps;
+  std::vector<FunctionSummary> functions;
+
+  friend bool operator==(const TuSummary&, const TuSummary&) = default;
+};
+
+/// FNV-1a over `data`, continuing from `seed` so hashes chain.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+[[nodiscard]] std::uint64_t fnv1a(std::string_view data,
+                                  std::uint64_t seed = kFnvOffset);
+
+/// FNV-1a of a file's bytes. Returns false (leaving *out untouched) when
+/// the file cannot be read.
+[[nodiscard]] bool hash_file(const std::string& path, std::uint64_t* out);
+
+/// The combined content hash stored in TuSummary::content_hash: the
+/// compile command chained with every dep hash in deps order.
+[[nodiscard]] std::uint64_t summary_content_hash(
+    std::string_view compile_command, const std::vector<DepHash>& deps);
+
+/// Re-hashes every dep file on disk and recomputes the combined hash:
+/// true iff every dep is readable, unchanged, and the stored
+/// content_hash matches `compile_command` + deps. A fresh summary's TU
+/// never needs re-parsing.
+[[nodiscard]] bool summary_is_fresh(const TuSummary& summary,
+                                    std::string_view compile_command);
+
+/// Serializes to the versioned JSON schema (stable field order, one
+/// object per line for functions — diffable in CI logs).
+[[nodiscard]] std::string to_json(const TuSummary& summary);
+
+/// Parses a summary. Returns false with a human-readable *error (what
+/// was malformed or which field was missing/mistyped) on any deviation —
+/// truncation, bit flips, wrong types and unknown schema versions are
+/// all loud failures, never best-effort recoveries.
+[[nodiscard]] bool from_json(std::string_view json, TuSummary* out,
+                             std::string* error);
+
+/// File-level wrappers. Both return false with *error naming the path.
+[[nodiscard]] bool write_summary_file(const std::string& path,
+                                      const TuSummary& summary,
+                                      std::string* error);
+[[nodiscard]] bool read_summary_file(const std::string& path, TuSummary* out,
+                                     std::string* error);
+
+/// Maps a TU path to its summary file name inside the summary dir:
+/// every path separator becomes '_', with a trailing ".json" (flat
+/// directory, stable and filesystem-safe).
+[[nodiscard]] std::string summary_file_name(std::string_view tu_path);
+
+// --- Minimal JSON value model, exposed for the baseline file parser
+// (linker.cc) and the robustness tests. Parses the subset the schema
+// uses: objects, arrays, strings (with \uXXXX escapes rejected — the
+// emitter never produces them), integers and booleans.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kInt, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  std::int64_t int_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one JSON document (rejecting trailing garbage). Returns false
+/// with *error describing the first deviation and its byte offset.
+[[nodiscard]] bool parse_json(std::string_view text, JsonValue* out,
+                              std::string* error);
+
+}  // namespace cloudlb_analyzer
